@@ -1,0 +1,79 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - **dependency caching**: sliding-window streaming vs naive tiling
+//!   vs partitioned streaming (host wall-clock tracks the extra work the
+//!   redundancy costs — Eqs. 8–9 made measurable);
+//! - **interleaving**: interleaved vs contiguous batch layout for the
+//!   batched CPU solver (cache behaviour on the host) and the layout
+//!   conversion cost itself;
+//! - **scratch reuse**: Thomas with and without reusing scratch buffers
+//!   across solves (the API-design choice behind `ThomasScratch`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tridiag_core::generators::{dominant_random, random_batch};
+use tridiag_core::thomas::{self, ThomasScratch};
+use tridiag_core::{tiled_pcr, Layout};
+
+fn bench_tiling_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiling_ablation");
+    let n = 65536usize;
+    let k = 5u32;
+    let tile = 64usize;
+    let system = dominant_random::<f64>(n, 21);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("sliding_window", |b| {
+        b.iter(|| tiled_pcr::reduce_streamed(&system, k, tile).unwrap())
+    });
+    group.bench_function("naive_tiled", |b| {
+        b.iter(|| tiled_pcr::reduce_naive_tiled(&system, k, tile).unwrap())
+    });
+    group.bench_function("partitioned_x8", |b| {
+        b.iter(|| tiled_pcr::reduce_partitioned(&system, k, 8).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_ablation");
+    let (m, n) = (256usize, 512usize);
+    for layout in [Layout::Contiguous, Layout::Interleaved] {
+        let batch = random_batch::<f64>(m, n, 11).to_layout(layout);
+        group.bench_with_input(
+            BenchmarkId::new("cpu_seq_solve", format!("{layout:?}")),
+            &batch,
+            |b, batch| b.iter(|| cpu_ref::solve_batch_sequential(batch).unwrap()),
+        );
+    }
+    let batch = random_batch::<f64>(m, n, 11);
+    group.bench_function("layout_conversion", |b| {
+        b.iter(|| batch.to_layout(Layout::Interleaved))
+    });
+    group.finish();
+}
+
+fn bench_scratch_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scratch_ablation");
+    let n = 4096usize;
+    let system = dominant_random::<f64>(n, 31);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("fresh_allocs", |b| {
+        b.iter(|| thomas::solve_typed(&system).unwrap())
+    });
+    group.bench_function("reused_scratch", |b| {
+        let mut scratch = ThomasScratch::new(n);
+        let mut x = vec![0.0f64; n];
+        b.iter(|| {
+            thomas::solve_into(&system, &mut x, &mut scratch).unwrap();
+            x[0]
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tiling_strategies,
+    bench_layouts,
+    bench_scratch_reuse
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Host wall-clock scaling of the CPU reference solvers (the MKL
+//! stand-ins): sequential vs thread-pooled batched Thomas.
+//!
+//! Expected shape on a multi-core host: the threaded solver approaches
+//! `min(workers, M)`-fold speedup for large batches and *matches* the
+//! sequential path at `M = 1` (mirroring MKL's no-threading-within-one-
+//! system behaviour the paper footnotes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cpu_ref::{solve_batch_interleaved, solve_batch_sequential, solve_batch_threaded, ThreadPool};
+use tridiag_core::generators::random_batch;
+use tridiag_core::Layout;
+
+fn bench_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_batched");
+    let n = 512usize;
+    for m in [1usize, 8, 64, 512] {
+        let batch = random_batch::<f64>(m, n, 5);
+        group.throughput(Throughput::Elements((m * n) as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", m), &batch, |b, batch| {
+            b.iter(|| solve_batch_sequential(batch).unwrap())
+        });
+        let pool = ThreadPool::per_cpu();
+        group.bench_with_input(BenchmarkId::new("threaded", m), &batch, |b, batch| {
+            b.iter(|| solve_batch_threaded(batch, &pool).unwrap())
+        });
+        let inter = batch.to_layout(Layout::Interleaved);
+        group.bench_with_input(
+            BenchmarkId::new("interleaved_vectorised", m),
+            &inter,
+            |b, batch| b.iter(|| solve_batch_interleaved(batch).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_overhead");
+    // Tiny batch: fork/join overhead dominates — documents when the
+    // threaded path is worth it.
+    let batch = random_batch::<f64>(4, 32, 9);
+    let pool = ThreadPool::new(4);
+    group.bench_function("tiny_batch_threaded", |b| {
+        b.iter(|| solve_batch_threaded(&batch, &pool).unwrap())
+    });
+    group.bench_function("tiny_batch_sequential", |b| {
+        b.iter(|| solve_batch_sequential(&batch).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched, bench_pool_overhead);
+criterion_main!(benches);

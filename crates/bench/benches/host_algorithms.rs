@@ -1,0 +1,59 @@
+//! Host wall-clock comparison of the algorithm implementations in
+//! `tridiag-core`: Thomas vs CR vs PCR vs RD vs the k-step hybrid.
+//!
+//! These are real measurements of the Rust code on the build machine —
+//! complementary to the modeled GTX480 numbers in the figure binaries.
+//! Expected ordering on one core: Thomas < CR < hybrid < PCR ≈ RD
+//! (the parallel algorithms pay their extra-work factors with nobody to
+//! amortise them — exactly why the paper pairs PCR with hardware
+//! parallelism).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tridiag_core::generators::dominant_random;
+use tridiag_core::{cr, hybrid, pcr, rd, thomas, tiled_pcr};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_algorithms");
+    for n in [512usize, 4096, 32768] {
+        let system = dominant_random::<f64>(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("thomas", n), &system, |b, s| {
+            b.iter(|| thomas::solve_typed(s).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cr", n), &system, |b, s| {
+            b.iter(|| cr::solve(s).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pcr_full", n), &system, |b, s| {
+            b.iter(|| pcr::solve(s).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rd", n), &system, |b, s| {
+            b.iter(|| rd::solve(s).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid_k5", n), &system, |b, s| {
+            let cfg = hybrid::HybridConfig {
+                policy: tridiag_core::transition::TransitionPolicy::Fixed(5),
+                sub_tile_scale: 1,
+            };
+            b.iter(|| hybrid::solve(s, cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tiled_pcr_k5", n), &system, |b, s| {
+            b.iter(|| tiled_pcr::reduce_streamed(s, 5, 32).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_precisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precision");
+    let n = 8192usize;
+    let s64 = dominant_random::<f64>(n, 7);
+    let s32 = dominant_random::<f32>(n, 7);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("thomas_f64", |b| b.iter(|| thomas::solve_typed(&s64).unwrap()));
+    group.bench_function("thomas_f32", |b| b.iter(|| thomas::solve_typed(&s32).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_precisions);
+criterion_main!(benches);

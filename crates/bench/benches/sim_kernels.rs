@@ -1,0 +1,68 @@
+//! Simulator throughput: how fast the functional GPU simulator itself
+//! executes each kernel (host wall-clock per simulated solve).
+//!
+//! This is a benchmark *of the simulator*, not of the modeled device —
+//! it documents the cost of running the figure harness and guards
+//! against regressions in the block-execution hot path (the dense
+//! coalescing/bank analyzers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tridiag_core::generators::random_batch;
+use tridiag_core::transition::TransitionPolicy;
+use tridiag_gpu::solver::{GpuSolverConfig, GpuTridiagSolver, MappingVariant};
+
+fn solver_with_k(k: u32, fused: bool) -> GpuTridiagSolver {
+    GpuTridiagSolver::new(
+        gpu_sim::DeviceSpec::gtx480(),
+        GpuSolverConfig {
+            policy: TransitionPolicy::Fixed(k),
+            fused,
+            mapping: if fused {
+                MappingVariant::BlockPerSystem
+            } else {
+                MappingVariant::Auto
+            },
+            ..Default::default()
+        },
+    )
+}
+
+fn bench_sim_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernels");
+    group.sample_size(10);
+
+    let (m, n) = (64usize, 2048usize);
+    let batch = random_batch::<f64>(m, n, 3);
+    group.throughput(Throughput::Elements((m * n) as u64));
+
+    group.bench_with_input(BenchmarkId::new("p_thomas_only_k0", m), &batch, |b, batch| {
+        let solver = solver_with_k(0, false);
+        b.iter(|| solver.solve_batch(batch).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("hybrid_split_k6", m), &batch, |b, batch| {
+        let solver = solver_with_k(6, false);
+        b.iter(|| solver.solve_batch(batch).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("hybrid_fused_k6", m), &batch, |b, batch| {
+        let solver = solver_with_k(6, true);
+        b.iter(|| solver.solve_batch(batch).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_baselines");
+    group.sample_size(10);
+    let batch = random_batch::<f64>(8, 2048, 5);
+    group.bench_function("davidson", |b| {
+        b.iter(|| tridiag_gpu::davidson::solve_batch(&gpu_sim::DeviceSpec::gtx480(), &batch).unwrap())
+    });
+    let small = random_batch::<f64>(8, 512, 5);
+    group.bench_function("zhang_in_shared", |b| {
+        b.iter(|| tridiag_gpu::zhang::solve_batch(&gpu_sim::DeviceSpec::gtx480(), &small, None).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_kernels, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Figure 13 reproduction: execution time vs system size `N` for fixed
+//! system counts `M ∈ {2048, 256, 16, 1}`, double precision.
+//!
+//! Shapes to check against the paper: for `M = 2048` the kernel runs
+//! p-Thomas only and holds ~5x over multithreaded MKL; as `M` shrinks
+//! the gap narrows because "the reduced parallelism prompts our method
+//! to increase its reliance on PCR"; even at `M = 1` with multi-million
+//! row systems ours keeps a healthy (paper: ~5.5x) lead over the
+//! (necessarily sequential) MKL curve.
+//!
+//! Run: `cargo run --release -p bench --bin fig13 [-- --fast]`
+
+use bench::series;
+use bench::table::{fmt_us, fmt_x, TextTable};
+use bench::HarnessArgs;
+
+fn sweep(m: usize, n_values: &[usize]) -> Vec<String> {
+    println!("\n== Fig. 13: M = {m} (double precision) ==");
+    let mut t = TextTable::new([
+        "N",
+        "MKL seq [us]",
+        "MKL mt [us]",
+        "Ours [us]",
+        "k",
+        "PCR share",
+        "vs best CPU",
+    ]);
+    let mut csv = Vec::new();
+    for &n in n_values {
+        let seq = series::mkl_seq_us(m, n, 8);
+        let mt = series::mkl_mt_us(m, n, 8);
+        let (ours, report) = series::ours_us::<f64>(m, n);
+        let pcr_share = if ours > 0.0 {
+            report.pcr_us() / ours * 100.0
+        } else {
+            0.0
+        };
+        let best_cpu = seq.min(mt);
+        t.row([
+            n.to_string(),
+            fmt_us(seq),
+            fmt_us(mt),
+            fmt_us(ours),
+            report.k.to_string(),
+            format!("{pcr_share:.0}%"),
+            fmt_x(best_cpu / ours),
+        ]);
+        csv.push(format!(
+            "{m},{n},{seq:.3},{mt:.3},{ours:.3},{},{pcr_share:.1}",
+            report.k
+        ));
+    }
+    print!("{}", t.render());
+    csv
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let panels: Vec<(usize, Vec<usize>)> = if args.fast {
+        vec![(256, vec![1024, 4096]), (1, vec![1 << 15])]
+    } else {
+        vec![
+            // The paper's four panels.
+            (2048, vec![256, 512, 1024, 2048, 4096, 8192]),
+            (256, vec![4096, 8192, 16384, 32768]),
+            (16, vec![16384, 32768, 65536, 131072]),
+            (1, vec![512 * 1024, 2 * 1024 * 1024, 8 * 1024 * 1024]),
+        ]
+    };
+    let mut rows = Vec::new();
+    for (m, ns) in &panels {
+        rows.extend(sweep(*m, ns));
+    }
+    args.write_csv(
+        "fig13",
+        "m,n,mkl_seq_us,mkl_mt_us,ours_us,k,pcr_share_pct",
+        &rows,
+    )
+    .expect("write csv");
+}

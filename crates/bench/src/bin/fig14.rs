@@ -1,0 +1,85 @@
+//! Figure 14 reproduction: ours vs the Davidson et al. PCR-Thomas
+//! hybrid (Section V) on the paper's four configurations
+//! `1K×1K, 2K×2K, 4K×4K, 1×2M`, in double (a) and single (b) precision.
+//!
+//! Shape to check: ours wins every configuration, by roughly 2–10x,
+//! with the largest gaps where Davidson pays many lockstep global PCR
+//! kernel relaunches (large `N`). Panel (b) also lists the times
+//! Davidson et al. reported for their own implementation (Fig. 14(b),
+//! right bars) for context.
+//!
+//! Run: `cargo run --release -p bench --bin fig14 [-- --fast]`
+
+use bench::series;
+use bench::table::{fmt_x, TextTable};
+use bench::HarnessArgs;
+use tridiag_gpu::buffers::GpuScalar;
+
+const CONFIGS: &[(&str, usize, usize)] = &[
+    ("1Kx1K", 1024, 1024),
+    ("2Kx2K", 2048, 2048),
+    ("4Kx4K", 4096, 4096),
+    ("1x2M", 1, 2 * 1024 * 1024),
+];
+
+/// Davidson et al.'s own single-precision numbers from the paper's
+/// Fig. 14(b) (ms): 1Kx1K, 2Kx2K, 4Kx4K, 1x2M.
+const DAVIDSON_REPORTED_F32_MS: [f64; 4] = [0.96, 5.52, 27.92, 50.4];
+
+fn panel<S: GpuScalar>(configs: &[(&str, usize, usize)], reported: Option<&[f64]>) -> Vec<String> {
+    println!("\n== Fig. 14 ({}) ==", S::NAME);
+    let mut header = vec![
+        "config".to_string(),
+        "Ours [ms]".to_string(),
+        "Davidson (ours impl) [ms]".to_string(),
+        "speedup".to_string(),
+    ];
+    if reported.is_some() {
+        header.push("Davidson (reported) [ms]".to_string());
+    }
+    let mut t = TextTable::new(header);
+    let mut csv = Vec::new();
+    for (i, &(name, m, n)) in configs.iter().enumerate() {
+        let (ours_us, _) = series::ours_us::<S>(m, n);
+        let dav_us = series::davidson_us::<S>(m, n);
+        let mut row = vec![
+            name.to_string(),
+            format!("{:.2}", ours_us / 1000.0),
+            format!("{:.2}", dav_us / 1000.0),
+            fmt_x(dav_us / ours_us),
+        ];
+        if let Some(rep) = reported {
+            row.push(format!("{:.2}", rep[i]));
+        }
+        t.row(row);
+        csv.push(format!(
+            "{},{name},{m},{n},{:.3},{:.3}",
+            S::NAME,
+            ours_us / 1000.0,
+            dav_us / 1000.0
+        ));
+    }
+    print!("{}", t.render());
+    csv
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let configs: Vec<(&str, usize, usize)> = if args.fast {
+        CONFIGS[..2].to_vec()
+    } else {
+        CONFIGS.to_vec()
+    };
+    let mut rows = Vec::new();
+    // (a) double precision — Davidson et al. did not report doubles.
+    rows.extend(panel::<f64>(&configs, None));
+    // (b) single precision, with their reported numbers alongside.
+    let reported = if args.fast {
+        &DAVIDSON_REPORTED_F32_MS[..2]
+    } else {
+        &DAVIDSON_REPORTED_F32_MS[..]
+    };
+    rows.extend(panel::<f32>(&configs, Some(reported)));
+    args.write_csv("fig14", "precision,config,m,n,ours_ms,davidson_ms", &rows)
+        .expect("write csv");
+}

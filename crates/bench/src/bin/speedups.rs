@@ -1,0 +1,110 @@
+//! Headline-speedup reproduction (Abstract / Section IV):
+//!
+//! - double precision: "up to **8.3x** and **49x** speedups over
+//!   multithreaded and sequential MKL … when N is 512";
+//! - single precision: "up to **12.9x** and **82.5x**".
+//!
+//! This binary sweeps the Fig. 12(a) grid (N = 512, M up to 16K) in
+//! both precisions and reports the maximum modeled speedups, expecting
+//! the same order of magnitude and the same f32 > f64 ordering.
+//!
+//! Run: `cargo run --release -p bench --bin speedups [-- --fast]`
+
+use bench::series;
+use bench::table::{fmt_x, TextTable};
+use bench::HarnessArgs;
+use tridiag_gpu::buffers::GpuScalar;
+
+struct Best {
+    vs_seq: f64,
+    vs_seq_at: usize,
+    vs_mt: f64,
+    vs_mt_at: usize,
+}
+
+fn sweep<S: GpuScalar>(n: usize, m_max: usize) -> Best {
+    let bytes = <S as gpu_sim::Elem>::BYTES;
+    let mut best = Best {
+        vs_seq: 0.0,
+        vs_seq_at: 0,
+        vs_mt: 0.0,
+        vs_mt_at: 0,
+    };
+    let mut m = 64usize;
+    while m <= m_max {
+        let (ours, _) = series::ours_us::<S>(m, n);
+        let seq = series::mkl_seq_us(m, n, bytes) / ours;
+        let mt = series::mkl_mt_us(m, n, bytes) / ours;
+        if seq > best.vs_seq {
+            best.vs_seq = seq;
+            best.vs_seq_at = m;
+        }
+        if mt > best.vs_mt {
+            best.vs_mt = mt;
+            best.vs_mt_at = m;
+        }
+        m *= 2;
+    }
+    best
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let (n, m_max) = if args.fast { (512, 2048) } else { (512, 16384) };
+
+    println!("== Headline speedups over MKL (N = {n}, M <= {m_max}) ==");
+    let mut t = TextTable::new([
+        "precision",
+        "vs MKL seq (paper)",
+        "measured",
+        "at M",
+        "vs MKL mt (paper)",
+        "measured",
+        "at M ",
+    ]);
+    let mut csv = Vec::new();
+
+    let b64 = sweep::<f64>(n, m_max);
+    t.row([
+        "f64".into(),
+        "49x".to_string(),
+        fmt_x(b64.vs_seq),
+        b64.vs_seq_at.to_string(),
+        "8.3x".to_string(),
+        fmt_x(b64.vs_mt),
+        b64.vs_mt_at.to_string(),
+    ]);
+    csv.push(format!(
+        "f64,{:.2},{},{:.2},{}",
+        b64.vs_seq, b64.vs_seq_at, b64.vs_mt, b64.vs_mt_at
+    ));
+
+    let b32 = sweep::<f32>(n, m_max);
+    t.row([
+        "f32".into(),
+        "82.5x".to_string(),
+        fmt_x(b32.vs_seq),
+        b32.vs_seq_at.to_string(),
+        "12.9x".to_string(),
+        fmt_x(b32.vs_mt),
+        b32.vs_mt_at.to_string(),
+    ]);
+    csv.push(format!(
+        "f32,{:.2},{},{:.2},{}",
+        b32.vs_seq, b32.vs_seq_at, b32.vs_mt, b32.vs_mt_at
+    ));
+    print!("{}", t.render());
+
+    // Shape assertions: GPU wins big, f32 beats f64, speedups land in
+    // the paper's order of magnitude.
+    assert!(b64.vs_seq > 10.0, "f64 vs seq: {:.1}", b64.vs_seq);
+    assert!(b64.vs_mt > 2.0, "f64 vs mt: {:.1}", b64.vs_mt);
+    assert!(
+        b32.vs_seq > b64.vs_seq,
+        "single precision must widen the gap"
+    );
+    println!("\nshape checks passed: GPU wins at scale, f32 > f64 ✓");
+
+    args.write_csv("speedups", "precision,vs_seq,at_m_seq,vs_mt,at_m_mt", &csv)
+        .expect("write csv");
+}

@@ -1,0 +1,59 @@
+//! Reproduction harness utilities shared by the per-figure binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper: it sweeps the paper's parameter grid, runs the modeled
+//! GPU solver / baselines / CPU model, verifies every solution's
+//! residual, prints an aligned text table and writes a CSV under
+//! `results/`.
+
+pub mod plot;
+pub mod series;
+pub mod table;
+
+/// Parse the common CLI flags of the figure binaries: `--fast` shrinks
+/// the sweep for smoke testing; `--out DIR` overrides the CSV directory.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Reduced problem sizes for CI/smoke runs.
+    pub fast: bool,
+    /// Output directory for CSV files.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut fast = false;
+        let mut out_dir = std::path::PathBuf::from("results");
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--fast" => fast = true,
+                "--out" => {
+                    if let Some(d) = args.next() {
+                        out_dir = d.into();
+                    }
+                }
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+        }
+        Self { fast, out_dir }
+    }
+
+    /// Write `rows` as CSV to `<out_dir>/<name>.csv` (creating the
+    /// directory), echoing the path.
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.out_dir)?;
+        let path = self.out_dir.join(format!("{name}.csv"));
+        let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+        body.push_str(header);
+        body.push('\n');
+        for r in rows {
+            body.push_str(r);
+            body.push('\n');
+        }
+        std::fs::write(&path, body)?;
+        println!("\n[csv] {}", path.display());
+        Ok(())
+    }
+}

@@ -1,0 +1,135 @@
+//! Instrumentation counters collected during functional execution.
+
+/// Per-block execution counters, filled in by [`crate::exec::BlockCtx`]
+/// as the kernel runs and consumed by the timing model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Arithmetic operations (FLOPs) performed by the block.
+    pub flops: u64,
+    /// Global-memory load transactions (128-byte segments touched).
+    pub global_load_transactions: u64,
+    /// Global-memory store transactions.
+    pub global_store_transactions: u64,
+    /// Useful bytes loaded from global memory (requested, not segment-
+    /// padded — the ratio to transactions × segment measures coalescing
+    /// efficiency).
+    pub global_load_bytes: u64,
+    /// Useful bytes stored to global memory.
+    pub global_store_bytes: u64,
+    /// Warp-wide global access *instructions* issued (dependent rounds
+    /// for the latency model).
+    pub global_access_rounds: u64,
+    /// Shared-memory accesses (warp-wide instructions).
+    pub shared_accesses: u64,
+    /// Extra shared-memory cycles from bank conflicts (replays).
+    pub bank_conflict_replays: u64,
+    /// `__syncthreads()` barriers executed.
+    pub barriers: u64,
+    /// Peak shared memory the block allocated, in bytes.
+    pub shared_bytes_peak: u64,
+}
+
+impl BlockStats {
+    /// Elementwise sum (for aggregating a kernel's blocks); peak fields
+    /// take the max.
+    pub fn merge(&mut self, o: &BlockStats) {
+        self.flops += o.flops;
+        self.global_load_transactions += o.global_load_transactions;
+        self.global_store_transactions += o.global_store_transactions;
+        self.global_load_bytes += o.global_load_bytes;
+        self.global_store_bytes += o.global_store_bytes;
+        self.global_access_rounds += o.global_access_rounds;
+        self.shared_accesses += o.shared_accesses;
+        self.bank_conflict_replays += o.bank_conflict_replays;
+        self.barriers += o.barriers;
+        self.shared_bytes_peak = self.shared_bytes_peak.max(o.shared_bytes_peak);
+    }
+
+    /// Total global transactions (loads + stores).
+    pub fn global_transactions(&self) -> u64 {
+        self.global_load_transactions + self.global_store_transactions
+    }
+
+    /// Total useful global traffic in bytes.
+    pub fn global_bytes(&self) -> u64 {
+        self.global_load_bytes + self.global_store_bytes
+    }
+
+    /// Fraction of transferred segment bytes that were actually
+    /// requested: 1.0 = perfectly coalesced, → 1/warp_size for fully
+    /// strided access.
+    pub fn coalescing_efficiency(&self, segment_bytes: u64) -> f64 {
+        let moved = self.global_transactions() * segment_bytes;
+        if moved == 0 {
+            1.0
+        } else {
+            (self.global_bytes() as f64 / moved as f64).min(1.0)
+        }
+    }
+}
+
+/// Whole-kernel statistics: aggregate counters plus per-block summaries
+/// the wave scheduler needs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    /// Sum over all blocks.
+    pub total: BlockStats,
+    /// Per-block dependent-round counts (index = block id).
+    pub rounds_per_block: Vec<u64>,
+    /// Per-block flop counts.
+    pub flops_per_block: Vec<u64>,
+    /// Per-block global bytes.
+    pub bytes_per_block: Vec<u64>,
+    /// Blocks launched.
+    pub blocks: usize,
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = BlockStats {
+            flops: 10,
+            global_load_transactions: 2,
+            global_store_transactions: 1,
+            global_load_bytes: 100,
+            global_store_bytes: 50,
+            global_access_rounds: 3,
+            shared_accesses: 4,
+            bank_conflict_replays: 1,
+            barriers: 2,
+            shared_bytes_peak: 1024,
+        };
+        let b = BlockStats {
+            flops: 5,
+            shared_bytes_peak: 2048,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.flops, 15);
+        assert_eq!(a.shared_bytes_peak, 2048);
+        assert_eq!(a.global_transactions(), 3);
+        assert_eq!(a.global_bytes(), 150);
+    }
+
+    #[test]
+    fn coalescing_efficiency_bounds() {
+        let s = BlockStats {
+            global_load_transactions: 1,
+            global_load_bytes: 128,
+            ..Default::default()
+        };
+        assert_eq!(s.coalescing_efficiency(128), 1.0);
+        let bad = BlockStats {
+            global_load_transactions: 32,
+            global_load_bytes: 128,
+            ..Default::default()
+        };
+        assert!((bad.coalescing_efficiency(128) - 128.0 / 4096.0).abs() < 1e-12);
+        assert_eq!(BlockStats::default().coalescing_efficiency(128), 1.0);
+    }
+}

@@ -1,0 +1,608 @@
+//! The block-synchronous kernel execution engine.
+//!
+//! Kernels are written in explicit SIMT style: a [`BlockKernel`]
+//! describes what *one thread block* does, and every memory operation is
+//! block-wide — a slice of per-thread indices (one per active thread,
+//! chunked into warps internally). This keeps the functional semantics
+//! exact, makes coalescing/bank-conflict analysis cheap and precise, and
+//! matches how the paper's kernels are actually structured (lockstep
+//! phases separated by `__syncthreads()`).
+//!
+//! Blocks execute sequentially on the host, which is one of the valid
+//! CUDA interleavings: CUDA guarantees nothing about cross-block
+//! ordering within a launch, and no kernel in this workspace
+//! communicates across blocks. Determinism is total — every run of a
+//! kernel produces identical results *and* identical counters.
+
+use crate::counters::{BlockStats, KernelStats};
+use crate::error::{Result, SimError};
+use crate::memory::{shared_conflict_cycles_dense, warp_transactions_dense};
+use crate::occupancy::{occupancy, Occupancy};
+use crate::spec::DeviceSpec;
+use std::fmt::Debug;
+
+/// Element types storable in simulated GPU memory.
+pub trait Elem: Copy + Default + Debug + PartialEq + Send + Sync + 'static {
+    /// Size in bytes, used for traffic accounting.
+    const BYTES: usize;
+}
+
+impl Elem for f32 {
+    const BYTES: usize = 4;
+}
+impl Elem for f64 {
+    const BYTES: usize = 8;
+}
+impl Elem for u32 {
+    const BYTES: usize = 4;
+}
+
+/// Handle to a global-memory buffer in a [`GpuMemory`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufId(usize);
+
+/// Simulated device global memory: an arena of typed buffers.
+#[derive(Debug, Default)]
+pub struct GpuMemory<S: Elem> {
+    buffers: Vec<Vec<S>>,
+}
+
+impl<S: Elem> GpuMemory<S> {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self { buffers: Vec::new() }
+    }
+
+    /// Allocate a zero-initialised buffer of `len` elements.
+    pub fn alloc(&mut self, len: usize) -> BufId {
+        self.buffers.push(vec![S::default(); len]);
+        BufId(self.buffers.len() - 1)
+    }
+
+    /// Upload host data ("cudaMemcpy host→device").
+    pub fn alloc_from(&mut self, data: Vec<S>) -> BufId {
+        self.buffers.push(data);
+        BufId(self.buffers.len() - 1)
+    }
+
+    /// Read back a buffer ("cudaMemcpy device→host").
+    pub fn read(&self, id: BufId) -> Result<&[S]> {
+        self.buffers
+            .get(id.0)
+            .map(|v| v.as_slice())
+            .ok_or(SimError::BadBuffer { buffer: id.0 })
+    }
+
+    /// Length of a buffer.
+    pub fn len(&self, id: BufId) -> Result<usize> {
+        Ok(self.read(id)?.len())
+    }
+
+    /// `true` if the arena holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// Host-side mutable access (outside kernels; e.g. to refresh an RHS
+    /// between solves without re-alloc).
+    pub fn write(&mut self, id: BufId, data: &[S]) -> Result<()> {
+        let buf = self
+            .buffers
+            .get_mut(id.0)
+            .ok_or(SimError::BadBuffer { buffer: id.0 })?;
+        if buf.len() != data.len() {
+            return Err(SimError::LaneMismatch {
+                indices: buf.len(),
+                values: data.len(),
+            });
+        }
+        buf.copy_from_slice(data);
+        Ok(())
+    }
+}
+
+/// Launch configuration (the `<<<grid, block>>>` pair plus a register
+/// estimate for the occupancy model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Kernel name for reports.
+    pub name: &'static str,
+    /// Number of thread blocks.
+    pub grid_blocks: usize,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Registers per thread (occupancy input; nvcc would report this).
+    pub regs_per_thread: u32,
+}
+
+impl LaunchConfig {
+    /// Convenience constructor.
+    pub fn new(name: &'static str, grid_blocks: usize, threads_per_block: u32) -> Self {
+        Self {
+            name,
+            grid_blocks,
+            threads_per_block,
+            regs_per_thread: 32,
+        }
+    }
+
+    /// Override the register estimate.
+    pub fn with_regs(mut self, regs: u32) -> Self {
+        self.regs_per_thread = regs;
+        self
+    }
+}
+
+/// What one thread block may do: the body of the simulated kernel.
+pub trait BlockKernel<S: Elem> {
+    /// Execute one block. All global/shared accesses go through `ctx`.
+    fn run_block(&self, ctx: &mut BlockCtx<'_, S>) -> Result<()>;
+}
+
+/// Per-block execution context handed to [`BlockKernel::run_block`].
+pub struct BlockCtx<'a, S: Elem> {
+    /// This block's index in the grid.
+    pub block_id: usize,
+    /// Total blocks in the grid.
+    pub grid_blocks: usize,
+    /// Threads in this block.
+    pub threads: usize,
+    mem: &'a mut GpuMemory<S>,
+    shared: Vec<S>,
+    warp_size: usize,
+    transaction_bytes: usize,
+    banks: u32,
+    max_shared_bytes: usize,
+    stats: BlockStats,
+}
+
+impl<'a, S: Elem> BlockCtx<'a, S> {
+    /// Block-wide global load: `idx[t]` is the element index thread `t`
+    /// reads. `idx.len()` may be any count up to the block size (tail
+    /// threads simply idle). Counts one dependent access round, and one
+    /// transaction per distinct 128-byte segment per warp.
+    pub fn ld(&mut self, buf: BufId, idx: &[usize], out: &mut Vec<S>) -> Result<()> {
+        self.account_global(buf, idx, true)?;
+        let data = self.mem.read(buf)?;
+        out.clear();
+        out.reserve(idx.len());
+        for &i in idx {
+            out.push(data[i]);
+        }
+        Ok(())
+    }
+
+    /// Block-wide global store: thread `t` writes `vals[t]` to
+    /// `idx[t]`. Duplicate indices within one store are a data race in
+    /// real CUDA; here the last lane deterministically wins.
+    pub fn st(&mut self, buf: BufId, idx: &[usize], vals: &[S]) -> Result<()> {
+        if idx.len() != vals.len() {
+            return Err(SimError::LaneMismatch {
+                indices: idx.len(),
+                values: vals.len(),
+            });
+        }
+        self.account_global(buf, idx, false)?;
+        let data = self
+            .mem
+            .buffers
+            .get_mut(buf.0)
+            .ok_or(SimError::BadBuffer { buffer: buf.0 })?;
+        for (&i, &v) in idx.iter().zip(vals) {
+            data[i] = v;
+        }
+        Ok(())
+    }
+
+    fn account_global(&mut self, buf: BufId, idx: &[usize], is_load: bool) -> Result<()> {
+        let len = self.mem.len(buf)?;
+        if let Some(&bad) = idx.iter().find(|&&i| i >= len) {
+            return Err(SimError::GlobalOutOfBounds {
+                buffer: buf.0,
+                index: bad,
+                len,
+            });
+        }
+        if idx.len() > self.threads {
+            return Err(SimError::InvalidLaunch(format!(
+                "{} lanes exceed block size {}",
+                idx.len(),
+                self.threads
+            )));
+        }
+        let mut transactions = 0u64;
+        for warp in idx.chunks(self.warp_size) {
+            transactions += warp_transactions_dense(warp, S::BYTES, self.transaction_bytes);
+        }
+        let bytes = idx.len() as u64 * S::BYTES as u64;
+        if is_load {
+            self.stats.global_load_transactions += transactions;
+            self.stats.global_load_bytes += bytes;
+        } else {
+            self.stats.global_store_transactions += transactions;
+            self.stats.global_store_bytes += bytes;
+        }
+        self.stats.global_access_rounds += 1;
+        Ok(())
+    }
+
+    /// Allocate `len` elements of shared memory; returns the base offset
+    /// within the block's shared array. Mirrors `extern __shared__`
+    /// carving.
+    pub fn shared_alloc(&mut self, len: usize) -> Result<usize> {
+        let base = self.shared.len();
+        let new_bytes = (base + len) * S::BYTES;
+        if new_bytes > self.max_shared_bytes {
+            return Err(SimError::SharedOverflow {
+                requested: new_bytes,
+                capacity: self.max_shared_bytes,
+            });
+        }
+        self.shared.resize(base + len, S::default());
+        self.stats.shared_bytes_peak = self.stats.shared_bytes_peak.max(new_bytes as u64);
+        Ok(base)
+    }
+
+    /// Block-wide shared load with bank-conflict accounting.
+    pub fn sh_ld(&mut self, idx: &[usize], out: &mut Vec<S>) -> Result<()> {
+        self.account_shared(idx)?;
+        out.clear();
+        out.reserve(idx.len());
+        for &i in idx {
+            out.push(self.shared[i]);
+        }
+        Ok(())
+    }
+
+    /// Block-wide shared store with bank-conflict accounting.
+    pub fn sh_st(&mut self, idx: &[usize], vals: &[S]) -> Result<()> {
+        if idx.len() != vals.len() {
+            return Err(SimError::LaneMismatch {
+                indices: idx.len(),
+                values: vals.len(),
+            });
+        }
+        self.account_shared(idx)?;
+        for (&i, &v) in idx.iter().zip(vals) {
+            self.shared[i] = v;
+        }
+        Ok(())
+    }
+
+    /// Direct (host-speed) view of shared memory for *functional* reads
+    /// within already-accounted phases — e.g. the per-thread serial part
+    /// of a fused kernel whose traffic was accounted at the vector ops.
+    pub fn shared_slice(&self) -> &[S] {
+        &self.shared
+    }
+
+    fn account_shared(&mut self, idx: &[usize]) -> Result<()> {
+        if let Some(&bad) = idx.iter().find(|&&i| i >= self.shared.len()) {
+            return Err(SimError::SharedOutOfBounds {
+                index: bad,
+                len: self.shared.len(),
+            });
+        }
+        let mut replays = 0u64;
+        for warp in idx.chunks(self.warp_size) {
+            replays += shared_conflict_cycles_dense(warp, S::BYTES, self.banks) - 1;
+        }
+        self.stats.shared_accesses += 1;
+        self.stats.bank_conflict_replays += replays;
+        Ok(())
+    }
+
+    /// `__syncthreads()`.
+    pub fn sync(&mut self) {
+        self.stats.barriers += 1;
+    }
+
+    /// Account `n` floating-point operations (block-wide total).
+    pub fn flops(&mut self, n: u64) {
+        self.stats.flops += n;
+    }
+
+    /// Counters accumulated so far (final values are returned by
+    /// [`launch`]).
+    pub fn stats(&self) -> &BlockStats {
+        &self.stats
+    }
+}
+
+/// Result of a kernel launch: functional effects live in the
+/// [`GpuMemory`], performance effects here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchResult {
+    /// Kernel name (from the config).
+    pub name: &'static str,
+    /// Aggregated counters.
+    pub stats: KernelStats,
+    /// Residency achieved (from the worst block's shared footprint).
+    pub occupancy: Occupancy,
+    /// Shared memory per block in bytes (max over blocks).
+    pub shared_bytes_per_block: usize,
+    /// Echo of the launch configuration.
+    pub config: LaunchConfig,
+}
+
+/// Launch `kernel` over `cfg.grid_blocks` blocks against `mem`.
+///
+/// Functionally exact: after this returns, `mem` holds precisely what a
+/// real device would. Counters are exact per the access-level model.
+pub fn launch<S: Elem, K: BlockKernel<S>>(
+    spec: &DeviceSpec,
+    cfg: &LaunchConfig,
+    kernel: &K,
+    mem: &mut GpuMemory<S>,
+) -> Result<LaunchResult> {
+    if cfg.grid_blocks == 0 {
+        return Err(SimError::InvalidLaunch("empty grid".into()));
+    }
+    if cfg.threads_per_block == 0 || cfg.threads_per_block > spec.max_threads_per_block {
+        return Err(SimError::InvalidLaunch(format!(
+            "{} threads/block unsupported (max {})",
+            cfg.threads_per_block, spec.max_threads_per_block
+        )));
+    }
+
+    let mut stats = KernelStats {
+        blocks: cfg.grid_blocks,
+        threads_per_block: cfg.threads_per_block,
+        rounds_per_block: Vec::with_capacity(cfg.grid_blocks),
+        flops_per_block: Vec::with_capacity(cfg.grid_blocks),
+        bytes_per_block: Vec::with_capacity(cfg.grid_blocks),
+        ..Default::default()
+    };
+    let mut shared_peak = 0usize;
+
+    for block_id in 0..cfg.grid_blocks {
+        let mut ctx = BlockCtx {
+            block_id,
+            grid_blocks: cfg.grid_blocks,
+            threads: cfg.threads_per_block as usize,
+            mem,
+            shared: Vec::new(),
+            warp_size: spec.warp_size as usize,
+            transaction_bytes: spec.transaction_bytes,
+            banks: spec.shared_banks,
+            max_shared_bytes: spec.max_shared_per_block,
+            stats: BlockStats::default(),
+        };
+        kernel.run_block(&mut ctx)?;
+        let b = ctx.stats;
+        shared_peak = shared_peak.max(b.shared_bytes_peak as usize);
+        stats.rounds_per_block.push(b.global_access_rounds);
+        stats.flops_per_block.push(b.flops);
+        stats.bytes_per_block.push(b.global_bytes());
+        stats.total.merge(&b);
+    }
+
+    let occ = occupancy(spec, cfg.threads_per_block, shared_peak, cfg.regs_per_thread)?;
+    Ok(LaunchResult {
+        name: cfg.name,
+        stats,
+        occupancy: occ,
+        shared_bytes_per_block: shared_peak,
+        config: cfg.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Kernel: out[i] = in[i] * 2 over one block-sized chunk per block.
+    struct DoubleKernel {
+        input: BufId,
+        output: BufId,
+        n: usize,
+    }
+
+    impl BlockKernel<f64> for DoubleKernel {
+        fn run_block(&self, ctx: &mut BlockCtx<'_, f64>) -> Result<()> {
+            let base = ctx.block_id * ctx.threads;
+            let count = ctx.threads.min(self.n.saturating_sub(base));
+            if count == 0 {
+                return Ok(());
+            }
+            let idx: Vec<usize> = (base..base + count).collect();
+            let mut vals = Vec::new();
+            ctx.ld(self.input, &idx, &mut vals)?;
+            for v in &mut vals {
+                *v *= 2.0;
+            }
+            ctx.flops(count as u64);
+            ctx.st(self.output, &idx, &vals)?;
+            Ok(())
+        }
+    }
+
+    fn gtx480() -> DeviceSpec {
+        DeviceSpec::gtx480()
+    }
+
+    #[test]
+    fn functional_result_exact() {
+        let mut mem = GpuMemory::new();
+        let n = 1000;
+        let input = mem.alloc_from((0..n).map(|i| i as f64).collect());
+        let output = mem.alloc(n);
+        let cfg = LaunchConfig::new("double", n.div_ceil(256), 256);
+        let k = DoubleKernel { input, output, n };
+        let res = launch(&gtx480(), &cfg, &k, &mut mem).unwrap();
+        let out = mem.read(output).unwrap();
+        for i in 0..n {
+            assert_eq!(out[i], 2.0 * i as f64);
+        }
+        assert_eq!(res.stats.blocks, 4);
+        assert_eq!(res.stats.total.flops, n as u64);
+    }
+
+    #[test]
+    fn coalesced_traffic_counts() {
+        let mut mem = GpuMemory::new();
+        let n = 256;
+        let input = mem.alloc_from(vec![1.0f64; n]);
+        let output = mem.alloc(n);
+        let cfg = LaunchConfig::new("double", 1, 256);
+        let k = DoubleKernel { input, output, n };
+        let res = launch(&gtx480(), &cfg, &k, &mut mem).unwrap();
+        // 256 aligned f64 lanes = 8 warps × 2 segments, for ld and st.
+        assert_eq!(res.stats.total.global_load_transactions, 16);
+        assert_eq!(res.stats.total.global_store_transactions, 16);
+        assert_eq!(res.stats.total.global_load_bytes, 2048);
+        assert_eq!(res.stats.total.global_access_rounds, 2);
+        assert!((res.stats.total.coalescing_efficiency(128) - 1.0).abs() < 1e-12);
+    }
+
+    /// Kernel demonstrating strided (uncoalesced) access.
+    struct StridedKernel {
+        input: BufId,
+        stride: usize,
+    }
+    impl BlockKernel<f64> for StridedKernel {
+        fn run_block(&self, ctx: &mut BlockCtx<'_, f64>) -> Result<()> {
+            let idx: Vec<usize> = (0..ctx.threads).map(|t| t * self.stride).collect();
+            let mut vals = Vec::new();
+            ctx.ld(self.input, &idx, &mut vals)?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn strided_access_blows_up_transactions() {
+        let mut mem = GpuMemory::new();
+        let input = mem.alloc(32 * 64);
+        let cfg = LaunchConfig::new("strided", 1, 32);
+        let res = launch(
+            &gtx480(),
+            &cfg,
+            &StridedKernel { input, stride: 64 },
+            &mut mem,
+        )
+        .unwrap();
+        assert_eq!(res.stats.total.global_load_transactions, 32);
+        assert!(res.stats.total.coalescing_efficiency(128) < 0.07);
+    }
+
+    /// Kernel exercising shared memory and barriers.
+    struct SharedReverse {
+        buf: BufId,
+    }
+    impl BlockKernel<f64> for SharedReverse {
+        fn run_block(&self, ctx: &mut BlockCtx<'_, f64>) -> Result<()> {
+            let t = ctx.threads;
+            let sh = ctx.shared_alloc(t)?;
+            let idx: Vec<usize> = (0..t).collect();
+            let mut vals = Vec::new();
+            ctx.ld(self.buf, &idx, &mut vals)?;
+            let sh_idx: Vec<usize> = idx.iter().map(|i| sh + i).collect();
+            ctx.sh_st(&sh_idx, &vals)?;
+            ctx.sync();
+            let rev: Vec<usize> = (0..t).map(|i| sh + t - 1 - i).collect();
+            ctx.sh_ld(&rev, &mut vals)?;
+            ctx.st(self.buf, &idx, &vals)?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn shared_memory_and_barriers() {
+        let mut mem = GpuMemory::new();
+        let buf = mem.alloc_from((0..64).map(|i| i as f64).collect());
+        let cfg = LaunchConfig::new("rev", 1, 64);
+        let res = launch(&gtx480(), &cfg, &SharedReverse { buf }, &mut mem).unwrap();
+        let out = mem.read(buf).unwrap();
+        for i in 0..64 {
+            assert_eq!(out[i], (63 - i) as f64);
+        }
+        assert_eq!(res.stats.total.barriers, 1);
+        assert_eq!(res.stats.total.shared_accesses, 2);
+        assert_eq!(res.shared_bytes_per_block, 64 * 8);
+        // f64 stride-1: 2-way conflicts on both store and reversed load.
+        assert!(res.stats.total.bank_conflict_replays > 0);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut mem = GpuMemory::new();
+        let input = mem.alloc(8);
+        let cfg = LaunchConfig::new("oob", 1, 32);
+        let err = launch(
+            &gtx480(),
+            &cfg,
+            &StridedKernel { input, stride: 2 },
+            &mut mem,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::GlobalOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn shared_overflow_detected() {
+        struct Hog;
+        impl BlockKernel<f64> for Hog {
+            fn run_block(&self, ctx: &mut BlockCtx<'_, f64>) -> Result<()> {
+                ctx.shared_alloc(7000)?; // 56 KB > 48 KB
+                Ok(())
+            }
+        }
+        let mut mem = GpuMemory::<f64>::new();
+        let cfg = LaunchConfig::new("hog", 1, 32);
+        assert!(matches!(
+            launch(&gtx480(), &cfg, &Hog, &mut mem).unwrap_err(),
+            SimError::SharedOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn launch_validation() {
+        let mut mem = GpuMemory::<f64>::new();
+        let input = mem.alloc(32);
+        let k = StridedKernel { input, stride: 1 };
+        assert!(launch(&gtx480(), &LaunchConfig::new("x", 0, 32), &k, &mut mem).is_err());
+        assert!(launch(&gtx480(), &LaunchConfig::new("x", 1, 0), &k, &mut mem).is_err());
+        assert!(launch(&gtx480(), &LaunchConfig::new("x", 1, 2048), &k, &mut mem).is_err());
+    }
+
+    #[test]
+    fn memory_arena_host_ops() {
+        let mut mem = GpuMemory::<f32>::new();
+        assert!(mem.is_empty());
+        let a = mem.alloc(4);
+        assert_eq!(mem.len(a).unwrap(), 4);
+        mem.write(a, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(mem.read(a).unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(mem.write(a, &[1.0]).is_err());
+        assert!(mem.read(BufId(9)).is_err());
+    }
+}
+
+#[cfg(test)]
+mod shared_slice_tests {
+    use super::*;
+
+    /// `shared_slice` exposes the functional content for serial phases
+    /// whose traffic was already accounted by the vector ops.
+    struct PeekKernel {
+        buf: BufId,
+    }
+    impl BlockKernel<f64> for PeekKernel {
+        fn run_block(&self, ctx: &mut BlockCtx<'_, f64>) -> Result<()> {
+            let base = ctx.shared_alloc(4)?;
+            ctx.sh_st(&[base, base + 1, base + 2, base + 3], &[1.0, 2.0, 3.0, 4.0])?;
+            let sum: f64 = ctx.shared_slice()[base..base + 4].iter().sum();
+            ctx.st(self.buf, &[0], &[sum])?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn shared_slice_reads_functional_state() {
+        let mut mem = GpuMemory::new();
+        let buf = mem.alloc(1);
+        let cfg = LaunchConfig::new("peek", 1, 32);
+        launch(&DeviceSpec::gtx480(), &cfg, &PeekKernel { buf }, &mut mem).unwrap();
+        assert_eq!(mem.read(buf).unwrap()[0], 10.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Global-memory access analysis: coalescing.
+//!
+//! Fermi-class GPUs service a warp's global access as one transaction
+//! per distinct 128-byte segment the warp's lanes touch. Adjacent lanes
+//! touching adjacent elements therefore cost `warp_size × elem /128`
+//! transactions (fully coalesced), while lanes striding by a large pitch
+//! cost one transaction *each* — the difference between the paper's
+//! interleaved and contiguous p-Thomas layouts (Section III-B).
+
+/// Count the transactions a single warp-wide access costs: the number
+/// of distinct `segment_bytes`-aligned segments covered by the given
+/// element indices (`elem_bytes` each). `None` lanes are inactive
+/// (predicated off) and cost nothing.
+pub fn warp_transactions(
+    lane_elem_indices: &[Option<usize>],
+    elem_bytes: usize,
+    segment_bytes: usize,
+) -> u64 {
+    debug_assert!(segment_bytes.is_power_of_two());
+    debug_assert!(
+        lane_elem_indices.len() <= 64,
+        "a warp access has at most warp_size (<= 64) lanes"
+    );
+    // Warps touch a handful of segments; a tiny sorted set beats hashing.
+    let mut segments: [u64; 64] = [u64::MAX; 64];
+    let mut count = 0usize;
+    for idx in lane_elem_indices.iter().flatten() {
+        let seg = (idx * elem_bytes / segment_bytes) as u64;
+        if !segments[..count].contains(&seg) {
+            if count < segments.len() {
+                segments[count] = seg;
+            }
+            count += 1;
+        }
+    }
+    count as u64
+}
+
+/// Useful bytes a warp-wide access moves (active lanes × element size).
+pub fn warp_useful_bytes(lane_elem_indices: &[Option<usize>], elem_bytes: usize) -> u64 {
+    lane_elem_indices.iter().flatten().count() as u64 * elem_bytes as u64
+}
+
+/// Shared-memory bank-conflict analysis: returns the number of
+/// *processing cycles* the access takes (1 = conflict-free; `d` = d-way
+/// conflict serialised into `d` replays). Lanes reading the **same**
+/// address broadcast and do not conflict.
+pub fn shared_conflict_cycles(
+    lane_elem_indices: &[Option<usize>],
+    elem_bytes: usize,
+    banks: u32,
+) -> u64 {
+    debug_assert!(banks.is_power_of_two());
+    debug_assert!(
+        lane_elem_indices.len() <= 64,
+        "a warp access has at most warp_size (<= 64) lanes"
+    );
+    // bank of an element = (byte_addr / 4) % banks; a conflict is two
+    // lanes on the same bank with *different* words. A warp has at most
+    // 64 lanes, so fixed-size scratch + linear scans beat any hashing
+    // (this function runs once per warp access — the simulator's
+    // hottest path).
+    let mut seen_words: [u64; 64] = [0; 64];
+    let mut seen_count = 0usize;
+    let mut per_bank: [u8; 64] = [0; 64];
+    let mask = (banks - 1) as u64;
+    for idx in lane_elem_indices.iter().flatten() {
+        let word = (idx * elem_bytes / 4) as u64;
+        if !seen_words[..seen_count].contains(&word) {
+            seen_words[seen_count] = word;
+            seen_count += 1;
+            per_bank[(word & mask) as usize] += 1;
+        }
+    }
+    per_bank.iter().map(|&c| c as u64).max().unwrap_or(0).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes(v: impl IntoIterator<Item = usize>) -> Vec<Option<usize>> {
+        v.into_iter().map(Some).collect()
+    }
+
+    #[test]
+    fn contiguous_f32_warp_is_one_transaction() {
+        // 32 lanes × 4 B = 128 B = one segment (when aligned).
+        let idx = lanes(0..32);
+        assert_eq!(warp_transactions(&idx, 4, 128), 1);
+    }
+
+    #[test]
+    fn contiguous_f64_warp_is_two_transactions() {
+        let idx = lanes(0..32);
+        assert_eq!(warp_transactions(&idx, 8, 128), 2);
+    }
+
+    #[test]
+    fn misaligned_contiguous_costs_one_extra() {
+        let idx = lanes(1..33); // crosses a segment boundary
+        assert_eq!(warp_transactions(&idx, 4, 128), 2);
+    }
+
+    #[test]
+    fn large_stride_is_fully_serialised() {
+        // Stride 512 elements (2 KiB in f32): one segment per lane.
+        let idx = lanes((0..32).map(|l| l * 512));
+        assert_eq!(warp_transactions(&idx, 4, 128), 32);
+        assert_eq!(warp_transactions(&idx, 8, 128), 32);
+    }
+
+    #[test]
+    fn permutation_within_segment_still_one_transaction() {
+        // Coalescing is address-set based, not order based.
+        let mut v: Vec<usize> = (0..32).collect();
+        v.reverse();
+        assert_eq!(warp_transactions(&lanes(v), 4, 128), 1);
+    }
+
+    #[test]
+    fn inactive_lanes_cost_nothing() {
+        let mut idx = lanes(0..32);
+        for lane in idx.iter_mut().skip(1) {
+            *lane = None;
+        }
+        assert_eq!(warp_transactions(&idx, 4, 128), 1);
+        assert_eq!(warp_useful_bytes(&idx, 4), 4);
+        let none: Vec<Option<usize>> = vec![None; 32];
+        assert_eq!(warp_transactions(&none, 4, 128), 0);
+    }
+
+    #[test]
+    fn useful_bytes_counts_active_lanes() {
+        assert_eq!(warp_useful_bytes(&lanes(0..32), 8), 256);
+    }
+
+    #[test]
+    fn shared_conflict_free_contiguous() {
+        assert_eq!(shared_conflict_cycles(&lanes(0..32), 4, 32), 1);
+    }
+
+    #[test]
+    fn shared_stride_two_f32_is_two_way() {
+        let idx = lanes((0..32).map(|l| l * 2));
+        assert_eq!(shared_conflict_cycles(&idx, 4, 32), 2);
+    }
+
+    #[test]
+    fn shared_stride_32_is_fully_serialised() {
+        let idx = lanes((0..32).map(|l| l * 32));
+        assert_eq!(shared_conflict_cycles(&idx, 4, 32), 32);
+    }
+
+    #[test]
+    fn shared_broadcast_is_free() {
+        let idx = lanes(std::iter::repeat(7).take(32));
+        assert_eq!(shared_conflict_cycles(&idx, 4, 32), 1);
+    }
+
+    #[test]
+    fn shared_f64_stride_one_two_way_on_32_banks() {
+        // 8-byte elements at stride 1: words 0,1 | 2,3 | ... lanes 0 and
+        // 16 share bank 0 with different words → 2-way.
+        let idx = lanes(0..32);
+        assert_eq!(shared_conflict_cycles(&idx, 8, 32), 2);
+    }
+
+    #[test]
+    fn empty_access_costs_one_cycle_floor() {
+        let none: Vec<Option<usize>> = vec![None; 32];
+        assert_eq!(shared_conflict_cycles(&none, 4, 32), 1);
+    }
+}
+
+/// [`warp_transactions`] for a fully-active warp (no predication) —
+/// avoids the `Option` wrapping on the simulator's hottest path.
+pub fn warp_transactions_dense(lane_elem_indices: &[usize], elem_bytes: usize, segment_bytes: usize) -> u64 {
+    debug_assert!(segment_bytes.is_power_of_two());
+    debug_assert!(lane_elem_indices.len() <= 64);
+    let mut segments: [u64; 64] = [u64::MAX; 64];
+    let mut count = 0usize;
+    for &idx in lane_elem_indices {
+        let seg = (idx * elem_bytes / segment_bytes) as u64;
+        if !segments[..count].contains(&seg) {
+            segments[count] = seg;
+            count += 1;
+        }
+    }
+    count as u64
+}
+
+/// [`shared_conflict_cycles`] for a fully-active warp.
+pub fn shared_conflict_cycles_dense(lane_elem_indices: &[usize], elem_bytes: usize, banks: u32) -> u64 {
+    debug_assert!(banks.is_power_of_two());
+    debug_assert!(lane_elem_indices.len() <= 64);
+    let mut seen_words: [u64; 64] = [0; 64];
+    let mut seen_count = 0usize;
+    let mut per_bank: [u8; 64] = [0; 64];
+    let mask = (banks - 1) as u64;
+    for &idx in lane_elem_indices {
+        let word = (idx * elem_bytes / 4) as u64;
+        if !seen_words[..seen_count].contains(&word) {
+            seen_words[seen_count] = word;
+            seen_count += 1;
+            per_bank[(word & mask) as usize] += 1;
+        }
+    }
+    per_bank.iter().map(|&c| c as u64).max().unwrap_or(0).max(1)
+}
+
+#[cfg(test)]
+mod dense_tests {
+    use super::*;
+
+    #[test]
+    fn dense_variants_agree_with_masked() {
+        let idx: Vec<usize> = (0..32).map(|l| l * 3 + 5).collect();
+        let masked: Vec<Option<usize>> = idx.iter().map(|&i| Some(i)).collect();
+        for eb in [4usize, 8] {
+            assert_eq!(
+                warp_transactions_dense(&idx, eb, 128),
+                warp_transactions(&masked, eb, 128)
+            );
+            assert_eq!(
+                shared_conflict_cycles_dense(&idx, eb, 32),
+                shared_conflict_cycles(&masked, eb, 32)
+            );
+        }
+    }
+}

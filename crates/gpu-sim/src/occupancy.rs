@@ -1,0 +1,194 @@
+//! Occupancy calculation — how many blocks/warps stay resident per SM.
+//!
+//! The paper leans on occupancy twice: tiled PCR's small footprint
+//! "enables higher occupancy and as such larger number of thread blocks
+//! can be scheduled per SM" (Section III-A), while Davidson-style
+//! coarse-grained tiling "suffers from large shared memory requirement
+//! [and] fewer concurrent thread blocks" (Section V). This module is a
+//! faithful CUDA-occupancy-calculator-style model: resident blocks per
+//! SM are the minimum over four resource limits.
+
+use crate::error::{Result, SimError};
+use crate::spec::DeviceSpec;
+
+/// What capped the resident block count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// `max_threads_per_sm / threads_per_block`.
+    Threads,
+    /// `max_blocks_per_sm`.
+    Blocks,
+    /// Shared memory per SM / per block.
+    SharedMemory,
+    /// Register file / (regs per thread × threads per block).
+    Registers,
+}
+
+/// Residency of one kernel configuration on one SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Blocks resident simultaneously on one SM.
+    pub blocks_per_sm: u32,
+    /// Warps resident simultaneously on one SM.
+    pub warps_per_sm: u32,
+    /// Which resource is the binding constraint.
+    pub limiter: Limiter,
+}
+
+impl Occupancy {
+    /// Occupancy as a fraction of the device's maximum resident warps.
+    pub fn fraction(&self, spec: &DeviceSpec) -> f64 {
+        let max_warps = spec.max_threads_per_sm / spec.warp_size;
+        self.warps_per_sm as f64 / max_warps as f64
+    }
+}
+
+/// Compute the residency of a kernel with the given per-block resource
+/// footprint.
+///
+/// # Errors
+/// [`SimError::InvalidLaunch`] if a single block already exceeds a
+/// device limit (too many threads, too much shared memory, too many
+/// registers), i.e. the kernel cannot launch at all.
+pub fn occupancy(
+    spec: &DeviceSpec,
+    threads_per_block: u32,
+    shared_bytes_per_block: usize,
+    regs_per_thread: u32,
+) -> Result<Occupancy> {
+    if threads_per_block == 0 {
+        return Err(SimError::InvalidLaunch("zero threads per block".into()));
+    }
+    if threads_per_block > spec.max_threads_per_block {
+        return Err(SimError::InvalidLaunch(format!(
+            "{threads_per_block} threads/block exceeds device limit {}",
+            spec.max_threads_per_block
+        )));
+    }
+    if shared_bytes_per_block > spec.max_shared_per_block {
+        return Err(SimError::InvalidLaunch(format!(
+            "{shared_bytes_per_block} B shared/block exceeds device limit {}",
+            spec.max_shared_per_block
+        )));
+    }
+    let regs_per_block = regs_per_thread as u64 * threads_per_block as u64;
+    if regs_per_block > spec.registers_per_sm as u64 {
+        return Err(SimError::InvalidLaunch(format!(
+            "{regs_per_block} registers/block exceeds SM register file {}",
+            spec.registers_per_sm
+        )));
+    }
+
+    let by_threads = spec.max_threads_per_sm / threads_per_block;
+    let by_blocks = spec.max_blocks_per_sm;
+    let by_shared = spec
+        .shared_mem_per_sm
+        .checked_div(shared_bytes_per_block)
+        .map_or(u32::MAX, |v| v as u32);
+    let by_regs = (spec.registers_per_sm as u64)
+        .checked_div(regs_per_block)
+        .map_or(u32::MAX, |v| v as u32);
+
+    let mut blocks = by_threads;
+    let mut limiter = Limiter::Threads;
+    for (cand, lim) in [
+        (by_blocks, Limiter::Blocks),
+        (by_shared, Limiter::SharedMemory),
+        (by_regs, Limiter::Registers),
+    ] {
+        if cand < blocks {
+            blocks = cand;
+            limiter = lim;
+        }
+    }
+    if blocks == 0 {
+        // A single block fits (checked above) but not concurrently with
+        // anything else — still runs, one at a time.
+        blocks = 1;
+    }
+    let warps = blocks * threads_per_block.div_ceil(spec.warp_size);
+    Ok(Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        limiter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gtx480() -> DeviceSpec {
+        DeviceSpec::gtx480()
+    }
+
+    #[test]
+    fn small_blocks_limited_by_block_slots() {
+        // 64-thread blocks, no shared memory: 1536/64 = 24 by threads,
+        // but only 8 block slots.
+        let o = occupancy(&gtx480(), 64, 0, 16).unwrap();
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.limiter, Limiter::Blocks);
+        assert_eq!(o.warps_per_sm, 16);
+    }
+
+    #[test]
+    fn large_blocks_limited_by_threads() {
+        let o = occupancy(&gtx480(), 512, 0, 16).unwrap();
+        assert_eq!(o.blocks_per_sm, 3);
+        assert_eq!(o.limiter, Limiter::Threads);
+        assert_eq!(o.warps_per_sm, 48);
+        assert!((o.fraction(&gtx480()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_limits_coarse_tiles() {
+        // The Davidson-style coarse tile: a block hogging 40 KiB of
+        // shared memory leaves room for only one block per SM.
+        let o = occupancy(&gtx480(), 256, 40 * 1024, 16).unwrap();
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+        // Versus a fine tile of 6 KiB: 8 blocks resident.
+        let o2 = occupancy(&gtx480(), 256, 6 * 1024, 16).unwrap();
+        assert_eq!(o2.blocks_per_sm, 6); // 1536 / 256 threads is the cap here
+        assert_eq!(o2.limiter, Limiter::Threads);
+        assert!(o2.fraction(&gtx480()) > 4.0 * o.fraction(&gtx480()));
+    }
+
+    #[test]
+    fn register_pressure_limits() {
+        let o = occupancy(&gtx480(), 512, 0, 63).unwrap();
+        assert_eq!(o.limiter, Limiter::Registers);
+        assert_eq!(o.blocks_per_sm, 1); // 32768/(63*512) = 1
+    }
+
+    #[test]
+    fn impossible_launches_rejected() {
+        assert!(occupancy(&gtx480(), 0, 0, 16).is_err());
+        assert!(occupancy(&gtx480(), 2048, 0, 16).is_err());
+        assert!(occupancy(&gtx480(), 32, 49 * 1024, 16).is_err());
+        assert!(occupancy(&gtx480(), 1024, 0, 64).is_err()); // 65536 regs
+    }
+
+    #[test]
+    fn single_heavy_block_still_runs() {
+        // Exactly at the shared-memory capacity: one block at a time.
+        let o = occupancy(&gtx480(), 128, 48 * 1024, 16).unwrap();
+        assert_eq!(o.blocks_per_sm, 1);
+    }
+
+    #[test]
+    fn warp_rounding() {
+        // 48 threads = 2 warps (rounded up).
+        let o = occupancy(&gtx480(), 48, 0, 16).unwrap();
+        assert_eq!(o.warps_per_sm, o.blocks_per_sm * 2);
+    }
+
+    #[test]
+    fn gtx280_smaller_shared_memory() {
+        let d = DeviceSpec::gtx280();
+        assert!(occupancy(&d, 128, 20 * 1024, 16).is_err());
+        let o = occupancy(&d, 128, 8 * 1024, 16).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! `tridiag` — command-line front end for the scalable-tridiag
+//! workspace.
+//!
+//! ```text
+//! tridiag solve --m 256 --n 1024 [--engine gpu|cpu|cpu-mt|davidson|zhang]
+//!               [--precision f64|f32] [--device gtx480|gtx280|c2050]
+//!               [--seed 42] [--verbose]
+//! tridiag compare --m 64 --n 2048        # run every engine, check parity
+//! tridiag tune --n 4096 --m-list 1,16,256,1024 [--k-max 8]
+//! tridiag info [--device gtx480]         # device spec + occupancy sheet
+//! ```
+
+mod args;
+
+use args::Args;
+use gpu_sim::DeviceSpec;
+use std::process::ExitCode;
+use tridiag_core::generators::random_batch;
+use tridiag_core::SystemBatch;
+use tridiag_gpu::autotune;
+use tridiag_gpu::solver::{GpuSolverConfig, GpuTridiagSolver};
+use tridiag_gpu::{davidson, zhang};
+
+fn device_by_name(name: &str) -> Result<DeviceSpec, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "gtx480" => Ok(DeviceSpec::gtx480()),
+        "gtx280" => Ok(DeviceSpec::gtx280()),
+        "c2050" => Ok(DeviceSpec::c2050()),
+        other => Err(format!(
+            "unknown device {other:?} (expected gtx480, gtx280 or c2050)"
+        )),
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  tridiag solve   --m M --n N [--engine gpu|cpu|cpu-mt|davidson|zhang] \
+     [--precision f64|f32] [--device gtx480|gtx280|c2050] [--seed S] [--verbose]\n  \
+     tridiag compare --m M --n N [--seed S]\n  \
+     tridiag tune    --n N [--m-list 1,16,256] [--k-max 8]\n  \
+     tridiag info    [--device gtx480]"
+}
+
+fn cmd_solve(a: &Args) -> Result<(), String> {
+    let m: usize = a.get_or("m", 64)?;
+    let n: usize = a.get_or("n", 1024)?;
+    let seed: u64 = a.get_or("seed", 42u64)?;
+    let engine = a.get("engine").unwrap_or("gpu");
+    let precision = a.get("precision").unwrap_or("f64");
+    let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
+    if precision == "f32" {
+        solve_typed::<f32>(m, n, seed, engine, device, a.flag("verbose"))
+    } else {
+        solve_typed::<f64>(m, n, seed, engine, device, a.flag("verbose"))
+    }
+}
+
+fn solve_typed<S: tridiag_gpu::GpuScalar>(
+    m: usize,
+    n: usize,
+    seed: u64,
+    engine: &str,
+    device: DeviceSpec,
+    verbose: bool,
+) -> Result<(), String> {
+    let batch: SystemBatch<S> = random_batch(m, n, seed);
+    let t0 = std::time::Instant::now();
+    let (x, modeled_us): (Vec<S>, Option<f64>) = match engine {
+        "gpu" => {
+            let solver = GpuTridiagSolver::new(device, GpuSolverConfig::default());
+            let (x, report) = solver.solve_batch(&batch).map_err(|e| e.to_string())?;
+            if verbose {
+                print!("{report}");
+            }
+            (x, Some(report.total_us))
+        }
+        "cpu" => (
+            cpu_ref::solve_batch_sequential(&batch).map_err(|e| e.to_string())?,
+            None,
+        ),
+        "cpu-mt" => (
+            cpu_ref::solve_batch_threaded(&batch, &cpu_ref::ThreadPool::per_cpu())
+                .map_err(|e| e.to_string())?,
+            None,
+        ),
+        "davidson" => {
+            let (x, report) = davidson::solve_batch(&device, &batch).map_err(|e| e.to_string())?;
+            (x, Some(report.total_us))
+        }
+        "zhang" => {
+            let (x, report) =
+                zhang::solve_batch(&device, &batch, None).map_err(|e| e.to_string())?;
+            (x, Some(report.total_us))
+        }
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+    let host = t0.elapsed();
+    let resid = batch.max_relative_residual(&x).map_err(|e| e.to_string())?;
+    println!("engine      : {engine}");
+    println!("batch       : M = {m}, N = {n} ({})", S::NAME);
+    if let Some(us) = modeled_us {
+        println!("modeled time: {us:.1} us (simulated device)");
+    }
+    println!("host time   : {host:?} (simulator/solver wall-clock)");
+    println!("residual    : {resid:.3e}");
+    if resid > tridiag_core::verify::default_tolerance::<S>() * 1e3 {
+        return Err(format!("residual {resid:.3e} exceeds tolerance"));
+    }
+    Ok(())
+}
+
+fn cmd_compare(a: &Args) -> Result<(), String> {
+    let m: usize = a.get_or("m", 16)?;
+    let n: usize = a.get_or("n", 512)?;
+    let seed: u64 = a.get_or("seed", 42u64)?;
+    let batch: SystemBatch<f64> = random_batch(m, n, seed);
+    let reference = cpu_ref::solve_batch_sequential(&batch).map_err(|e| e.to_string())?;
+
+    println!("{:<12} {:>14} {:>14}", "engine", "max |Δ| vs cpu", "residual");
+    let report = |name: &str, x: &[f64]| {
+        let d = x
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        let r = batch.max_relative_residual(x).expect("residual");
+        println!("{name:<12} {d:>14.3e} {r:>14.3e}");
+    };
+    report("cpu", &reference);
+    let mt = cpu_ref::solve_batch_threaded(&batch, &cpu_ref::ThreadPool::per_cpu())
+        .map_err(|e| e.to_string())?;
+    report("cpu-mt", &mt);
+    let (g, _) = GpuTridiagSolver::gtx480()
+        .solve_batch(&batch)
+        .map_err(|e| e.to_string())?;
+    report("gpu", &g);
+    let (dv, _) =
+        davidson::solve_batch(&DeviceSpec::gtx480(), &batch).map_err(|e| e.to_string())?;
+    report("davidson", &dv);
+    if n <= zhang::max_system_size(&DeviceSpec::gtx480(), 8) {
+        let (z, _) = zhang::solve_batch(&DeviceSpec::gtx480(), &batch, None)
+            .map_err(|e| e.to_string())?;
+        report("zhang", &z);
+    } else {
+        println!("{:<12} {:>14}", "zhang", "N too large");
+    }
+    Ok(())
+}
+
+fn cmd_tune(a: &Args) -> Result<(), String> {
+    let n: usize = a.get_or("n", 4096)?;
+    let k_max: u32 = a.get_or("k-max", 8u32)?;
+    let m_values = a
+        .get_list("m-list")?
+        .unwrap_or_else(|| vec![1, 16, 64, 256, 1024]);
+    let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
+    println!("tuning k on simulated {} at N = {n}…", device.name);
+    let points =
+        autotune::tune::<f64>(&device, &m_values, n, k_max).map_err(|e| e.to_string())?;
+    println!("{:>8} {:>8} {:>12} {:>12}", "M", "best k", "best [us]", "k=0 [us]");
+    for p in points {
+        println!(
+            "{:>8} {:>8} {:>12.1} {:>12.1}",
+            p.m, p.best_k, p.best_us, p.k0_us
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info(a: &Args) -> Result<(), String> {
+    let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
+    println!("device              : {}", device.name);
+    println!("SMs                 : {}", device.num_sms);
+    println!("cores/SM            : {}", device.cores_per_sm);
+    println!("clock               : {:.3} GHz", device.clock_ghz);
+    println!("shared memory/SM    : {} KiB", device.shared_mem_per_sm / 1024);
+    println!("max threads/SM      : {}", device.max_threads_per_sm);
+    println!("DRAM bandwidth      : {:.1} GB/s", device.dram_bandwidth_gbps);
+    println!("DRAM latency        : {} cycles", device.dram_latency_cycles);
+    println!(
+        "peak f32 / f64      : {:.0} / {:.0} GFLOP/s",
+        device.peak_flops(gpu_sim::Precision::F32) / 1e9,
+        device.peak_flops(gpu_sim::Precision::F64) / 1e9
+    );
+    println!("parallelism P       : {} resident threads", device.parallelism());
+    println!();
+    println!("occupancy sheet (threads/block, shared KiB -> blocks/SM):");
+    for &tpb in &[64u32, 128, 256, 512] {
+        let mut cells = Vec::new();
+        for &kb in &[0usize, 8, 16, 32] {
+            let o = gpu_sim::occupancy(&device, tpb, kb * 1024, 32)
+                .map(|o| o.blocks_per_sm.to_string())
+                .unwrap_or_else(|_| "-".into());
+            cells.push(format!("{kb:>2}KiB:{o}"));
+        }
+        println!("  {tpb:>4} threads: {}", cells.join("  "));
+    }
+    println!();
+    let solver = GpuTridiagSolver::new(device, GpuSolverConfig::default());
+    println!(
+        "max k (f64 window)  : {}",
+        solver.max_k_for_shared(1, 8)
+    );
+    println!(
+        "in-shared method cap: {} rows (f64) — tiled PCR has no cap",
+        zhang::max_system_size(solver.spec(), 8)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match Args::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("solve") => cmd_solve(&args),
+        Some("compare") => cmd_compare(&args),
+        Some("tune") => cmd_tune(&args),
+        Some("info") => cmd_info(&args),
+        Some(other) => Err(format!("unknown command {other:?}\n{}", usage())),
+        None => Err(usage().to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

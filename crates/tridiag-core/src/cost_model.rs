@@ -1,0 +1,261 @@
+//! The paper's analytic cost model.
+//!
+//! - Eq. 8: `f(k)` — redundant memory accesses per tile boundary that
+//!   naive (cache-less) tiling of k-step PCR incurs.
+//! - Eq. 9: `g(k)` — redundant elimination steps per tile boundary.
+//! - Table II — elimination-step cost of Thomas, PCR and the k-step
+//!   hybrid as a function of the number of systems `M`, the per-system
+//!   size `2^n` and machine parallelism `P`.
+//! - Table III — the empirical GTX480 heuristic for picking `k` from `M`.
+//!
+//! Costs are *elimination-step counts* (the paper's unit), not seconds;
+//! the simulator's timing model converts steps and memory traffic into
+//! modeled time.
+
+/// Eq. 8: `f(k) = Σ_{i=0}^{k−1} 2^i = 2^k − 1` — halo elements that a
+/// naive tile must redundantly load per boundary for k-step PCR.
+pub fn halo_elements(k: u32) -> u64 {
+    (1u64 << k) - 1
+}
+
+/// Eq. 9: `g(k) = k·f(k) − Σ_{i=0}^{k} f(i)` — redundant elimination
+/// steps per tile boundary under naive tiling. Closed form:
+/// `k·2^k − 2^{k+1} + 2`.
+pub fn redundant_eliminations(k: u32) -> u64 {
+    let f_k = halo_elements(k);
+    let sum_f: u64 = (0..=k).map(halo_elements).sum();
+    (k as u64 * f_k).saturating_sub(sum_f)
+}
+
+/// Minimum dependency-cache capacity of the buffered sliding window:
+/// `2·f(k)` (Section III-A).
+pub fn min_cache_size(k: u32) -> u64 {
+    2 * halo_elements(k)
+}
+
+/// Actual cache capacity of the buffered sliding window: `3·f(k)`,
+/// whose extra margin enables aligned (coalesced) output and padding
+/// (Section III-A, Table I).
+pub fn window_cache_size(k: u32) -> u64 {
+    3 * halo_elements(k)
+}
+
+/// Table II: elimination-step cost of plain Thomas on `m` systems of
+/// `n_size` unknowns with machine parallelism `p`.
+pub fn thomas_cost(m: u64, n_size: u64, p: u64) -> f64 {
+    let steps = (2 * n_size).saturating_sub(1) as f64;
+    if m > p {
+        (m as f64 / p as f64) * steps
+    } else {
+        steps
+    }
+}
+
+/// Table II: elimination-step cost of full PCR: `(M/P)(n·2^n + 1)` with
+/// `n = log2(n_size)`. PCR exposes enough parallelism that the workload
+/// always amortises over `P`, but the `M/P` factor never drops below one
+/// machine-filling wave.
+pub fn pcr_cost(m: u64, n_size: u64, p: u64) -> f64 {
+    let log_n = log2_ceil(n_size) as f64;
+    let total_work = m as f64 * (log_n * n_size as f64 + 1.0);
+    // PCR exposes M·N-wide parallelism; the effective width is capped by
+    // the machine. When M·N ≥ P this reduces exactly to the Table II
+    // expression (M/P)(n·2^n + 1); when underfilled it degenerates to the
+    // log-depth critical path.
+    let width = ((m * n_size) as f64).min(p as f64);
+    total_work / width
+}
+
+/// Table II: elimination-step cost of the k-step hybrid
+/// (tiled PCR front end + p-Thomas back end).
+///
+/// - `M > P`:            `(M/P)·(2(2^n − 2^k) + k·2^n)`
+/// - `M ≤ P, 2^k·M > P`: `(M/P)·k·2^n + (M/P)·2(2^n − 2^k)`
+/// - `M ≤ P, 2^k·M ≤ P`: `(M/P)·k·2^n + 2(2^n − 2^k)`
+pub fn hybrid_cost(m: u64, n_size: u64, p: u64, k: u32) -> f64 {
+    let two_k = 1u64 << k;
+    let pcr_part_steps = k as f64 * n_size as f64;
+    let thomas_part_steps = 2.0 * (n_size.saturating_sub(two_k)) as f64;
+    let ratio = m as f64 / p as f64;
+    if m > p {
+        ratio * (thomas_part_steps + pcr_part_steps)
+    } else if two_k * m > p {
+        ratio * pcr_part_steps + ratio * thomas_part_steps
+    } else {
+        ratio * pcr_part_steps + thomas_part_steps
+    }
+}
+
+/// The `k` minimising [`hybrid_cost`] subject to `2^k ≤ n_size` and
+/// `k ≤ k_max`. Ties resolve to the smaller `k` (less PCR work).
+pub fn optimal_k(m: u64, n_size: u64, p: u64, k_max: u32) -> u32 {
+    let mut best_k = 0;
+    let mut best = hybrid_cost(m, n_size, p, 0);
+    for k in 1..=k_max {
+        if (1u64 << k) > n_size {
+            break;
+        }
+        let cost = hybrid_cost(m, n_size, p, k);
+        if cost < best {
+            best = cost;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+/// Table III: the paper's empirical GTX480 heuristic mapping the number
+/// of systems `M` to the PCR step count `k`.
+pub fn gtx480_heuristic_k(m: u64) -> u32 {
+    match m {
+        0..=15 => 8,
+        16..=31 => 7,
+        32..=511 => 6,
+        512..=1023 => 5,
+        _ => 0,
+    }
+}
+
+/// Table III companion column: the subsystem count `2^k` ("tile size").
+pub fn gtx480_heuristic_tile(m: u64) -> u64 {
+    1u64 << gtx480_heuristic_k(m)
+}
+
+/// `ceil(log2 v)` for `v ≥ 1`.
+pub fn log2_ceil(v: u64) -> u32 {
+    if v <= 1 {
+        0
+    } else {
+        64 - (v - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halo_matches_geometric_sum() {
+        assert_eq!(halo_elements(0), 0);
+        assert_eq!(halo_elements(1), 1);
+        assert_eq!(halo_elements(2), 3);
+        assert_eq!(halo_elements(3), 7);
+        // Fig. 7(b): two-step PCR needs e1..e3 = 3 halo elements.
+        assert_eq!(halo_elements(2), 3);
+    }
+
+    #[test]
+    fn redundant_eliminations_closed_form() {
+        for k in 0..=20u32 {
+            let closed = if k == 0 {
+                0
+            } else {
+                (k as u64) * (1u64 << k) + 2 - (1u64 << (k + 1))
+            };
+            assert_eq!(redundant_eliminations(k), closed, "k={k}");
+        }
+        // Fig. 7(b): two-step PCR recomputes e'2 and e'3 => g(2) = 2.
+        assert_eq!(redundant_eliminations(2), 2);
+        assert_eq!(redundant_eliminations(1), 0);
+    }
+
+    #[test]
+    fn both_grow_exponentially() {
+        for k in 2..16u32 {
+            assert!(halo_elements(k + 1) >= 2 * halo_elements(k) - 1);
+            assert!(redundant_eliminations(k + 1) > redundant_eliminations(k));
+        }
+    }
+
+    #[test]
+    fn cache_sizes() {
+        assert_eq!(min_cache_size(2), 6);
+        assert_eq!(window_cache_size(2), 9);
+        for k in 0..12 {
+            assert!(window_cache_size(k) <= 3 * (1 << k)); // Table I bound
+        }
+    }
+
+    #[test]
+    fn thomas_cost_regimes() {
+        // M <= P: independent of M (parallelism underused).
+        assert_eq!(thomas_cost(4, 512, 1024), 1023.0);
+        assert_eq!(thomas_cost(1024, 512, 1024), 1023.0);
+        // M > P: amortised.
+        assert_eq!(thomas_cost(2048, 512, 1024), 2.0 * 1023.0);
+    }
+
+    #[test]
+    fn pcr_cost_saturated_matches_table() {
+        // M*N >= P: exactly (M/P)(n 2^n + 1).
+        let c = pcr_cost(8, 512, 1024);
+        assert!((c - (8.0 / 1024.0) * (9.0 * 512.0 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_cost_reduces_to_thomas_at_k0() {
+        // k = 0: pure p-Thomas, cost 2(2^n - 1) per wave.
+        let m = 2048u64;
+        let p = 1024u64;
+        let n = 512u64;
+        let h = hybrid_cost(m, n, p, 0);
+        let t = (m as f64 / p as f64) * 2.0 * (n - 1) as f64;
+        assert!((h - t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_beats_thomas_when_underparallel() {
+        // M = 16 systems, machine 1024-wide: k > 0 must win because pure
+        // Thomas cannot use the hardware.
+        let m = 16;
+        let n = 16384;
+        let p = 1024;
+        let k = optimal_k(m, n, p, 10);
+        assert!(k > 0, "expected PCR steps, got k=0");
+        assert!(hybrid_cost(m, n, p, k) < thomas_cost(m, n, p));
+    }
+
+    #[test]
+    fn optimal_k_zero_when_saturated() {
+        // M >> P: plenty of systems, PCR only adds work.
+        assert_eq!(optimal_k(65536, 512, 1024, 10), 0);
+    }
+
+    #[test]
+    fn optimal_k_monotone_nonincreasing_in_m() {
+        let p = 1024;
+        let n = 4096;
+        let mut last = u32::MAX;
+        for m in [1u64, 4, 16, 64, 256, 1024, 4096, 16384] {
+            let k = optimal_k(m, n, p, 12);
+            assert!(k <= last, "k must not grow with M: M={m} k={k} last={last}");
+            last = k;
+        }
+    }
+
+    #[test]
+    fn table3_heuristics_verbatim() {
+        assert_eq!(gtx480_heuristic_k(1), 8);
+        assert_eq!(gtx480_heuristic_k(15), 8);
+        assert_eq!(gtx480_heuristic_k(16), 7);
+        assert_eq!(gtx480_heuristic_k(31), 7);
+        assert_eq!(gtx480_heuristic_k(32), 6);
+        assert_eq!(gtx480_heuristic_k(511), 6);
+        assert_eq!(gtx480_heuristic_k(512), 5);
+        assert_eq!(gtx480_heuristic_k(1023), 5);
+        assert_eq!(gtx480_heuristic_k(1024), 0);
+        assert_eq!(gtx480_heuristic_k(1 << 20), 0);
+        assert_eq!(gtx480_heuristic_tile(1), 256);
+        assert_eq!(gtx480_heuristic_tile(700), 32);
+        assert_eq!(gtx480_heuristic_tile(4096), 1);
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(512), 9);
+        assert_eq!(log2_ceil(513), 10);
+    }
+}

@@ -1,0 +1,321 @@
+//! Cyclic (periodic) tridiagonal systems.
+//!
+//! Periodic boundary conditions — ubiquitous in the fluid-dynamics
+//! workloads that motivate the paper ([2][4][5]) — produce an "almost
+//! tridiagonal" matrix with two extra corner entries:
+//!
+//! ```text
+//! | b1 c1          a1 |
+//! | a2 b2 c2          |
+//! |    …  …  …        |
+//! |       an-1 bn-1 cn-1 |
+//! | cn          an bn |
+//! ```
+//!
+//! The standard reduction is the **Sherman–Morrison formula**: write
+//! `A_cyclic = A + u vᵀ` with a plain tridiagonal `A` and rank-one
+//! correction, solve `A y = d` and `A z = u` with any tridiagonal
+//! engine, and combine
+//! `x = y − z · (vᵀy) / (1 + vᵀz)`.
+//!
+//! Because the two inner solves are *ordinary* tridiagonal solves, this
+//! module makes every engine in the workspace (Thomas, the hybrid, the
+//! simulated GPU, …) a periodic solver for free: it is parameterised
+//! over a solve callback.
+
+use crate::error::{Result, TridiagError};
+use crate::scalar::Scalar;
+use crate::system::TridiagonalSystem;
+use crate::thomas;
+
+/// A periodic tridiagonal system: the three diagonals plus the two
+/// wrap-around corners `top_right` (`a_1`) and `bottom_left` (`c_n`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CyclicSystem<S: Scalar> {
+    lower: Vec<S>,
+    diag: Vec<S>,
+    upper: Vec<S>,
+    rhs: Vec<S>,
+    /// `A[0, n-1]` — the coupling of the first row to the last unknown.
+    top_right: S,
+    /// `A[n-1, 0]` — the coupling of the last row to the first unknown.
+    bottom_left: S,
+}
+
+impl<S: Scalar> CyclicSystem<S> {
+    /// Build a periodic system. Needs `n >= 3` so the corners do not
+    /// collide with the ordinary diagonals.
+    pub fn new(
+        lower: Vec<S>,
+        diag: Vec<S>,
+        upper: Vec<S>,
+        rhs: Vec<S>,
+        top_right: S,
+        bottom_left: S,
+    ) -> Result<Self> {
+        let n = diag.len();
+        if n < 3 {
+            return Err(TridiagError::InvalidConfig(
+                "cyclic systems need at least 3 unknowns".into(),
+            ));
+        }
+        for (arr, what) in [(&lower, "lower"), (&upper, "upper"), (&rhs, "rhs")] {
+            if arr.len() != n {
+                return Err(TridiagError::LengthMismatch {
+                    expected: n,
+                    found: arr.len(),
+                    what,
+                });
+            }
+        }
+        Ok(Self {
+            lower,
+            diag,
+            upper,
+            rhs,
+            top_right,
+            bottom_left,
+        })
+    }
+
+    /// A uniform periodic stencil `(a, b, c)` (e.g. the periodic
+    /// second-difference operator with `a = c = -1, b = 2`).
+    pub fn toeplitz(a: S, b: S, c: S, rhs: Vec<S>) -> Result<Self> {
+        let n = rhs.len();
+        Self::new(vec![a; n], vec![b; n], vec![c; n], rhs, a, c)
+    }
+
+    /// Number of unknowns.
+    pub fn len(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// `true` if empty (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.diag.is_empty()
+    }
+
+    /// Matrix–vector product including the periodic corners.
+    pub fn apply(&self, x: &[S]) -> Result<Vec<S>> {
+        let n = self.len();
+        if x.len() != n {
+            return Err(TridiagError::LengthMismatch {
+                expected: n,
+                found: x.len(),
+                what: "x",
+            });
+        }
+        let mut y = vec![S::ZERO; n];
+        for i in 0..n {
+            let mut acc = self.diag[i] * x[i];
+            if i > 0 {
+                acc += self.lower[i] * x[i - 1];
+            }
+            if i + 1 < n {
+                acc += self.upper[i] * x[i + 1];
+            }
+            y[i] = acc;
+        }
+        y[0] += self.top_right * x[n - 1];
+        y[n - 1] += self.bottom_left * x[0];
+        Ok(y)
+    }
+
+    /// Relative residual `‖A x − d‖_∞ / max(‖d‖_∞, 1)`.
+    pub fn relative_residual(&self, x: &[S]) -> Result<f64> {
+        let ax = self.apply(x)?;
+        let mut num: f64 = 0.0;
+        let mut den: f64 = 1.0;
+        for (axi, di) in ax.iter().zip(&self.rhs) {
+            num = num.max((axi.to_f64() - di.to_f64()).abs());
+            den = den.max(di.to_f64().abs());
+        }
+        Ok(num / den)
+    }
+
+    /// Solve via Sherman–Morrison, delegating the two inner tridiagonal
+    /// solves to `engine` (any function solving an ordinary
+    /// [`TridiagonalSystem`] — Thomas, the hybrid, the simulated GPU…).
+    pub fn solve_with<F>(&self, mut engine: F) -> Result<Vec<S>>
+    where
+        F: FnMut(&TridiagonalSystem<S>) -> Result<Vec<S>>,
+    {
+        let n = self.len();
+        // Choose gamma to keep the modified corner pivots well scaled.
+        let gamma = -self.diag[0];
+        if gamma == S::ZERO {
+            return Err(TridiagError::ZeroPivot { row: 0 });
+        }
+
+        // A = A_cyclic - u v^T with u = (gamma, 0, …, 0, c_n)^T and
+        // v = (1, 0, …, 0, a_1/gamma)^T.
+        let mut diag = self.diag.clone();
+        diag[0] = self.diag[0] - gamma;
+        diag[n - 1] = self.diag[n - 1] - self.top_right * self.bottom_left / gamma;
+
+        let base = TridiagonalSystem::new(
+            self.lower.clone(),
+            diag.clone(),
+            self.upper.clone(),
+            self.rhs.clone(),
+        )?;
+        let y = engine(&base)?;
+
+        let mut u = vec![S::ZERO; n];
+        u[0] = gamma;
+        u[n - 1] = self.bottom_left;
+        let base_u = TridiagonalSystem::new(self.lower.clone(), diag, self.upper.clone(), u)?;
+        let z = engine(&base_u)?;
+
+        // v^T y and v^T z with v = (1, 0, …, 0, a_1/gamma).
+        let vy = y[0] + self.top_right / gamma * y[n - 1];
+        let vz = z[0] + self.top_right / gamma * z[n - 1];
+        let denom = S::ONE + vz;
+        if denom == S::ZERO {
+            return Err(TridiagError::ZeroPivot { row: n - 1 });
+        }
+        let factor = vy / denom;
+        Ok((0..n).map(|i| y[i] - z[i] * factor).collect())
+    }
+
+    /// Solve with the Thomas engine (the common case).
+    ///
+    /// ```
+    /// use tridiag_core::cyclic::CyclicSystem;
+    /// // Periodic operator with a diagonal shift (pure [-1,2,-1] is singular).
+    /// let s = CyclicSystem::toeplitz(-1.0, 2.5, -1.0, vec![1.0; 16]).unwrap();
+    /// let x = s.solve().unwrap();
+    /// assert!(s.relative_residual(&x).unwrap() < 1e-12);
+    /// ```
+    pub fn solve(&self) -> Result<Vec<S>> {
+        self.solve_with(|sys| thomas::solve_typed(sys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_cyclic(n: usize, seed: u64) -> CyclicSystem<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lower = Vec::new();
+        let mut diag = Vec::new();
+        let mut upper = Vec::new();
+        let mut rhs = Vec::new();
+        let tr = rng.gen_range(-0.5..0.5);
+        let bl = rng.gen_range(-0.5..0.5);
+        for i in 0..n {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let c: f64 = rng.gen_range(-1.0..1.0);
+            let corner = if i == 0 {
+                tr.abs()
+            } else if i + 1 == n {
+                bl.abs()
+            } else {
+                0.0
+            };
+            diag.push((a.abs() + c.abs() + corner + rng.gen_range(0.5..1.5)) as f64);
+            lower.push(a);
+            upper.push(c);
+            rhs.push(rng.gen_range(-1.0..1.0));
+        }
+        CyclicSystem::new(lower, diag, upper, rhs, tr, bl).unwrap()
+    }
+
+    #[test]
+    fn solves_random_dominant_cyclic() {
+        for n in [3usize, 8, 100, 1000] {
+            let s = random_cyclic(n, n as u64);
+            let x = s.solve().unwrap();
+            let r = s.relative_residual(&x).unwrap();
+            assert!(r < 1e-10, "n={n}: residual {r}");
+        }
+    }
+
+    #[test]
+    fn periodic_poisson_second_difference() {
+        // Periodic -1,2,-1 is singular (constant nullspace); shift it.
+        let n = 64;
+        let rhs: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).sin())
+            .collect();
+        let s = CyclicSystem::toeplitz(-1.0, 2.0 + 0.1, -1.0, rhs).unwrap();
+        let x = s.solve().unwrap();
+        assert!(s.relative_residual(&x).unwrap() < 1e-11);
+        // Solution of a shift-invariant operator on a pure harmonic is
+        // the same harmonic, scaled.
+        let ratio0 = x[1] / s.rhs[1];
+        for i in 2..n - 1 {
+            if s.rhs[i].abs() > 0.1 {
+                assert!((x[i] / s.rhs[i] - ratio0).abs() < 1e-8, "i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn corners_actually_matter() {
+        let s = random_cyclic(32, 5);
+        // Solving while ignoring the corners gives a different answer.
+        let plain = TridiagonalSystem::new(
+            s.lower.clone(),
+            s.diag.clone(),
+            s.upper.clone(),
+            s.rhs.clone(),
+        )
+        .unwrap();
+        let x_plain = thomas::solve_typed(&plain).unwrap();
+        let x_cyclic = s.solve().unwrap();
+        let diff: f64 = x_plain
+            .iter()
+            .zip(&x_cyclic)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6, "corner terms must influence the solution");
+        assert!(s.relative_residual(&x_cyclic).unwrap() < 1e-10);
+        assert!(s.relative_residual(&x_plain).unwrap() > 1e-8);
+    }
+
+    #[test]
+    fn engine_plugability() {
+        // Any engine works — here: full PCR instead of Thomas.
+        let s = random_cyclic(128, 9);
+        let x = s.solve_with(|sys| crate::pcr::solve(sys)).unwrap();
+        assert!(s.relative_residual(&x).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CyclicSystem::<f64>::toeplitz(-1.0, 2.0, -1.0, vec![1.0; 2]).is_err());
+        assert!(CyclicSystem::<f64>::new(
+            vec![1.0; 2],
+            vec![1.0; 3],
+            vec![1.0; 3],
+            vec![1.0; 3],
+            0.0,
+            0.0
+        )
+        .is_err());
+        let s = random_cyclic(8, 1);
+        assert!(s.apply(&[0.0; 4]).is_err());
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn apply_includes_corners() {
+        // Identity diagonal + unit corners: A x picks up the wrap terms.
+        let s = CyclicSystem::new(
+            vec![0.0; 4],
+            vec![1.0; 4],
+            vec![0.0; 4],
+            vec![0.0; 4],
+            2.0,
+            3.0,
+        )
+        .unwrap();
+        let y = s.apply(&[1.0, 10.0, 100.0, 1000.0]).unwrap();
+        assert_eq!(y, vec![1.0 + 2.0 * 1000.0, 10.0, 100.0, 1000.0 + 3.0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Floating-point scalar abstraction.
+//!
+//! The paper evaluates both single and double precision (Section IV);
+//! every algorithm in this crate is generic over [`Scalar`] so the same
+//! code path serves `f32` and `f64`.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real floating-point scalar usable by the tridiagonal algorithms.
+///
+/// This is a minimal, hand-rolled substitute for `num-traits` (which is
+/// not on the offline dependency allowlist). Only the operations the
+/// solvers actually need are included.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon for this precision.
+    const EPSILON: Self;
+    /// Number of bytes in the in-memory representation (4 or 8). Used by
+    /// the GPU memory model to compute transaction sizes.
+    const BYTES: usize;
+    /// Short human-readable precision label (`"f32"` / `"f64"`).
+    const NAME: &'static str;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Maximum of two values (NaN-propagating like `f64::max` is fine).
+    fn max(self, other: Self) -> Self;
+    /// Minimum of two values.
+    fn min(self, other: Self) -> Self;
+    /// `true` if the value is finite (not NaN or infinite).
+    fn is_finite(self) -> bool;
+    /// Lossy conversion from `f64` (used by generators and tolerances).
+    fn from_f64(v: f64) -> Self;
+    /// Lossless widening to `f64` (used by residual accumulation).
+    fn to_f64(self) -> f64;
+    /// Convert from a usize exactly where possible.
+    fn from_usize(v: usize) -> Self {
+        Self::from_f64(v as f64)
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f32::EPSILON;
+    const BYTES: usize = 4;
+    const NAME: &'static str = "f32";
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        self.abs()
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        self.sqrt()
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        self.max(other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        self.min(other)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        self.is_finite()
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f64::EPSILON;
+    const BYTES: usize = 8;
+    const NAME: &'static str = "f64";
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        self.abs()
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        self.sqrt()
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        self.max(other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        self.min(other)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        self.is_finite()
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<S: Scalar>() {
+        assert_eq!(S::ZERO + S::ONE, S::ONE);
+        assert_eq!(S::ONE * S::ONE, S::ONE);
+        assert!(S::EPSILON > S::ZERO);
+        assert!((-S::ONE).abs() == S::ONE);
+        assert_eq!(S::from_f64(4.0).sqrt(), S::from_f64(2.0));
+        assert!(S::from_f64(1.0).is_finite());
+        assert!(!(S::from_f64(1.0) / S::ZERO).is_finite());
+        assert_eq!(S::from_usize(7).to_f64(), 7.0);
+        assert_eq!(S::ONE.max(S::ZERO), S::ONE);
+        assert_eq!(S::ONE.min(S::ZERO), S::ZERO);
+    }
+
+    #[test]
+    fn f32_impl() {
+        exercise::<f32>();
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f32::NAME, "f32");
+    }
+
+    #[test]
+    fn f64_impl() {
+        exercise::<f64>();
+        assert_eq!(f64::BYTES, 8);
+        assert_eq!(f64::NAME, "f64");
+    }
+}

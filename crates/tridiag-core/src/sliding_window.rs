@@ -1,0 +1,506 @@
+//! The buffered sliding window (Section III-A, Figs. 8–10, Table I).
+//!
+//! Naive tiling of k-step PCR re-loads `f(k) = 2^k − 1` halo elements
+//! and re-computes `g(k)` intermediate eliminations per tile boundary
+//! (Eqs. 8–9) — both grow exponentially in `k`. The paper's fix is to
+//! process tiles *sequentially* within a worker and cache every
+//! intermediate value that a later tile will need, so nothing is ever
+//! loaded or eliminated twice.
+//!
+//! This module implements that scheme as a streaming cascade:
+//!
+//! - Level 0 is the raw input rows, fed in order.
+//! - Level `j` holds rows after `j` PCR steps. A level-`j` row at
+//!   position `i` needs level-`j−1` rows at `i − 2^{j−1}`, `i`,
+//!   `i + 2^{j−1}`, so level `j`'s frontier trails level `j−1`'s by
+//!   `2^{j−1}` positions; cumulatively the output (level `k`) trails the
+//!   input by exactly `f(k)` — the paper's lead-in.
+//! - Each level keeps only the trailing rows a future computation can
+//!   still reference: `2^j + sub_tile` rows at level `j`. Summed over
+//!   levels the *dependency* portion is `Σ 2^{j+1} = 2·f(k)` — the
+//!   minimum cache size the paper derives; the shared-memory realisation
+//!   in `tridiag-gpu` rounds this up to `3·f(k)` for alignment/padding
+//!   (Table I), which [`WindowProperties`] reports.
+//!
+//! Because out-of-range neighbours are modelled by identity rows at
+//! every level (exactly like [`crate::pcr::reduce`]), the cascade
+//! reproduces monolithic incomplete PCR **bit for bit** — the property
+//! tests assert exact equality, not closeness.
+
+use crate::cost_model;
+use crate::cr::{reduce_row, Row};
+use crate::error::{Result, TridiagError};
+use crate::scalar::Scalar;
+use std::collections::VecDeque;
+
+/// Static properties of a buffered sliding window configuration
+/// (Table I of the paper), for `k` PCR steps and sub-tile scale `c`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowProperties {
+    /// Number of PCR steps `k`.
+    pub k: u32,
+    /// Sub-tile scale factor `c ≥ 1`.
+    pub c: usize,
+}
+
+impl WindowProperties {
+    /// Build and validate the configuration.
+    pub fn new(k: u32, c: usize) -> Result<Self> {
+        if c == 0 {
+            return Err(TridiagError::InvalidConfig(
+                "sub-tile scale c must be >= 1".into(),
+            ));
+        }
+        if k >= 31 {
+            return Err(TridiagError::InvalidConfig(format!(
+                "k = {k} PCR steps is beyond any practical window"
+            )));
+        }
+        Ok(Self { k, c })
+    }
+
+    /// Size of a sub-tile: `c · 2^k` rows.
+    pub fn sub_tile(&self) -> usize {
+        self.c << self.k
+    }
+
+    /// Intermediate-results cache: `3 · Σ_{i<k} 2^i = 3·(2^k − 1)`,
+    /// bounded by `3·2^k` (Table I row 3).
+    pub fn cache_rows(&self) -> usize {
+        cost_model::window_cache_size(self.k) as usize
+    }
+
+    /// Threads per thread block in the GPU realisation: `2^k`
+    /// (Table I row 4) — all threads perform full PCR steps together.
+    pub fn threads_per_block(&self) -> usize {
+        1 << self.k
+    }
+
+    /// Elimination steps each thread performs per sub-tile: `c·k`
+    /// (Table I row 5).
+    pub fn eliminations_per_thread(&self) -> usize {
+        self.c * self.k as usize
+    }
+
+    /// Elimination steps per sub-tile: `c·k·2^k` (Table I row 6).
+    pub fn eliminations_per_sub_tile(&self) -> usize {
+        self.eliminations_per_thread() << self.k
+    }
+
+    /// Shared-memory bytes the window occupies for scalar type size
+    /// `bytes_per_elem` (4 coefficient arrays per row).
+    pub fn shared_bytes(&self, bytes_per_elem: usize) -> usize {
+        // cache + one sub-tile of fresh input resident at a time
+        (self.cache_rows() + self.sub_tile()) * 4 * bytes_per_elem
+    }
+}
+
+/// One level's trailing storage: rows at positions
+/// `[frontier − len, frontier)`; positions outside `[0, n)` hold
+/// identity rows by construction.
+#[derive(Debug)]
+struct LevelBuffer<S> {
+    rows: VecDeque<Row<S>>,
+    /// Position one past the newest stored row.
+    frontier: isize,
+    /// Maximum rows retained.
+    capacity: usize,
+}
+
+impl<S: Scalar> LevelBuffer<S> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            rows: VecDeque::with_capacity(capacity),
+            frontier: 0,
+            capacity,
+        }
+    }
+
+    /// Row at absolute position `pos`. Positions the buffer has dropped
+    /// are a logic error (debug assert); positions not yet produced are
+    /// also a logic error.
+    fn get(&self, pos: isize) -> Row<S> {
+        let oldest = self.frontier - self.rows.len() as isize;
+        debug_assert!(
+            pos >= oldest && pos < self.frontier,
+            "window dropped or not-yet-produced position {pos} (have [{oldest}, {})) — \
+             capacity miscomputed",
+            self.frontier
+        );
+        self.rows[(pos - oldest) as usize]
+    }
+
+    fn push(&mut self, row: Row<S>) {
+        if self.rows.len() == self.capacity {
+            self.rows.pop_front();
+        }
+        self.rows.push_back(row);
+        self.frontier += 1;
+    }
+}
+
+/// Counters proving the redundancy claims of Section III-A.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Input rows loaded. A full-range pipeline loads each row exactly
+    /// once; a partitioned pipeline additionally loads up to `f(k)` halo
+    /// rows per side (the Fig. 11(b) redundancy).
+    pub rows_loaded: usize,
+    /// Loaded rows lying outside the emit range — the redundant halo
+    /// loads a partition boundary costs. Zero for a full-range pipeline.
+    pub halo_loads: usize,
+    /// Eliminations whose output position lies inside the system —
+    /// exactly `k · n` summed over a full-range run, i.e. zero
+    /// redundancy; partitioned runs exceed this by the re-computed
+    /// lead-in eliminations.
+    pub productive_eliminations: usize,
+    /// Eliminations at out-of-range (identity) positions from pipeline
+    /// lead-in/lead-out; `O(k · f(k))` total, independent of `n`.
+    pub flush_eliminations: usize,
+    /// Peak rows resident across all level buffers.
+    pub peak_resident_rows: usize,
+}
+
+impl WindowStats {
+    /// Accumulate another pipeline's counters (for partitioned runs).
+    pub fn merge(&mut self, other: &WindowStats) {
+        self.rows_loaded += other.rows_loaded;
+        self.halo_loads += other.halo_loads;
+        self.productive_eliminations += other.productive_eliminations;
+        self.flush_eliminations += other.flush_eliminations;
+        self.peak_resident_rows = self.peak_resident_rows.max(other.peak_resident_rows);
+    }
+}
+
+/// A streaming k-step PCR pipeline over one system of known length.
+///
+/// Feed rows in order with [`PcrPipeline::push`]; fully-reduced rows
+/// come back in order, trailing the input by `f(k)` positions. After the
+/// last input row, call [`PcrPipeline::finish`] to flush.
+#[derive(Debug)]
+pub struct PcrPipeline<S: Scalar> {
+    k: u32,
+    /// Total length of the underlying system (identity beyond it).
+    n: usize,
+    /// Output rows emitted for positions `[emit_lo, emit_hi)`.
+    emit_lo: usize,
+    emit_hi: usize,
+    /// One past the last *real* input position
+    /// (`min(n, emit_hi + f(k))`); beyond it `finish` feeds identities.
+    in_end: isize,
+    /// `levels[j]` stores rows after `j` PCR steps (level 0 = input).
+    levels: Vec<LevelBuffer<S>>,
+    /// Next input position to accept.
+    in_pos: isize,
+    /// Completed output rows (level k), positions `emit_lo..`.
+    out: Vec<Row<S>>,
+    stats: WindowStats,
+}
+
+impl<S: Scalar> PcrPipeline<S> {
+    /// A pipeline over the whole system: `n` rows, `k` PCR steps.
+    pub fn new(n: usize, k: u32) -> Result<Self> {
+        Self::with_range(n, k, 0, n)
+    }
+
+    /// A pipeline that emits only positions `[emit_lo, emit_hi)` of an
+    /// `n`-row system — one partition of the Fig. 11(b) mapping where a
+    /// large system is spread over several workers. The partition must
+    /// consume `f(k)` extra *halo* rows on each side (counted in
+    /// [`WindowStats::halo_loads`]); outputs match the monolithic
+    /// reduction exactly because every value in the dependency cone of
+    /// the emitted rows is computed from real inputs.
+    pub fn with_range(n: usize, k: u32, emit_lo: usize, emit_hi: usize) -> Result<Self> {
+        if n == 0 || emit_lo >= emit_hi {
+            return Err(TridiagError::EmptySystem);
+        }
+        if emit_hi > n {
+            return Err(TridiagError::IndexOutOfBounds {
+                index: emit_hi,
+                len: n,
+            });
+        }
+        if k > 0 && (1usize << k) > n {
+            return Err(TridiagError::TooManySteps { k, n });
+        }
+        let lead = cost_model::halo_elements(k) as isize;
+        let in_start = (emit_lo as isize - lead).max(0);
+        let in_end = ((emit_hi as isize) + lead).min(n as isize);
+        let mut levels = Vec::with_capacity(k as usize + 1);
+        // Pre-seed each level with identity rows for the positions that
+        // precede its first computed row, so the cascade needs no
+        // boundary branches. Level j trails level 0 by 2^j − 1 positions
+        // (the cumulative lead-in), so its initial frontier sits at
+        // `in_start − (2^j − 1)`.
+        for j in 0..=k {
+            // Level j is read by level j+1 at distance up to 3·2^j − 1
+            // behind its frontier; 2^{j+1} + 1 retained rows always
+            // suffice for the element-wise cascade.
+            let cap = (1usize << (j + 1)) + 1;
+            let mut level = LevelBuffer::new(cap);
+            let first_frontier = in_start - ((1isize << j) - 1);
+            level.frontier = first_frontier - cap as isize;
+            for _ in 0..cap {
+                level.push(Row::identity());
+            }
+            debug_assert_eq!(level.frontier, first_frontier);
+            levels.push(level);
+        }
+        Ok(Self {
+            k,
+            n,
+            emit_lo,
+            emit_hi,
+            in_end,
+            levels,
+            in_pos: in_start,
+            out: Vec::with_capacity(emit_hi - emit_lo),
+            stats: WindowStats::default(),
+        })
+    }
+
+    /// Number of PCR steps.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Absolute position of the next input row [`PcrPipeline::push`]
+    /// expects (starts at `emit_lo − f(k)`, clamped to 0).
+    pub fn next_input_pos(&self) -> usize {
+        self.in_pos as usize
+    }
+
+    /// One past the last input position this pipeline will accept.
+    pub fn input_end(&self) -> usize {
+        self.in_end as usize
+    }
+
+    /// Feed the next input row (position [`PcrPipeline::next_input_pos`]).
+    /// Rows must be supplied strictly in order.
+    pub fn push(&mut self, row: Row<S>) -> Result<()> {
+        if self.in_pos >= self.in_end {
+            return Err(TridiagError::IndexOutOfBounds {
+                index: self.in_pos as usize,
+                len: self.in_end as usize,
+            });
+        }
+        self.stats.rows_loaded += 1;
+        let pos = self.in_pos as usize;
+        if pos < self.emit_lo || pos >= self.emit_hi {
+            self.stats.halo_loads += 1;
+        }
+        self.feed(row)
+    }
+
+    /// Flush the pipeline with identity rows (for positions beyond the
+    /// end of the system) and return the reduced rows for
+    /// `[emit_lo, emit_hi)`, in order, together with the final counters
+    /// (the drain itself performs eliminations, so counters read before
+    /// `finish` undercount).
+    pub fn finish(mut self) -> Result<(Vec<Row<S>>, WindowStats)> {
+        if self.in_pos < self.in_end {
+            return Err(TridiagError::InvalidConfig(format!(
+                "finish() before all rows pushed: at {} of {}",
+                self.in_pos, self.in_end
+            )));
+        }
+        // The output trails the input by f(k); drain with identities.
+        let lead = cost_model::halo_elements(self.k) as isize;
+        let target = self.emit_hi as isize + lead;
+        while self.in_pos < target {
+            debug_assert!(self.in_pos >= self.n as isize);
+            self.feed(Row::identity())?;
+        }
+        debug_assert_eq!(self.out.len(), self.emit_hi - self.emit_lo);
+        Ok((self.out, self.stats))
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> WindowStats {
+        self.stats
+    }
+
+    /// Core cascade: append `row` at level 0, then let each level
+    /// compute the newest position whose dependencies just became
+    /// available.
+    fn feed(&mut self, row: Row<S>) -> Result<()> {
+        let pos = self.in_pos;
+        self.in_pos += 1;
+        self.levels[0].push(row);
+        debug_assert_eq!(self.levels[0].frontier, pos + 1);
+
+        for j in 1..=self.k as usize {
+            let stride = 1isize << (j - 1);
+            // Level j can now produce position `p = frontier(j-1) - 1 - stride`:
+            // its right dependency p + stride is the row just pushed.
+            let p = self.levels[j - 1].frontier - 1 - stride;
+            let prev = self.levels[j - 1].get(p - stride);
+            let cur = self.levels[j - 1].get(p);
+            let next = self.levels[j - 1].get(p + stride);
+            let in_range = p >= 0 && (p as usize) < self.n;
+            let reduced = if in_range {
+                self.stats.productive_eliminations += 1;
+                reduce_row(prev, cur, next, p as usize)?
+            } else {
+                self.stats.flush_eliminations += 1;
+                debug_assert_eq!(cur, Row::identity());
+                Row::identity()
+            };
+            debug_assert_eq!(self.levels[j].frontier, p);
+            self.levels[j].push(reduced);
+        }
+
+        // Collect any output row that just completed at the final level.
+        let out_pos = self.levels[self.k as usize].frontier - 1;
+        if out_pos >= self.emit_lo as isize && out_pos < self.emit_hi as isize {
+            let r = self.levels[self.k as usize].get(out_pos);
+            debug_assert_eq!(self.out.len(), out_pos as usize - self.emit_lo);
+            self.out.push(r);
+        }
+
+        let resident: usize = self.levels.iter().map(|l| l.rows.len()).sum();
+        self.stats.peak_resident_rows = self.stats.peak_resident_rows.max(resident);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::dominant_random;
+    use crate::pcr;
+
+    fn run_pipeline(n: usize, k: u32, seed: u64) -> (Vec<Row<f64>>, WindowStats) {
+        let s = dominant_random::<f64>(n, seed);
+        let mut pipe = PcrPipeline::new(n, k).unwrap();
+        for i in 0..n {
+            pipe.push(Row::from_system(&s, i)).unwrap();
+        }
+        let (rows, stats) = pipe.finish().unwrap();
+        (rows, stats)
+    }
+
+    #[test]
+    fn matches_monolithic_pcr_bit_for_bit() {
+        for (n, k) in [(8usize, 1u32), (8, 3), (64, 2), (100, 3), (257, 4), (1024, 5)] {
+            let s = dominant_random::<f64>(n, 7 * n as u64 + k as u64);
+            let reference = pcr::reduce(&s, k).unwrap();
+            let (ra, rb, rc, rd) = reference.arrays();
+            let mut pipe = PcrPipeline::new(n, k).unwrap();
+            for i in 0..n {
+                pipe.push(Row::from_system(&s, i)).unwrap();
+            }
+            let (rows, _) = pipe.finish().unwrap();
+            for i in 0..n {
+                // Exact equality: same operations in the same order.
+                assert_eq!(rows[i].a, ra[i], "n={n} k={k} a[{i}]");
+                assert_eq!(rows[i].b, rb[i], "n={n} k={k} b[{i}]");
+                assert_eq!(rows[i].c, rc[i], "n={n} k={k} c[{i}]");
+                assert_eq!(rows[i].d, rd[i], "n={n} k={k} d[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_steps_passthrough() {
+        let (rows, stats) = run_pipeline(16, 0, 1);
+        assert_eq!(rows.len(), 16);
+        assert_eq!(stats.productive_eliminations, 0);
+        assert_eq!(stats.rows_loaded, 16);
+    }
+
+    #[test]
+    fn zero_redundancy_productive_work_is_exactly_k_n() {
+        for (n, k) in [(64usize, 1u32), (64, 3), (500, 4), (4096, 6)] {
+            let (_, stats) = run_pipeline(n, k, 3);
+            assert_eq!(
+                stats.productive_eliminations,
+                k as usize * n,
+                "n={n} k={k}: every in-range elimination happens exactly once"
+            );
+            assert_eq!(stats.rows_loaded, n, "each row loaded exactly once");
+        }
+    }
+
+    #[test]
+    fn flush_work_is_bounded_independent_of_n() {
+        let (_, small) = run_pipeline(64, 4, 5);
+        let (_, large) = run_pipeline(4096, 4, 5);
+        assert_eq!(
+            small.flush_eliminations, large.flush_eliminations,
+            "lead-in/out cost must not scale with n"
+        );
+    }
+
+    #[test]
+    fn resident_rows_stay_within_cache_bound() {
+        for k in 1..=6u32 {
+            let n = 1usize << (k + 4);
+            let (_, stats) = run_pipeline(n, k, 11);
+            // Each level keeps 2^{j+1}+1 rows: sum_j = 2(2^{k+1}-1) + k+1.
+            let bound: usize = (0..=k).map(|j| (1usize << (j + 1)) + 1).sum();
+            assert!(
+                stats.peak_resident_rows <= bound,
+                "k={k}: resident {} > bound {bound}",
+                stats.peak_resident_rows
+            );
+            // And the dependency cache is O(f(k)), nowhere near n.
+            assert!(stats.peak_resident_rows < n / 2 + bound);
+        }
+    }
+
+    #[test]
+    fn rejects_overfeeding_and_early_finish() {
+        let s = dominant_random::<f64>(4, 1);
+        let mut pipe = PcrPipeline::new(4, 1).unwrap();
+        for i in 0..4 {
+            pipe.push(Row::from_system(&s, i)).unwrap();
+        }
+        assert!(pipe.push(Row::identity()).is_err());
+
+        let mut pipe2 = PcrPipeline::<f64>::new(4, 1).unwrap();
+        pipe2.push(Row::from_system(&s, 0)).unwrap();
+        assert!(pipe2.finish().is_err());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(PcrPipeline::<f64>::new(0, 1).is_err());
+        assert!(PcrPipeline::<f64>::new(4, 3).is_err()); // 2^3 > 4
+        assert!(PcrPipeline::<f64>::new(4, 2).is_ok());
+        assert!(PcrPipeline::<f64>::new(4, 0).is_ok());
+    }
+
+    #[test]
+    fn table1_properties() {
+        let w = WindowProperties::new(2, 1).unwrap();
+        assert_eq!(w.sub_tile(), 4);
+        assert_eq!(w.cache_rows(), 9); // 3 * (2^2 - 1)
+        assert_eq!(w.threads_per_block(), 4);
+        assert_eq!(w.eliminations_per_thread(), 2);
+        assert_eq!(w.eliminations_per_sub_tile(), 8);
+
+        let w = WindowProperties::new(8, 2).unwrap();
+        assert_eq!(w.sub_tile(), 512);
+        assert_eq!(w.threads_per_block(), 256);
+        assert_eq!(w.eliminations_per_thread(), 16);
+        assert_eq!(w.eliminations_per_sub_tile(), 16 * 256);
+        assert!(w.cache_rows() <= 3 * 256);
+
+        assert!(WindowProperties::new(3, 0).is_err());
+        assert!(WindowProperties::new(40, 1).is_err());
+    }
+
+    #[test]
+    fn shared_bytes_fits_gtx480_shared_memory_for_paper_configs() {
+        // Table III configs must fit in 48 KiB of shared memory in f64.
+        for (k, c) in [(8u32, 1usize), (7, 2), (6, 4), (5, 8)] {
+            let w = WindowProperties::new(k, c).unwrap();
+            assert!(
+                w.shared_bytes(8) <= 48 * 1024,
+                "k={k} c={c}: {} bytes",
+                w.shared_bytes(8)
+            );
+        }
+    }
+}

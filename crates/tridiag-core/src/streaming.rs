@@ -1,0 +1,301 @@
+//! The generalised buffered sliding window — the paper's future work.
+//!
+//! Section VI: "The buffered sliding window approach can also be
+//! applied to other types of divide-and-conquer type algorithms. Future
+//! work includes further developing the approach into a generalized
+//! strategy…" This module is that generalisation: a streaming `k`-level
+//! cascade over **any** 3-point stencil
+//!
+//! ```text
+//! level_j[i] = combine(level_{j−1}[i − 2^{j−1}],
+//!              level_{j−1}[i],
+//!              level_{j−1}[i + 2^{j−1}])
+//! ```
+//!
+//! computed with `O(k · 2^k)` resident state regardless of stream
+//! length, each intermediate value computed exactly once — exactly the
+//! dependency-caching idea of Section III-A, abstracted from PCR.
+//!
+//! Two instances ship here:
+//! - [`DilationOp`] — morphological dilation (running maximum) of
+//!   radius `2^k − 1` in `k` doubling levels, the classic log-depth
+//!   van Herk-style trick;
+//! - [`SmoothingOp`] — iterated binomial smoothing with doubling
+//!   spans (a log-depth approximation cascade).
+//!
+//! (PCR itself is the third instance, but keeps its dedicated
+//! implementation in [`crate::sliding_window`] because it needs the
+//! identity-row boundary semantics and exact-equality guarantees.)
+
+use crate::error::{Result, TridiagError};
+use std::collections::VecDeque;
+
+/// A 3-point stencil combinable by the cascade.
+pub trait StencilOp {
+    /// Element type flowing through the cascade.
+    type Elem: Copy;
+    /// Value representing positions outside the stream.
+    fn boundary(&self) -> Self::Elem;
+    /// Combine `(left, centre, right)` at doubling distance.
+    fn combine(&self, left: Self::Elem, centre: Self::Elem, right: Self::Elem) -> Self::Elem;
+}
+
+/// Morphological dilation: running maximum over radius `2^k − 1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DilationOp;
+
+impl StencilOp for DilationOp {
+    type Elem = f64;
+    fn boundary(&self) -> f64 {
+        f64::NEG_INFINITY
+    }
+    fn combine(&self, l: f64, c: f64, r: f64) -> f64 {
+        l.max(c).max(r)
+    }
+}
+
+/// Iterated three-point binomial smoothing with doubling spans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmoothingOp;
+
+impl StencilOp for SmoothingOp {
+    type Elem = f64;
+    fn boundary(&self) -> f64 {
+        0.0
+    }
+    fn combine(&self, l: f64, c: f64, r: f64) -> f64 {
+        0.25 * l + 0.5 * c + 0.25 * r
+    }
+}
+
+struct Level<T> {
+    ring: VecDeque<T>,
+    frontier: isize,
+    capacity: usize,
+}
+
+impl<T: Copy> Level<T> {
+    fn get(&self, pos: isize) -> T {
+        let oldest = self.frontier - self.ring.len() as isize;
+        debug_assert!(pos >= oldest && pos < self.frontier, "window underflow");
+        self.ring[(pos - oldest) as usize]
+    }
+    fn push(&mut self, v: T) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(v);
+        self.frontier += 1;
+    }
+}
+
+/// A streaming k-level cascade over an arbitrary [`StencilOp`] — the
+/// generalised buffered sliding window. Feed the stream in order; each
+/// fully-cascaded output emerges `2^k − 1` positions behind the input.
+pub struct StreamingStencil<Op: StencilOp> {
+    op: Op,
+    k: u32,
+    n: usize,
+    levels: Vec<Level<Op::Elem>>,
+    in_pos: isize,
+    out: Vec<Op::Elem>,
+}
+
+impl<Op: StencilOp> StreamingStencil<Op> {
+    /// Cascade of `k` levels over a stream of known length `n`.
+    pub fn new(op: Op, n: usize, k: u32) -> Result<Self> {
+        if n == 0 {
+            return Err(TridiagError::EmptySystem);
+        }
+        if k >= 31 {
+            return Err(TridiagError::InvalidConfig(format!(
+                "{k} cascade levels is beyond any practical window"
+            )));
+        }
+        let boundary = op.boundary();
+        let mut levels = Vec::with_capacity(k as usize + 1);
+        for j in 0..=k {
+            let cap = (1usize << (j + 1)) + 1;
+            let first_frontier = -((1isize << j) - 1);
+            let mut level = Level {
+                ring: VecDeque::with_capacity(cap),
+                frontier: first_frontier - cap as isize,
+                capacity: cap,
+            };
+            for _ in 0..cap {
+                level.push(boundary);
+            }
+            levels.push(level);
+        }
+        Ok(Self {
+            op,
+            k,
+            n,
+            levels,
+            in_pos: 0,
+            out: Vec::with_capacity(n),
+        })
+    }
+
+    /// Resident elements across all levels — `O(2^k)`, stream-length
+    /// independent (the whole point).
+    pub fn resident(&self) -> usize {
+        self.levels.iter().map(|l| l.ring.len()).sum()
+    }
+
+    /// Feed the next stream element.
+    pub fn push(&mut self, v: Op::Elem) -> Result<()> {
+        if self.in_pos >= self.n as isize {
+            return Err(TridiagError::IndexOutOfBounds {
+                index: self.in_pos as usize,
+                len: self.n,
+            });
+        }
+        self.feed(v);
+        Ok(())
+    }
+
+    /// Flush with boundary values and return the `n` cascaded outputs.
+    pub fn finish(mut self) -> Result<Vec<Op::Elem>> {
+        if (self.in_pos as usize) < self.n {
+            return Err(TridiagError::InvalidConfig(format!(
+                "finish() before all elements pushed: {} of {}",
+                self.in_pos, self.n
+            )));
+        }
+        let lead = (1isize << self.k) - 1;
+        for _ in 0..lead {
+            let b = self.op.boundary();
+            self.feed(b);
+        }
+        debug_assert_eq!(self.out.len(), self.n);
+        Ok(self.out)
+    }
+
+    fn feed(&mut self, v: Op::Elem) {
+        self.in_pos += 1;
+        self.levels[0].push(v);
+        for j in 1..=self.k as usize {
+            let stride = 1isize << (j - 1);
+            let p = self.levels[j - 1].frontier - 1 - stride;
+            let l = self.levels[j - 1].get(p - stride);
+            let c = self.levels[j - 1].get(p);
+            let r = self.levels[j - 1].get(p + stride);
+            let combined = self.op.combine(l, c, r);
+            self.levels[j].push(combined);
+        }
+        let out_pos = self.levels[self.k as usize].frontier - 1;
+        if out_pos >= 0 && (out_pos as usize) < self.n {
+            let val = self.levels[self.k as usize].get(out_pos);
+            self.out.push(val);
+        }
+    }
+}
+
+/// Convenience: run a whole slice through the cascade.
+///
+/// ```
+/// use tridiag_core::streaming::{apply, DilationOp};
+/// // Radius-3 running maximum in 2 doubling levels.
+/// let y = apply(DilationOp, &[0.0, 9.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0], 2).unwrap();
+/// assert_eq!(y[4], 9.0); // the spike spreads 3 positions
+/// assert_eq!(y[5], 1.0); // beyond the radius it does not
+/// ```
+pub fn apply<Op: StencilOp>(op: Op, data: &[Op::Elem], k: u32) -> Result<Vec<Op::Elem>> {
+    let mut s = StreamingStencil::new(op, data.len(), k)?;
+    for &v in data {
+        s.push(v)?;
+    }
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_force_dilate(x: &[f64], radius: usize) -> Vec<f64> {
+        (0..x.len())
+            .map(|i| {
+                let lo = i.saturating_sub(radius);
+                let hi = (i + radius + 1).min(x.len());
+                x[lo..hi].iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dilation_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (n, k) in [(10usize, 1u32), (100, 3), (257, 4), (1000, 5)] {
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            let fast = apply(DilationOp, &x, k).unwrap();
+            let slow = brute_force_dilate(&x, (1 << k) - 1);
+            assert_eq!(fast, slow, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn resident_state_is_stream_length_independent() {
+        let k = 6u32;
+        let short = StreamingStencil::new(DilationOp, 200, k).unwrap();
+        let long = StreamingStencil::new(DilationOp, 2_000_000, k).unwrap();
+        assert_eq!(short.resident(), long.resident());
+        // Bound: sum of 2^{j+1}+1 over levels.
+        let bound: usize = (0..=k).map(|j| (1usize << (j + 1)) + 1).sum();
+        assert!(long.resident() <= bound);
+    }
+
+    #[test]
+    fn smoothing_preserves_mean_in_the_interior() {
+        // A constant signal is a fixed point away from the boundary.
+        let n = 64;
+        let x = vec![3.5f64; n];
+        let y = apply(SmoothingOp, &x, 3).unwrap();
+        let radius = (1 << 3) - 1;
+        for i in radius..n - radius {
+            assert!((y[i] - 3.5).abs() < 1e-12, "i={i}: {}", y[i]);
+        }
+        // Boundary taper: zero padding pulls edges down.
+        assert!(y[0] < 3.5);
+    }
+
+    #[test]
+    fn smoothing_reduces_oscillation() {
+        let n = 256;
+        let x: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y = apply(SmoothingOp, &x, 1).unwrap();
+        // One binomial level annihilates the Nyquist mode (interior).
+        for i in 2..n - 2 {
+            assert!(y[i].abs() < 1e-12, "i={i}: {}", y[i]);
+        }
+    }
+
+    #[test]
+    fn chunked_feeding_is_invisible() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 300;
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let whole = apply(DilationOp, &x, 4).unwrap();
+        let mut s = StreamingStencil::new(DilationOp, n, 4).unwrap();
+        for chunk in x.chunks(7) {
+            for &v in chunk {
+                s.push(v).unwrap();
+            }
+        }
+        assert_eq!(s.finish().unwrap(), whole);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(StreamingStencil::new(DilationOp, 0, 2).is_err());
+        assert!(StreamingStencil::new(DilationOp, 8, 40).is_err());
+        let mut s = StreamingStencil::new(DilationOp, 2, 1).unwrap();
+        s.push(1.0).unwrap();
+        let early = StreamingStencil::new(DilationOp, 2, 1).unwrap();
+        assert!(early.finish().is_err());
+        s.push(2.0).unwrap();
+        assert!(s.push(3.0).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! The Thomas algorithm (Section II-A-1, Eqs. 2–4).
+//!
+//! Gaussian elimination specialised to a tridiagonal matrix: a forward
+//! reduction sweep eliminates the sub-diagonal, a backward substitution
+//! sweep recovers the unknowns. `2n − 1` elimination steps, `O(n)` work,
+//! strictly sequential — this is the CPU gold standard every parallel
+//! algorithm in the paper (and in this crate's test suite) is checked
+//! against, and also the per-thread backend of p-Thomas.
+
+use crate::error::{Result, TridiagError};
+use crate::scalar::Scalar;
+use crate::system::TridiagonalSystem;
+
+/// Solve `A x = d` with the Thomas algorithm, allocating the output and
+/// scratch internally.
+///
+/// ```
+/// use tridiag_core::{thomas, TridiagonalSystem};
+/// // [2 1; 1 3] x = [5; 10]  =>  x = (1, 3)
+/// let s = TridiagonalSystem::<f64>::new(
+///     vec![0.0, 1.0], vec![2.0, 3.0], vec![1.0, 0.0], vec![5.0, 10.0],
+/// ).unwrap();
+/// let x = thomas::solve_typed(&s).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+/// ```
+///
+/// # Errors
+/// [`TridiagError::ZeroPivot`] if a pivot underflows to exactly zero
+/// (cannot happen for diagonally dominant systems);
+/// [`TridiagError::NonFinite`] if the sweep produces NaN/Inf.
+pub fn solve_typed<S: Scalar>(system: &TridiagonalSystem<S>) -> Result<Vec<S>> {
+    let n = system.len();
+    let mut x = vec![S::ZERO; n];
+    let mut scratch = ThomasScratch::new(n);
+    solve_into(system, &mut x, &mut scratch)?;
+    Ok(x)
+}
+
+/// Reusable scratch buffers for repeated Thomas solves of the same size
+/// (time-stepping loops call the solver thousands of times; reallocating
+/// two `Vec`s per step shows up in profiles).
+#[derive(Debug, Clone)]
+pub struct ThomasScratch<S: Scalar> {
+    c_prime: Vec<S>,
+    d_prime: Vec<S>,
+}
+
+impl<S: Scalar> ThomasScratch<S> {
+    /// Scratch for systems of `n` unknowns.
+    pub fn new(n: usize) -> Self {
+        Self {
+            c_prime: vec![S::ZERO; n],
+            d_prime: vec![S::ZERO; n],
+        }
+    }
+
+    /// Grow (never shrink) to accommodate `n` unknowns.
+    pub fn ensure(&mut self, n: usize) {
+        if self.c_prime.len() < n {
+            self.c_prime.resize(n, S::ZERO);
+            self.d_prime.resize(n, S::ZERO);
+        }
+    }
+}
+
+/// Solve into a caller-provided output slice using caller-provided
+/// scratch. `x.len()` must equal the system size.
+pub fn solve_into<S: Scalar>(
+    system: &TridiagonalSystem<S>,
+    x: &mut [S],
+    scratch: &mut ThomasScratch<S>,
+) -> Result<()> {
+    let n = system.len();
+    if x.len() != n {
+        return Err(TridiagError::LengthMismatch {
+            expected: n,
+            found: x.len(),
+            what: "x",
+        });
+    }
+    scratch.ensure(n);
+    let (a, b, c, d) = system.parts();
+    solve_raw(
+        a,
+        b,
+        c,
+        d,
+        x,
+        &mut scratch.c_prime[..n],
+        &mut scratch.d_prime[..n],
+    )
+}
+
+/// The raw sweep over bare slices. All slices must have length `n`;
+/// `a[0]` and `c[n-1]` are ignored (treated as outside the matrix).
+///
+/// This is the exact per-thread program the GPU p-Thomas kernel runs;
+/// keeping it as a free function lets the kernel and the CPU reference
+/// share one implementation of Eqs. 2–4.
+pub fn solve_raw<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &[S],
+    d: &[S],
+    x: &mut [S],
+    c_prime: &mut [S],
+    d_prime: &mut [S],
+) -> Result<()> {
+    let n = b.len();
+    debug_assert!(
+        a.len() == n && c.len() == n && d.len() == n && x.len() == n,
+        "solve_raw requires uniform slice lengths"
+    );
+    if n == 0 {
+        return Err(TridiagError::EmptySystem);
+    }
+
+    // Forward reduction (Eqs. 2–3): c'_1 = c_1/b_1, d'_1 = d_1/b_1, then
+    //   c'_i = c_i / (b_i − c'_{i−1} a_i)
+    //   d'_i = (d_i − d'_{i−1} a_i) / (b_i − c'_{i−1} a_i)
+    if b[0] == S::ZERO {
+        return Err(TridiagError::ZeroPivot { row: 0 });
+    }
+    c_prime[0] = c[0] / b[0];
+    d_prime[0] = d[0] / b[0];
+    for i in 1..n {
+        let denom = b[i] - c_prime[i - 1] * a[i];
+        if denom == S::ZERO {
+            return Err(TridiagError::ZeroPivot { row: i });
+        }
+        let inv = S::ONE / denom;
+        c_prime[i] = c[i] * inv;
+        d_prime[i] = (d[i] - d_prime[i - 1] * a[i]) * inv;
+        if !d_prime[i].is_finite() {
+            return Err(TridiagError::NonFinite { row: i });
+        }
+    }
+
+    // Backward substitution (Eq. 4): x_n = d'_n, x_i = d'_i − c'_i x_{i+1}.
+    x[n - 1] = d_prime[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = d_prime[i] - c_prime[i] * x[i + 1];
+    }
+    Ok(())
+}
+
+/// Number of elimination steps Thomas performs on an `n`-unknown system:
+/// `2n − 1` (Section II-A-1). Used by the cost model and asserted by the
+/// simulator's instruction counters.
+pub fn elimination_steps(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        2 * n - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::TridiagonalSystem;
+
+    fn poisson(n: usize) -> TridiagonalSystem<f64> {
+        // -1, 2, -1 operator with a known smooth forcing.
+        let lower = vec![-1.0; n];
+        let diag = vec![2.0 + 1e-9; n]; // tiny shift keeps it strictly dominant
+        let upper = vec![-1.0; n];
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64 / n as f64).sin()).collect();
+        TridiagonalSystem::new(lower, diag, upper, rhs).unwrap()
+    }
+
+    #[test]
+    fn solves_known_2x2() {
+        // [2 1; 1 3] x = [5; 10] -> x = (1, 3)
+        let s = TridiagonalSystem::new(
+            vec![0.0, 1.0],
+            vec![2.0, 3.0],
+            vec![1.0, 0.0],
+            vec![5.0, 10.0],
+        )
+        .unwrap();
+        let x = solve_typed(&s).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_single_unknown() {
+        let s = TridiagonalSystem::new(vec![0.0], vec![4.0], vec![0.0], vec![8.0]).unwrap();
+        assert_eq!(solve_typed(&s).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn residual_small_on_poisson() {
+        for n in [2usize, 3, 5, 17, 64, 1000] {
+            let s = poisson(n);
+            let x = solve_typed(&s).unwrap();
+            let r = s.relative_residual(&x).unwrap();
+            assert!(r < 1e-9, "n={n}: residual {r}");
+        }
+    }
+
+    #[test]
+    fn zero_pivot_detected_first_row() {
+        let s = TridiagonalSystem::new(
+            vec![0.0, 1.0],
+            vec![0.0, 3.0],
+            vec![1.0, 0.0],
+            vec![5.0, 10.0],
+        )
+        .unwrap();
+        assert_eq!(
+            solve_typed(&s).unwrap_err(),
+            TridiagError::ZeroPivot { row: 0 }
+        );
+    }
+
+    #[test]
+    fn zero_pivot_detected_midway() {
+        // Row 1 pivot becomes b1 - c'_0 a1 = 1 - (2/2)*1 = 0.
+        let s = TridiagonalSystem::new(
+            vec![0.0, 1.0],
+            vec![2.0, 1.0],
+            vec![2.0, 0.0],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        assert_eq!(
+            solve_typed(&s).unwrap_err(),
+            TridiagError::ZeroPivot { row: 1 }
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_across_sizes() {
+        let mut scratch = ThomasScratch::<f64>::new(2);
+        for n in [2usize, 8, 5, 32] {
+            let s = poisson(n);
+            let mut x = vec![0.0; n];
+            solve_into(&s, &mut x, &mut scratch).unwrap();
+            assert!(s.relative_residual(&x).unwrap() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_into_validates_output_length() {
+        let s = poisson(4);
+        let mut x = vec![0.0; 3];
+        let mut scratch = ThomasScratch::new(4);
+        assert!(matches!(
+            solve_into(&s, &mut x, &mut scratch).unwrap_err(),
+            TridiagError::LengthMismatch { what: "x", .. }
+        ));
+    }
+
+    #[test]
+    fn elimination_step_count() {
+        assert_eq!(elimination_steps(0), 0);
+        assert_eq!(elimination_steps(1), 1);
+        assert_eq!(elimination_steps(512), 1023);
+    }
+
+    #[test]
+    fn f32_precision_still_accurate() {
+        let s64 = poisson(256);
+        let s32: TridiagonalSystem<f32> = s64.cast();
+        let x = solve_typed(&s32).unwrap();
+        assert!(s32.relative_residual(&x).unwrap() < 1e-2);
+    }
+}

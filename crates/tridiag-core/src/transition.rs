@@ -1,0 +1,114 @@
+//! Algorithm transition from tiled PCR to p-Thomas (Section III-D).
+//!
+//! "One single algorithm cannot cope with all combinations of hardware
+//! and input sizes" — the hybrid must decide *at runtime* how many PCR
+//! steps `k` to run before handing the `2^k · M` subsystems to p-Thomas.
+//! Too few steps starve the machine of parallelism; too many inflate the
+//! `O(k·n)` PCR work term (Table II).
+//!
+//! Two decision procedures are provided:
+//! - [`TransitionPolicy::Gtx480Heuristic`] — the paper's empirical
+//!   Table III, keyed on the number of systems `M`.
+//! - [`TransitionPolicy::CostModel`] — minimise the Table II cost for a
+//!   machine of parallelism `P` (useful for devices the paper never
+//!   measured; "finding proper values for different situations can be
+//!   done only once").
+
+use crate::cost_model;
+
+/// How the hybrid picks its PCR step count `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransitionPolicy {
+    /// Table III verbatim (tuned on an NVIDIA GTX480).
+    #[default]
+    Gtx480Heuristic,
+    /// Minimise the Table II elimination-step cost for a `parallelism`-
+    /// wide machine, searching `k ∈ 0..=k_max`.
+    CostModel {
+        /// Machine parallelism `P` (resident threads).
+        parallelism: u64,
+        /// Largest `k` the search may pick.
+        k_max: u32,
+    },
+    /// Always use exactly this `k` (clamped to the system size).
+    Fixed(u32),
+}
+
+/// Pick the PCR step count for `m` systems of `n` unknowns each.
+///
+/// The returned `k` always satisfies `2^k <= n`, so the reduction is
+/// valid regardless of policy.
+pub fn choose_k(policy: TransitionPolicy, m: usize, n: usize) -> u32 {
+    let k = match policy {
+        TransitionPolicy::Gtx480Heuristic => cost_model::gtx480_heuristic_k(m as u64),
+        TransitionPolicy::CostModel { parallelism, k_max } => {
+            cost_model::optimal_k(m as u64, n as u64, parallelism, k_max)
+        }
+        TransitionPolicy::Fixed(k) => k,
+    };
+    k.min(max_k_for(n))
+}
+
+/// Largest valid `k` for an `n`-unknown system (`2^k <= n`).
+pub fn max_k_for(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - 1 - n.leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_k_bounds() {
+        assert_eq!(max_k_for(0), 0);
+        assert_eq!(max_k_for(1), 0);
+        assert_eq!(max_k_for(2), 1);
+        assert_eq!(max_k_for(255), 7);
+        assert_eq!(max_k_for(256), 8);
+        assert_eq!(max_k_for(257), 8);
+    }
+
+    #[test]
+    fn heuristic_respects_system_size() {
+        // Table III wants k=8 for M=1, but a 16-unknown system caps at 4.
+        assert_eq!(choose_k(TransitionPolicy::Gtx480Heuristic, 1, 16), 4);
+        assert_eq!(choose_k(TransitionPolicy::Gtx480Heuristic, 1, 1 << 20), 8);
+        assert_eq!(choose_k(TransitionPolicy::Gtx480Heuristic, 4096, 512), 0);
+    }
+
+    #[test]
+    fn fixed_policy_clamped() {
+        assert_eq!(choose_k(TransitionPolicy::Fixed(10), 1, 64), 6);
+        assert_eq!(choose_k(TransitionPolicy::Fixed(3), 1, 64), 3);
+    }
+
+    #[test]
+    fn cost_model_matches_paper_direction() {
+        let p = TransitionPolicy::CostModel {
+            parallelism: 21504, // GTX480 resident threads (15 SMs × 1436+)
+            k_max: 10,
+        };
+        // Few huge systems: deep PCR.
+        let k_few = choose_k(p, 1, 2 << 20);
+        // Many systems: no PCR at all.
+        let k_many = choose_k(p, 1 << 16, 512);
+        assert!(k_few >= 5, "k_few = {k_few}");
+        assert_eq!(k_many, 0);
+        // Monotone hand-off in between.
+        let mut last = u32::MAX;
+        for m in [1usize, 16, 64, 256, 1024, 4096, 65536] {
+            let k = choose_k(p, m, 16384);
+            assert!(k <= last, "M={m}: k={k} > previous {last}");
+            last = k;
+        }
+    }
+
+    #[test]
+    fn default_policy_is_heuristic() {
+        assert_eq!(TransitionPolicy::default(), TransitionPolicy::Gtx480Heuristic);
+    }
+}

@@ -1,0 +1,105 @@
+//! Empirical re-derivation of the algorithm-transition heuristic
+//! (Table III) on the simulator.
+//!
+//! The paper: "we present empirical heuristic values that are optimized
+//! on NVidia GTX480 … finding proper values for different situations can
+//! be done only once and the effort can be quickly amortized". This
+//! module is that one-off search: for each `M`, solve a representative
+//! batch with every feasible `k` and keep the fastest. The `table3`
+//! bench binary prints the result next to the paper's values.
+
+use crate::buffers::GpuScalar;
+use crate::solver::{GpuSolverConfig, GpuTridiagSolver, MappingVariant};
+use gpu_sim::{DeviceSpec, Result};
+use tridiag_core::generators::random_batch;
+use tridiag_core::transition::{max_k_for, TransitionPolicy};
+
+/// One tuning measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunePoint {
+    /// Number of systems.
+    pub m: usize,
+    /// System size used for the probe.
+    pub n: usize,
+    /// Fastest PCR step count found.
+    pub best_k: u32,
+    /// Modeled time at `best_k` (µs).
+    pub best_us: f64,
+    /// Modeled time at `k = 0` (pure p-Thomas), for reference.
+    pub k0_us: f64,
+}
+
+/// Modeled time of solving an `(m, n)` batch with a fixed `k`.
+pub fn modeled_time_for_k<S: GpuScalar>(
+    spec: &DeviceSpec,
+    m: usize,
+    n: usize,
+    k: u32,
+    seed: u64,
+) -> Result<f64> {
+    let solver = GpuTridiagSolver::new(
+        spec.clone(),
+        GpuSolverConfig {
+            policy: TransitionPolicy::Fixed(k),
+            mapping: MappingVariant::Auto,
+            ..Default::default()
+        },
+    );
+    let batch = random_batch::<S>(m, n, seed);
+    let (_, report) = solver.solve_batch(&batch)?;
+    Ok(report.total_us)
+}
+
+/// Search `k ∈ 0..=k_max` for the fastest configuration at each `m`.
+pub fn tune<S: GpuScalar>(
+    spec: &DeviceSpec,
+    m_values: &[usize],
+    n: usize,
+    k_max: u32,
+) -> Result<Vec<TunePoint>> {
+    let mut out = Vec::with_capacity(m_values.len());
+    for &m in m_values {
+        let cap = max_k_for(n).min(k_max);
+        let mut best_k = 0;
+        let mut best_us = f64::INFINITY;
+        let mut k0_us = 0.0;
+        for k in 0..=cap {
+            let us = modeled_time_for_k::<S>(spec, m, n, k, 42 + m as u64)?;
+            if k == 0 {
+                k0_us = us;
+            }
+            if us < best_us {
+                best_us = us;
+                best_k = k;
+            }
+        }
+        out.push(TunePoint {
+            m,
+            n,
+            best_k,
+            best_us,
+            k0_us,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow simulation; run with --release")]
+    fn tuned_k_decreases_with_m() {
+        // The defining shape of Table III: fewer systems -> deeper PCR.
+        let spec = DeviceSpec::gtx480();
+        let points = tune::<f64>(&spec, &[1, 64, 4096], 2048, 8).unwrap();
+        assert!(points[0].best_k >= points[1].best_k);
+        assert!(points[1].best_k >= points[2].best_k);
+        // Saturated batches want pure p-Thomas.
+        assert_eq!(points[2].best_k, 0);
+        // A lone system must use PCR (k = 0 would use one thread).
+        assert!(points[0].best_k > 0);
+        assert!(points[0].best_us < points[0].k0_us);
+    }
+}

@@ -1,0 +1,280 @@
+//! The fused tiled-PCR + p-Thomas kernel (Section III-C).
+//!
+//! "The idea is progressively invoking p-Thomas without waiting for
+//! tiled PCR to finish processing the whole data": as each sub-tile's
+//! fully-reduced rows leave the sliding window, thread `j` immediately
+//! folds them into its subsystem's Thomas *forward* recurrence, which
+//! lives in registers. Only the recurrence outputs `c'`/`d'` are written
+//! to global memory (for the backward sweep); the reduced coefficients
+//! `a, b, c, d` never round-trip through DRAM, and the second kernel
+//! launch disappears.
+//!
+//! Versus the split pipeline, per reduced row this saves four global
+//! stores (PCR output) and four global loads (p-Thomas input), at the
+//! cost of a larger register footprint (`REGS_FUSED`) — exactly the
+//! occupancy trade-off the paper warns about: "kernel fusion does not
+//! always improve performance".
+//!
+//! The kernel covers the Fig. 11(a) mapping (one whole system per
+//! block); the solver falls back to the split pipeline for the other
+//! mappings.
+
+use super::window::{StreamSlot, WindowEngine};
+use crate::buffers::GpuScalar;
+use crate::consts::{THOMAS_BWD_FLOPS, THOMAS_FWD_FLOPS};
+use gpu_sim::{BlockCtx, BlockKernel, BufId, Result, SimError};
+
+/// The fused kernel: one block per system, `2^k` threads each.
+#[derive(Debug, Clone)]
+pub struct FusedKernel {
+    /// Input coefficient buffers `[a, b, c, d]`, contiguous layout.
+    pub input: [BufId; 4],
+    /// Global scratch for the forward-sweep `c'` (contiguous layout).
+    pub c_prime: BufId,
+    /// Global scratch for the forward-sweep `d'`.
+    pub d_prime: BufId,
+    /// Solution buffer (contiguous layout).
+    pub x: BufId,
+    /// Rows per system.
+    pub n: usize,
+    /// PCR steps (`k ≥ 1`).
+    pub k: u32,
+    /// Sub-tile rows (`c · 2^k`).
+    pub sub_tile: usize,
+    /// Number of systems (block `b` handles system `b`).
+    pub m: usize,
+}
+
+impl<S: GpuScalar> BlockKernel<S> for FusedKernel {
+    fn run_block(&self, ctx: &mut BlockCtx<'_, S>) -> Result<()> {
+        let sys = ctx.block_id;
+        if sys >= self.m {
+            return Ok(());
+        }
+        let n = self.n;
+        let slots = [StreamSlot::whole(sys, n)];
+        let mut engine = WindowEngine::new(ctx, n, self.k, self.sub_tile, &slots)?;
+        let st = engine.st;
+        let f = engine.f;
+        let stride = 1usize << self.k;
+        let base = sys * n;
+
+        // Per-thread Thomas forward state (registers).
+        let mut cp_reg = vec![S::ZERO; stride];
+        let mut dp_reg = vec![S::ZERO; stride];
+        let mut started = vec![false; stride];
+
+        // Register tile of pending (position, c', d') triples awaiting an
+        // aligned store — the paper's "previous results ... in registers".
+        let mut pending: Vec<(usize, S, S)> = Vec::with_capacity(st + f);
+
+        let mut tmp: Vec<S> = Vec::new();
+        let mut sh_idx: Vec<usize> = Vec::new();
+        let mut g_idx: Vec<usize> = Vec::new();
+        let mut cp_vals: Vec<S> = Vec::new();
+        let mut dp_vals: Vec<S> = Vec::new();
+
+        loop {
+            let active = engine.advance(ctx, self.input)?;
+            if active.is_empty() {
+                break;
+            }
+            let t0 = engine.slots[0].t0;
+
+            // ---- read this sub-tile's reduced rows from shared ------
+            // (positions t0 − f .. t0 + st − f, already in the window).
+            let mut rows: [Vec<S>; 4] = Default::default();
+            for arr in 0..4 {
+                sh_idx.clear();
+                for i in 0..st {
+                    sh_idx.push(engine.slots[0].buf[arr] + i);
+                }
+                rows[arr].clear();
+                for chunk in sh_idx.chunks(ctx.threads) {
+                    ctx.sh_ld(chunk, &mut tmp)?;
+                    rows[arr].extend_from_slice(&tmp);
+                }
+            }
+
+            // ---- fold into the per-thread Thomas forward recurrence --
+            let mut folded = 0u64;
+            for i in 0..st {
+                let p = t0 - f as isize + i as isize;
+                if p < 0 || p >= n as isize {
+                    continue;
+                }
+                let p = p as usize;
+                let j = p % stride;
+                let (a, b, c, d) = (rows[0][i], rows[1][i], rows[2][i], rows[3][i]);
+                let (cp, dp) = if !started[j] {
+                    if b == S::ZERO {
+                        return Err(SimError::KernelFault(format!(
+                            "zero pivot, system {sys} subsystem {j} head"
+                        )));
+                    }
+                    started[j] = true;
+                    (c / b, d / b)
+                } else {
+                    let denom = b - cp_reg[j] * a;
+                    if denom == S::ZERO {
+                        return Err(SimError::KernelFault(format!(
+                            "zero pivot, system {sys} subsystem {j} row {p}"
+                        )));
+                    }
+                    let inv = S::ONE / denom;
+                    (c * inv, (d - dp_reg[j] * a) * inv)
+                };
+                cp_reg[j] = cp;
+                dp_reg[j] = dp;
+                pending.push((p, cp, dp));
+                folded += 1;
+            }
+            ctx.flops(folded * THOMAS_FWD_FLOPS);
+
+            // ---- aligned global stores of c'/d' ---------------------
+            // Flush pending in st-sized chunks, keeping the tail for
+            // alignment (the register tile).
+            while pending.len() >= st {
+                g_idx.clear();
+                cp_vals.clear();
+                dp_vals.clear();
+                for &(p, cp, dp) in pending.iter().take(st) {
+                    g_idx.push(base + p);
+                    cp_vals.push(cp);
+                    dp_vals.push(dp);
+                }
+                pending.drain(..st);
+                for (gi, cv) in g_idx.chunks(ctx.threads).zip(cp_vals.chunks(ctx.threads)) {
+                    ctx.st(self.c_prime, gi, cv)?;
+                }
+                for (gi, dv) in g_idx.chunks(ctx.threads).zip(dp_vals.chunks(ctx.threads)) {
+                    ctx.st(self.d_prime, gi, dv)?;
+                }
+            }
+            engine.step(&active);
+        }
+
+        // Flush the register-tile remainder.
+        if !pending.is_empty() {
+            g_idx.clear();
+            cp_vals.clear();
+            dp_vals.clear();
+            for &(p, cp, dp) in &pending {
+                g_idx.push(base + p);
+                cp_vals.push(cp);
+                dp_vals.push(dp);
+            }
+            for (gi, cv) in g_idx.chunks(ctx.threads).zip(cp_vals.chunks(ctx.threads)) {
+                ctx.st(self.c_prime, gi, cv)?;
+            }
+            for (gi, dv) in g_idx.chunks(ctx.threads).zip(dp_vals.chunks(ctx.threads)) {
+                ctx.st(self.d_prime, gi, dv)?;
+            }
+            pending.clear();
+        }
+
+        // ---- backward substitution per thread -----------------------
+        // Thread j owns rows j, j + 2^k, … (interleaved → coalesced).
+        let max_rows = n.div_ceil(stride);
+        let mut x_reg = vec![S::ZERO; stride];
+        let mut xv: Vec<S> = Vec::with_capacity(stride);
+        let mut lane_j: Vec<usize> = Vec::with_capacity(stride);
+        for r in (0..max_rows).rev() {
+            g_idx.clear();
+            lane_j.clear();
+            for j in 0..stride {
+                let p = j + r * stride;
+                if p < n {
+                    g_idx.push(base + p);
+                    lane_j.push(j);
+                }
+            }
+            ctx.ld(self.c_prime, &g_idx, &mut cp_vals)?;
+            ctx.ld(self.d_prime, &g_idx, &mut dp_vals)?;
+            xv.clear();
+            for (lane, &j) in lane_j.iter().enumerate() {
+                let rows_j = (n - j).div_ceil(stride);
+                let x = if r + 1 == rows_j {
+                    dp_vals[lane]
+                } else {
+                    dp_vals[lane] - cp_vals[lane] * x_reg[j]
+                };
+                x_reg[j] = x;
+                xv.push(x);
+            }
+            ctx.flops(g_idx.len() as u64 * THOMAS_BWD_FLOPS);
+            ctx.st(self.x, &g_idx, &xv)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffers::upload;
+    use crate::consts::REGS_FUSED;
+    use gpu_sim::{launch, DeviceSpec, GpuMemory, LaunchConfig, LaunchResult};
+    use tridiag_core::generators::random_batch;
+
+    fn run(m: usize, n: usize, k: u32, c: usize) -> (f64, LaunchResult) {
+        let host = random_batch::<f64>(m, n, 77 + n as u64);
+        let mut mem = GpuMemory::new();
+        let dev = upload(&mut mem, &host);
+        let cp = mem.alloc(m * n);
+        let dp = mem.alloc(m * n);
+        let kernel = FusedKernel {
+            input: [dev.a, dev.b, dev.c, dev.d],
+            c_prime: cp,
+            d_prime: dp,
+            x: dev.x,
+            n,
+            k,
+            sub_tile: c << k,
+            m,
+        };
+        let cfg = LaunchConfig::new("fused", m, 1 << k).with_regs(REGS_FUSED);
+        let res = launch(&DeviceSpec::gtx480(), &cfg, &kernel, &mut mem).unwrap();
+        let x = mem.read(dev.x).unwrap();
+        (host.max_relative_residual(x).unwrap(), res)
+    }
+
+    #[test]
+    fn solves_exactly_like_the_split_pipeline_solves() {
+        for (m, n, k, c) in [
+            (1usize, 64usize, 2u32, 1usize),
+            (2, 100, 3, 1),
+            (4, 512, 4, 2),
+            (1, 1000, 5, 1),
+        ] {
+            let (resid, _) = run(m, n, k, c);
+            assert!(resid < 1e-9, "m={m} n={n} k={k}: {resid}");
+        }
+    }
+
+    #[test]
+    fn fused_moves_less_global_data_than_split() {
+        // Split pipeline traffic per row: PCR stores 4 + p-Thomas loads
+        // 4 + stores 2 + bwd loads 2 + store 1 = 13 element moves (plus
+        // the initial 4 loads). Fused: 4 loads + 2 stores + 2 bwd loads
+        // + 1 store = 9.
+        let (m, n, k) = (2usize, 512usize, 4u32);
+        let (_, fused) = run(m, n, k, 1);
+        let elem = 8u64;
+        let rows = (m * n) as u64;
+        let bytes = fused.stats.total.global_bytes();
+        // 4 ld + 2 st(c',d') + 2 ld(bwd) + 1 st(x) = 9 element moves.
+        assert_eq!(bytes, 9 * rows * elem);
+        assert!(fused.stats.total.coalescing_efficiency(128) > 0.8);
+    }
+
+    #[test]
+    fn single_launch_vs_two() {
+        // The timing benefit of fusion shows up as one launch overhead
+        // instead of two; verified at the solver level. Here just assert
+        // the kernel completes whole batches in one launch.
+        let (resid, res) = run(8, 256, 3, 1);
+        assert!(resid < 1e-9);
+        assert_eq!(res.stats.blocks, 8);
+    }
+}

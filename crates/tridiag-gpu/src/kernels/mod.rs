@@ -1,0 +1,8 @@
+//! Simulated GPU kernels for the tridiagonal solver pipeline.
+
+pub mod cr_shared;
+pub mod fused;
+pub mod p_thomas;
+pub mod pcr_shared;
+pub mod tiled_pcr;
+pub(crate) mod window;

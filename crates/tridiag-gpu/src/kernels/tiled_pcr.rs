@@ -1,0 +1,404 @@
+//! The tiled PCR kernel with the buffered sliding window
+//! (Section III-A, Figs. 8–10).
+//!
+//! Each *stream slot* (one per thread group of `2^k` threads) performs
+//! k-step PCR over (a range of) one system, streaming it through shared
+//! memory `sub_tile = c·2^k` rows at a time. Per coefficient array the
+//! block holds:
+//!
+//! - a **window buffer** of `2·f(k) + sub_tile` elements. Level-`j`
+//!   fresh values live at offset `OFF_j = 2·f(k) − 2·(2^j − 1)`; each
+//!   level writes in place two half-strides below its source (the
+//!   buffer "shifting" of Fig. 10(c)), so level `k` lands at offset 0.
+//! - a **dependency cache** of `2·f(k)` elements holding, per level
+//!   `j < k`, the `2^{j+1}` trailing values the next sub-tile needs —
+//!   the paper's top-buffer contents, sized exactly at the minimum
+//!   `2·f(k)` derived in Section III-A.
+//! - an **output carry** of `sub_tile − f(k)` elements that delays
+//!   emission so every global store is sub-tile aligned — the paper's
+//!   "shifting the computation boundary" optimisation enabled by the
+//!   window margin (without it, every store warp pays one extra 128-B
+//!   segment).
+//!
+//! The streaming core lives in [`super::window::WindowEngine`] and is
+//! shared with the fused kernel. Because out-of-range neighbours are
+//! identity rows at every level (`reduce_row(·, identity, ·) =
+//! identity`), the kernel's output is **bit-for-bit identical** to the
+//! monolithic host reduction [`tridiag_core::pcr::reduce`] — the tests
+//! assert exact equality.
+//!
+//! The `assignments` table expresses all three Fig. 11 mappings:
+//! - (a) one system per block: one slot per block, full emit range;
+//! - (b) one system across a block group: several blocks carry slots of
+//!   the same system with disjoint emit ranges (each pays `f(k)` halo
+//!   loads per side);
+//! - (c) several systems per block: several slots per block, advanced in
+//!   lockstep phase by phase (independent loads in flight — the latency
+//!   hiding the paper credits this variant with).
+
+use super::window::WindowEngine;
+pub use super::window::StreamSlot;
+use crate::buffers::GpuScalar;
+use gpu_sim::{BlockCtx, BlockKernel, BufId, Result};
+
+/// The tiled PCR kernel (see module docs).
+#[derive(Debug, Clone)]
+pub struct TiledPcrKernel {
+    /// Input coefficient buffers `[a, b, c, d]`, contiguous layout
+    /// (`sys·n + row`).
+    pub input: [BufId; 4],
+    /// Output buffers `[a, b, c, d]` for the reduced rows, same layout.
+    pub output: [BufId; 4],
+    /// Rows per system.
+    pub n: usize,
+    /// PCR steps (`k ≥ 1`; `k = 0` batches skip this kernel entirely).
+    pub k: u32,
+    /// Sub-tile rows (`c · 2^k`, `c ≥ 1`).
+    pub sub_tile: usize,
+    /// Per-block stream slots.
+    pub assignments: Vec<Vec<StreamSlot>>,
+}
+
+impl TiledPcrKernel {
+    /// Shared-memory elements this kernel needs per slot: 4 arrays ×
+    /// (window `2f + st` + cache `2f` + store-alignment carry `st − f`)
+    /// — the Table I footprint.
+    pub fn shared_elems_per_slot(k: u32, sub_tile: usize) -> usize {
+        let f = (1usize << k) - 1;
+        4 * ((2 * f + sub_tile) + 2 * f + sub_tile.saturating_sub(f).max(1))
+    }
+
+    /// Fig. 11(a) assignment: block `i` streams system `i` whole.
+    pub fn assign_block_per_system(m: usize, n: usize) -> Vec<Vec<StreamSlot>> {
+        (0..m).map(|s| vec![StreamSlot::whole(s, n)]).collect()
+    }
+
+    /// Fig. 11(b) assignment: each system split into `g` contiguous
+    /// ranges, one block each (`m·g` blocks).
+    pub fn assign_block_group_per_system(m: usize, n: usize, g: usize) -> Vec<Vec<StreamSlot>> {
+        let g = g.max(1).min(n);
+        let mut out = Vec::with_capacity(m * g);
+        for sys in 0..m {
+            let base = n / g;
+            let extra = n % g;
+            let mut lo = 0usize;
+            for part in 0..g {
+                let len = base + usize::from(part < extra);
+                out.push(vec![StreamSlot {
+                    system: sys,
+                    emit_lo: lo,
+                    emit_hi: lo + len,
+                }]);
+                lo += len;
+            }
+        }
+        out
+    }
+
+    /// Fig. 11(c) assignment: `q` whole systems multiplexed per block
+    /// (`ceil(m/q)` blocks).
+    pub fn assign_multi_system_per_block(m: usize, n: usize, q: usize) -> Vec<Vec<StreamSlot>> {
+        let q = q.max(1);
+        (0..m.div_ceil(q))
+            .map(|b| {
+                (b * q..((b + 1) * q).min(m))
+                    .map(|s| StreamSlot::whole(s, n))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl<S: GpuScalar> BlockKernel<S> for TiledPcrKernel {
+    fn run_block(&self, ctx: &mut BlockCtx<'_, S>) -> Result<()> {
+        let slots_cfg = &self.assignments[ctx.block_id];
+        if slots_cfg.is_empty() {
+            return Ok(());
+        }
+        let mut engine = WindowEngine::new(ctx, self.n, self.k, self.sub_tile, slots_cfg)?;
+        let st = engine.st;
+        let f = engine.f;
+        let sti = st as isize;
+
+        // Output-carry buffers for aligned emission.
+        let mut carry: Vec<[usize; 4]> = Vec::with_capacity(engine.slots.len());
+        for _ in 0..engine.slots.len() {
+            let mut c = [0usize; 4];
+            for slot_arr in c.iter_mut() {
+                *slot_arr = ctx.shared_alloc((st - f).max(1))?;
+            }
+            carry.push(c);
+        }
+
+        let mut sh_idx: Vec<usize> = Vec::new();
+        let mut g_idx: Vec<usize> = Vec::new();
+        let mut sh_val: Vec<S> = Vec::new();
+        let mut tmp: Vec<S> = Vec::new();
+
+        loop {
+            let active = engine.advance(ctx, self.input)?;
+            if active.is_empty() {
+                break;
+            }
+
+            // ---- emit the *aligned* chunk [t0 − st, t0) -------------
+            // Fresh level-k rows cover [t0 − f, t0 + st − f); the carry
+            // holds [t0 − st, t0 − f) from the previous sub-tile.
+            for arr in 0..4 {
+                sh_idx.clear();
+                g_idx.clear();
+                for &g in &active {
+                    let s = &engine.slots[g];
+                    for i in 0..st {
+                        let p = s.t0 - sti + i as isize;
+                        if p >= s.emit_lo && p < s.emit_hi {
+                            let sh = if i < st - f {
+                                carry[g][arr] + i
+                            } else {
+                                s.buf[arr] + (i - (st - f))
+                            };
+                            sh_idx.push(sh);
+                            g_idx.push(s.system * self.n + p as usize);
+                        }
+                    }
+                }
+                if !g_idx.is_empty() {
+                    for (si, gi) in sh_idx.chunks(ctx.threads).zip(g_idx.chunks(ctx.threads)) {
+                        ctx.sh_ld(si, &mut tmp)?;
+                        ctx.st(self.output[arr], gi, &tmp)?;
+                    }
+                }
+
+                // Roll the carry: next chunk's head [t0, t0 + st − f)
+                // is this sub-tile's buf[f .. st).
+                if st > f {
+                    sh_idx.clear();
+                    for &g in &active {
+                        for e in 0..st - f {
+                            sh_idx.push(engine.slots[g].buf[arr] + f + e);
+                        }
+                    }
+                    sh_val.clear();
+                    for chunk in sh_idx.chunks(ctx.threads) {
+                        ctx.sh_ld(chunk, &mut tmp)?;
+                        sh_val.extend_from_slice(&tmp);
+                    }
+                    sh_idx.clear();
+                    for &g in &active {
+                        for e in 0..st - f {
+                            sh_idx.push(carry[g][arr] + e);
+                        }
+                    }
+                    for (ci, cv) in sh_idx.chunks(ctx.threads).zip(sh_val.chunks(ctx.threads)) {
+                        ctx.sh_st(ci, cv)?;
+                    }
+                }
+            }
+            ctx.sync();
+            engine.step(&active);
+        }
+
+        // ---- final flush: each slot's carry holds [t0 − st, t0 − f),
+        // which covers everything not yet stored.
+        for arr in 0..4 {
+            g_idx.clear();
+            sh_idx.clear();
+            for (g, s) in engine.slots.iter().enumerate() {
+                let last_t = s.t0 - sti;
+                for e in 0..st - f {
+                    let p = last_t + e as isize;
+                    if p >= s.emit_lo && p < s.emit_hi {
+                        sh_idx.push(carry[g][arr] + e);
+                        g_idx.push(s.system * self.n + p as usize);
+                    }
+                }
+            }
+            if !g_idx.is_empty() {
+                for (si, gi) in sh_idx.chunks(ctx.threads).zip(g_idx.chunks(ctx.threads)) {
+                    ctx.sh_ld(si, &mut tmp)?;
+                    ctx.st(self.output[arr], gi, &tmp)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffers::upload;
+    use crate::consts::REGS_TILED_PCR;
+    use gpu_sim::{launch, DeviceSpec, GpuMemory, LaunchConfig, LaunchResult};
+    use tridiag_core::generators::random_batch;
+    use tridiag_core::pcr;
+
+    /// Run the kernel over a batch and return the reduced arrays plus
+    /// the launch result.
+    fn run(
+        m: usize,
+        n: usize,
+        k: u32,
+        sub_tile: usize,
+        assignments: Vec<Vec<StreamSlot>>,
+        threads: u32,
+    ) -> (Vec<Vec<f64>>, LaunchResult) {
+        let host = random_batch::<f64>(m, n, 1000 + m as u64 + n as u64 + k as u64);
+        let mut mem = GpuMemory::new();
+        let dev = upload(&mut mem, &host);
+        let out = [
+            mem.alloc(m * n),
+            mem.alloc(m * n),
+            mem.alloc(m * n),
+            mem.alloc(m * n),
+        ];
+        let blocks = assignments.len();
+        let kernel = TiledPcrKernel {
+            input: [dev.a, dev.b, dev.c, dev.d],
+            output: out,
+            n,
+            k,
+            sub_tile,
+            assignments,
+        };
+        let cfg = LaunchConfig::new("tiled_pcr", blocks, threads).with_regs(REGS_TILED_PCR);
+        let res = launch(&DeviceSpec::gtx480(), &cfg, &kernel, &mut mem).unwrap();
+        let arrays = out
+            .iter()
+            .map(|&b| mem.read(b).unwrap().to_vec())
+            .collect();
+        (arrays, res)
+    }
+
+    /// Exact-compare kernel output against host `pcr::reduce` for every
+    /// system in the batch.
+    fn assert_exact(m: usize, n: usize, k: u32, arrays: &[Vec<f64>], ctx: &str) {
+        let host = random_batch::<f64>(m, n, 1000 + m as u64 + n as u64 + k as u64);
+        for sys in 0..m {
+            let reference = pcr::reduce(&host.system(sys).unwrap(), k).unwrap();
+            let (ra, rb, rc, rd) = reference.arrays();
+            for row in 0..n {
+                let g = sys * n + row;
+                assert_eq!(arrays[0][g], ra[row], "{ctx}: a sys {sys} row {row}");
+                assert_eq!(arrays[1][g], rb[row], "{ctx}: b sys {sys} row {row}");
+                assert_eq!(arrays[2][g], rc[row], "{ctx}: c sys {sys} row {row}");
+                assert_eq!(arrays[3][g], rd[row], "{ctx}: d sys {sys} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_per_system_bit_exact() {
+        for (m, n, k, c) in [
+            (1usize, 64usize, 2u32, 1usize),
+            (3, 64, 3, 1),
+            (2, 100, 2, 2), // non-power-of-two n, flush across tiles
+            (1, 512, 5, 1),
+            (2, 96, 4, 2),
+        ] {
+            let st = c << k;
+            let assignments = TiledPcrKernel::assign_block_per_system(m, n);
+            let (arrays, _) = run(m, n, k, st, assignments, 1 << k);
+            assert_exact(m, n, k, &arrays, &format!("11a m={m} n={n} k={k} c={c}"));
+        }
+    }
+
+    #[test]
+    fn block_group_per_system_bit_exact() {
+        for (m, n, k, g) in [(1usize, 256usize, 3u32, 2usize), (2, 200, 2, 4), (1, 512, 4, 3)] {
+            let st = 1usize << k;
+            let assignments = TiledPcrKernel::assign_block_group_per_system(m, n, g);
+            assert_eq!(assignments.len(), m * g);
+            let (arrays, _) = run(m, n, k, st, assignments, 1 << k);
+            assert_exact(m, n, k, &arrays, &format!("11b m={m} n={n} k={k} g={g}"));
+        }
+    }
+
+    #[test]
+    fn multi_system_per_block_bit_exact() {
+        for (m, n, k, q) in [(4usize, 64usize, 2u32, 2usize), (5, 128, 3, 3), (8, 96, 2, 4)] {
+            let st = 1usize << k;
+            let assignments = TiledPcrKernel::assign_multi_system_per_block(m, n, q);
+            assert_eq!(assignments.len(), m.div_ceil(q));
+            let (arrays, _) = run(m, n, k, st, assignments, (q << k) as u32);
+            assert_exact(m, n, k, &arrays, &format!("11c m={m} n={n} k={k} q={q}"));
+        }
+    }
+
+    #[test]
+    fn streaming_loads_each_row_exactly_once() {
+        let (m, n, k) = (2usize, 512usize, 4u32);
+        let assignments = TiledPcrKernel::assign_block_per_system(m, n);
+        let (_, res) = run(m, n, k, 1 << k, assignments, 1 << k);
+        // 4 arrays × m·n elements loaded exactly once, 8 B each.
+        assert_eq!(
+            res.stats.total.global_load_bytes,
+            (4 * m * n * 8) as u64,
+            "no redundant global loads in the 11(a) mapping"
+        );
+        // Stores: 4 arrays × m·n reduced rows.
+        assert_eq!(res.stats.total.global_store_bytes, (4 * m * n * 8) as u64);
+        assert!(res.stats.total.coalescing_efficiency(128) > 0.8);
+    }
+
+    #[test]
+    fn partitioning_costs_halo_loads() {
+        let (m, n, k, g) = (1usize, 512usize, 4u32, 4usize);
+        let whole = TiledPcrKernel::assign_block_per_system(m, n);
+        let split = TiledPcrKernel::assign_block_group_per_system(m, n, g);
+        let (_, res_whole) = run(m, n, k, 1 << k, whole, 1 << k);
+        let (_, res_split) = run(m, n, k, 1 << k, split, 1 << k);
+        let halo = res_split.stats.total.global_load_bytes - res_whole.stats.total.global_load_bytes;
+        // Up to 2·f(k) extra rows per internal boundary, 4 arrays × 8 B.
+        let f = (1u64 << k) - 1;
+        assert!(halo > 0, "partitioning must reload halos");
+        assert!(halo <= (g as u64 - 1) * 2 * f * 4 * 8);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow simulation; run with --release")]
+    fn shared_footprint_matches_table1_budget() {
+        let (m, n, k, c) = (1usize, 1024usize, 8u32, 1usize);
+        let st = c << k;
+        let assignments = TiledPcrKernel::assign_block_per_system(m, n);
+        let (arrays, res) = run(m, n, k, st, assignments, 1 << k);
+        assert_exact(m, n, k, &arrays, "k=8 full window");
+        let elems = TiledPcrKernel::shared_elems_per_slot(k, st);
+        assert_eq!(res.shared_bytes_per_block, elems * 8);
+        // The paper's Table III flagship config fits 48 KiB easily.
+        assert!(res.shared_bytes_per_block <= 48 * 1024);
+    }
+
+    #[test]
+    fn config_validation() {
+        let host = random_batch::<f64>(1, 64, 5);
+        let mut mem = GpuMemory::new();
+        let dev = upload(&mut mem, &host);
+        let out = [mem.alloc(64), mem.alloc(64), mem.alloc(64), mem.alloc(64)];
+        // sub_tile < 2^k
+        let kernel = TiledPcrKernel {
+            input: [dev.a, dev.b, dev.c, dev.d],
+            output: out,
+            n: 64,
+            k: 3,
+            sub_tile: 4,
+            assignments: vec![vec![StreamSlot::whole(0, 64)]],
+        };
+        let cfg = LaunchConfig::new("tiled_pcr", 1, 8);
+        assert!(launch(&DeviceSpec::gtx480(), &cfg, &kernel, &mut mem).is_err());
+        // bad emit range
+        let kernel2 = TiledPcrKernel {
+            input: [dev.a, dev.b, dev.c, dev.d],
+            output: out,
+            n: 64,
+            k: 2,
+            sub_tile: 4,
+            assignments: vec![vec![StreamSlot {
+                system: 0,
+                emit_lo: 10,
+                emit_hi: 10,
+            }]],
+        };
+        assert!(launch(&DeviceSpec::gtx480(), &cfg, &kernel2, &mut mem).is_err());
+    }
+}

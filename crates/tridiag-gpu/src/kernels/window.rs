@@ -1,0 +1,351 @@
+//! The buffered-sliding-window streaming engine shared by the tiled PCR
+//! kernel and the fused tiled-PCR + p-Thomas kernel.
+//!
+//! [`WindowEngine::advance`] performs one sub-tile step for every live
+//! stream slot: coalesced global loads of the fresh rows, then `k`
+//! lockstep PCR levels through the in-place shifting window (see the
+//! module docs of [`super::tiled_pcr`] for the buffer math). After each
+//! `advance`, the fresh level-`k` rows for slot `g` sit in shared memory
+//! at `slot(g).buf[arr] + i` for `i < sub_tile`, covering positions
+//! `[t0 − f, t0 + st − f)`; the caller emits them however it likes
+//! (store to global, or feed the Thomas recurrence directly in the
+//! fused kernel), then calls [`WindowEngine::step`].
+
+use crate::buffers::GpuScalar;
+use crate::consts::PCR_FLOPS_PER_ROW;
+use gpu_sim::{BlockCtx, BufId, Result, SimError};
+use tridiag_core::cr::{reduce_row, Row};
+
+/// One PCR stream: a thread group reducing rows `[emit_lo, emit_hi)` of
+/// `system`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSlot {
+    /// System index in the batch.
+    pub system: usize,
+    /// First row this slot emits.
+    pub emit_lo: usize,
+    /// One past the last row this slot emits.
+    pub emit_hi: usize,
+}
+
+impl StreamSlot {
+    /// A slot covering one whole system (Fig. 11(a) mapping).
+    pub fn whole(system: usize, n: usize) -> Self {
+        StreamSlot {
+            system,
+            emit_lo: 0,
+            emit_hi: n,
+        }
+    }
+}
+
+/// Per-slot streaming state (shared-memory bases + stream position).
+pub(crate) struct SlotState {
+    pub system: usize,
+    pub emit_lo: isize,
+    pub emit_hi: isize,
+    /// One past the last *real* input position (`min(n, emit_hi + f)`).
+    pub in_end: isize,
+    /// Current sub-tile start (input positions `[t0, t0 + st)`).
+    pub t0: isize,
+    /// Shared window base per array.
+    pub buf: [usize; 4],
+    /// Shared dependency-cache base per array.
+    pub cache: [usize; 4],
+}
+
+impl SlotState {
+    pub fn done(&self, f: isize) -> bool {
+        self.t0 >= self.emit_hi + f
+    }
+}
+
+/// The streaming engine (see module docs).
+pub(crate) struct WindowEngine {
+    pub n: usize,
+    pub k: usize,
+    pub st: usize,
+    pub f: usize,
+    two_f: usize,
+    pub slots: Vec<SlotState>,
+    // Reusable lane scratch (indices only; element values are typed per
+    // method so the engine stays scalar-generic).
+    g_idx: Vec<usize>,
+    g_lane: Vec<usize>,
+    sh_idx: Vec<usize>,
+}
+
+impl WindowEngine {
+    /// Carve shared memory for the given slots and initialise the
+    /// dependency caches with identity rows.
+    pub fn new<S: GpuScalar>(
+        ctx: &mut BlockCtx<'_, S>,
+        n: usize,
+        k: u32,
+        st: usize,
+        slots_cfg: &[StreamSlot],
+    ) -> Result<Self> {
+        let k = k as usize;
+        if k == 0 {
+            return Err(SimError::InvalidLaunch(
+                "window streaming with k = 0 is a no-op; skip the kernel".into(),
+            ));
+        }
+        if st < (1usize << k) {
+            return Err(SimError::InvalidLaunch(format!(
+                "sub_tile {st} smaller than 2^k = {}",
+                1usize << k
+            )));
+        }
+        let f = (1usize << k) - 1;
+        let two_f = 2 * f;
+        let buf_len = two_f + st;
+
+        let mut slots = Vec::with_capacity(slots_cfg.len());
+        for s in slots_cfg {
+            if s.emit_lo >= s.emit_hi || s.emit_hi > n {
+                return Err(SimError::InvalidLaunch(format!(
+                    "bad emit range {}..{} for n = {n}",
+                    s.emit_lo, s.emit_hi
+                )));
+            }
+            let mut buf = [0usize; 4];
+            let mut cache = [0usize; 4];
+            for arr in 0..4 {
+                buf[arr] = ctx.shared_alloc(buf_len)?;
+                cache[arr] = ctx.shared_alloc(two_f)?;
+            }
+            let in_start = (s.emit_lo as isize - f as isize).max(0);
+            slots.push(SlotState {
+                system: s.system,
+                emit_lo: s.emit_lo as isize,
+                emit_hi: s.emit_hi as isize,
+                in_end: ((s.emit_hi + f) as isize).min(n as isize),
+                t0: in_start,
+                buf,
+                cache,
+            });
+        }
+
+        // Identity rows for the positions preceding each stream.
+        let mut idx: Vec<usize> = Vec::new();
+        let mut val: Vec<S> = Vec::new();
+        for slot in &slots {
+            for arr in 0..4 {
+                let ident = if arr == 1 { S::ONE } else { S::ZERO };
+                for e in 0..two_f {
+                    idx.push(slot.cache[arr] + e);
+                    val.push(ident);
+                }
+            }
+        }
+        for (ci, cv) in idx.chunks(ctx.threads).zip(val.chunks(ctx.threads)) {
+            ctx.sh_st(ci, cv)?;
+        }
+        ctx.sync();
+
+        Ok(Self {
+            n,
+            k,
+            st,
+            f,
+            two_f,
+            slots,
+            g_idx: Vec::new(),
+            g_lane: Vec::new(),
+            sh_idx: Vec::new(),
+        })
+    }
+
+    /// Slot indices still streaming.
+    pub fn active(&self) -> Vec<usize> {
+        let f = self.f as isize;
+        (0..self.slots.len())
+            .filter(|&g| !self.slots[g].done(f))
+            .collect()
+    }
+
+    /// Load the next sub-tile for every active slot and run the `k`
+    /// lockstep PCR levels. Returns the active slot list (empty = all
+    /// streams finished; nothing was done).
+    pub fn advance<S: GpuScalar>(
+        &mut self,
+        ctx: &mut BlockCtx<'_, S>,
+        input: [BufId; 4],
+    ) -> Result<Vec<usize>> {
+        let active = self.active();
+        if active.is_empty() {
+            return Ok(active);
+        }
+        let st = self.st;
+        let two_f = self.two_f;
+        let n = self.n;
+
+        let mut tmp: Vec<S> = Vec::new();
+        let mut sh_val: Vec<S> = Vec::new();
+        let mut loaded: [Vec<S>; 4] = Default::default();
+
+        // ---- 1. coalesced global loads of the fresh sub-tile --------
+        self.g_idx.clear();
+        self.g_lane.clear();
+        for (rank, &g) in active.iter().enumerate() {
+            let s = &self.slots[g];
+            for i in 0..st {
+                let p = s.t0 + i as isize;
+                if p >= 0 && p < s.in_end {
+                    self.g_idx.push(s.system * n + p as usize);
+                    self.g_lane.push(rank * st + i);
+                }
+            }
+        }
+        for arr in 0..4 {
+            loaded[arr].clear();
+            for chunk in self.g_idx.chunks(ctx.threads) {
+                ctx.ld(input[arr], chunk, &mut tmp)?;
+                loaded[arr].extend_from_slice(&tmp);
+            }
+        }
+        for arr in 0..4 {
+            let ident = if arr == 1 { S::ONE } else { S::ZERO };
+            self.sh_idx.clear();
+            sh_val.clear();
+            for &g in &active {
+                for i in 0..st {
+                    self.sh_idx.push(self.slots[g].buf[arr] + two_f + i);
+                    sh_val.push(ident);
+                }
+            }
+            for (pos, &lane) in self.g_lane.iter().enumerate() {
+                sh_val[lane] = loaded[arr][pos];
+            }
+            for (ci, cv) in self.sh_idx.chunks(ctx.threads).zip(sh_val.chunks(ctx.threads)) {
+                ctx.sh_st(ci, cv)?;
+            }
+        }
+        ctx.sync();
+
+        // ---- 2. k lockstep PCR levels -------------------------------
+        let mut tri: Vec<Vec<S>> = (0..12).map(|_| Vec::new()).collect();
+        let mut out_vals: [Vec<S>; 4] = Default::default();
+        for j in 1..=self.k {
+            let s_half = 1usize << (j - 1);
+            let two_s = 2 * s_half;
+            let off_j = two_f - 2 * ((1usize << j) - 1);
+            let cache_off = 2 * (s_half - 1);
+
+            // (a) splice cache_{j-1} in front of the fresh region.
+            for arr in 0..4 {
+                self.sh_idx.clear();
+                for &g in &active {
+                    for e in 0..two_s {
+                        self.sh_idx.push(self.slots[g].cache[arr] + cache_off + e);
+                    }
+                }
+                sh_val.clear();
+                for chunk in self.sh_idx.chunks(ctx.threads) {
+                    ctx.sh_ld(chunk, &mut tmp)?;
+                    sh_val.extend_from_slice(&tmp);
+                }
+                self.sh_idx.clear();
+                for &g in &active {
+                    for e in 0..two_s {
+                        self.sh_idx.push(self.slots[g].buf[arr] + off_j + e);
+                    }
+                }
+                for (ci, cv) in self.sh_idx.chunks(ctx.threads).zip(sh_val.chunks(ctx.threads)) {
+                    ctx.sh_st(ci, cv)?;
+                }
+            }
+            ctx.sync();
+
+            // (b) lockstep read of the three dependency rows.
+            for arr in 0..4 {
+                for (d, dist) in [0usize, s_half, two_s].into_iter().enumerate() {
+                    let dst = &mut tri[arr * 3 + d];
+                    dst.clear();
+                    self.sh_idx.clear();
+                    for &g in &active {
+                        for i in 0..st {
+                            self.sh_idx.push(self.slots[g].buf[arr] + off_j + dist + i);
+                        }
+                    }
+                    for chunk in self.sh_idx.chunks(ctx.threads) {
+                        ctx.sh_ld(chunk, &mut tmp)?;
+                        dst.extend_from_slice(&tmp);
+                    }
+                }
+            }
+            ctx.sync();
+
+            // Combine (Eqs. 5–6) per lane.
+            let lane_count = active.len() * st;
+            for ov in out_vals.iter_mut() {
+                ov.clear();
+                ov.reserve(lane_count);
+            }
+            for lane in 0..lane_count {
+                let row_at = |d: usize| Row {
+                    a: tri[d][lane],
+                    b: tri[3 + d][lane],
+                    c: tri[6 + d][lane],
+                    d: tri[9 + d][lane],
+                };
+                let r = reduce_row(row_at(0), row_at(1), row_at(2), lane)
+                    .map_err(|e| SimError::KernelFault(e.to_string()))?;
+                out_vals[0].push(r.a);
+                out_vals[1].push(r.b);
+                out_vals[2].push(r.c);
+                out_vals[3].push(r.d);
+            }
+            ctx.flops(lane_count as u64 * PCR_FLOPS_PER_ROW);
+
+            // (c) in-place write, then refresh cache_{j-1} from the
+            // untouched span tail.
+            for arr in 0..4 {
+                self.sh_idx.clear();
+                for &g in &active {
+                    for i in 0..st {
+                        self.sh_idx.push(self.slots[g].buf[arr] + off_j + i);
+                    }
+                }
+                for (ci, cv) in self
+                    .sh_idx
+                    .chunks(ctx.threads)
+                    .zip(out_vals[arr].chunks(ctx.threads))
+                {
+                    ctx.sh_st(ci, cv)?;
+                }
+
+                self.sh_idx.clear();
+                for &g in &active {
+                    for e in 0..two_s {
+                        self.sh_idx.push(self.slots[g].buf[arr] + off_j + st + e);
+                    }
+                }
+                sh_val.clear();
+                for chunk in self.sh_idx.chunks(ctx.threads) {
+                    ctx.sh_ld(chunk, &mut tmp)?;
+                    sh_val.extend_from_slice(&tmp);
+                }
+                self.sh_idx.clear();
+                for &g in &active {
+                    for e in 0..two_s {
+                        self.sh_idx.push(self.slots[g].cache[arr] + cache_off + e);
+                    }
+                }
+                for (ci, cv) in self.sh_idx.chunks(ctx.threads).zip(sh_val.chunks(ctx.threads)) {
+                    ctx.sh_st(ci, cv)?;
+                }
+            }
+            ctx.sync();
+        }
+        Ok(active)
+    }
+
+    /// Advance every active slot's stream position by one sub-tile.
+    pub fn step(&mut self, active: &[usize]) {
+        for &g in active {
+            self.slots[g].t0 += self.st as isize;
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # tridiag-gpu
+//!
+//! The paper's GPU tridiagonal solver — hybrid tiled PCR + p-Thomas —
+//! implemented as kernels on the [`gpu_sim`] functional simulator, plus
+//! the Davidson et al. and Zhang et al. baselines it is compared against
+//! (Sections III and V of the paper).
+
+#![warn(missing_docs)]
+
+// Kernels index parallel coefficient arrays (`a, b, c, d`) by a small
+// integer `arr`; iterator rewrites of those loops obscure the SIMT
+// structure the code deliberately mirrors.
+#![allow(clippy::needless_range_loop)]
+
+pub mod autotune;
+pub mod buffers;
+pub mod consts;
+pub mod davidson;
+pub mod kernels;
+pub mod solver;
+pub mod zhang;
+
+pub use buffers::{download_solution, upload, DeviceBatch, GpuScalar};
+pub use solver::{GpuSolveReport, GpuSolverConfig, GpuTridiagSolver, MappingVariant};

@@ -1,0 +1,556 @@
+//! The end-to-end GPU solver: algorithm transition + kernel pipeline
+//! (Section III).
+//!
+//! [`GpuTridiagSolver::solve_batch`] is the reproduction of the paper's
+//! runtime: pick the PCR step count `k` from `(M, hardware)` via the
+//! transition policy (Section III-D), then
+//!
+//! - `k = 0` (many systems): run p-Thomas directly on the interleaved
+//!   batch — Table III's `M ≥ 1024` row;
+//! - `k > 0`: run tiled PCR (one of the Fig. 11 grid mappings) followed
+//!   by p-Thomas over the `2^k·M` interleaved subsystems, or the fused
+//!   single-kernel pipeline (Section III-C).
+//!
+//! The returned [`GpuSolveReport`] carries per-kernel modeled timings,
+//! traffic summaries and occupancy — everything the figure harness
+//! prints.
+
+use crate::buffers::{upload, GpuScalar};
+use crate::consts::{PTHOMAS_BLOCK, REGS_FUSED, REGS_PTHOMAS, REGS_TILED_PCR};
+use crate::kernels::fused::FusedKernel;
+use crate::kernels::p_thomas::{AddrMap, PThomasKernel};
+use crate::kernels::tiled_pcr::TiledPcrKernel;
+use gpu_sim::timing::{time_kernel, TrafficSummary};
+use gpu_sim::{launch, DeviceSpec, GpuMemory, KernelTiming, LaunchConfig, Precision, Result};
+use tridiag_core::transition::{choose_k, max_k_for, TransitionPolicy};
+use tridiag_core::{Layout, SystemBatch};
+
+/// How tiled-PCR work maps onto the grid (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingVariant {
+    /// Pick automatically: partition lone large systems across block
+    /// groups, otherwise one block per system.
+    Auto,
+    /// Fig. 11(a): one block per system.
+    BlockPerSystem,
+    /// Fig. 11(b): each system split across this many blocks.
+    BlockGroupPerSystem(usize),
+    /// Fig. 11(c): this many systems multiplexed per block.
+    MultiSystemPerBlock(usize),
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSolverConfig {
+    /// Algorithm-transition policy (Section III-D).
+    pub policy: TransitionPolicy,
+    /// Sub-tile scale `c` (sub-tile = `c·2^k`).
+    pub sub_tile_scale: usize,
+    /// Fuse tiled PCR and p-Thomas into one kernel where the mapping
+    /// allows (Section III-C).
+    pub fused: bool,
+    /// Grid mapping for the tiled PCR stage.
+    pub mapping: MappingVariant,
+    /// p-Thomas threads per block.
+    pub pthomas_block: u32,
+}
+
+impl Default for GpuSolverConfig {
+    fn default() -> Self {
+        Self {
+            policy: TransitionPolicy::default(),
+            sub_tile_scale: 1,
+            fused: false,
+            mapping: MappingVariant::Auto,
+            pthomas_block: PTHOMAS_BLOCK,
+        }
+    }
+}
+
+/// One kernel's contribution to a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelReport {
+    /// Modeled timing breakdown.
+    pub timing: KernelTiming,
+    /// Traffic/compute summary.
+    pub traffic: TrafficSummary,
+    /// Shared memory per block (bytes).
+    pub shared_bytes: usize,
+    /// Blocks launched.
+    pub blocks: usize,
+}
+
+/// Everything a solve did and cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSolveReport {
+    /// PCR steps chosen by the transition policy (possibly clamped by
+    /// shared memory).
+    pub k: u32,
+    /// Grid mapping actually used for the PCR stage.
+    pub mapping: MappingVariant,
+    /// Whether the fused pipeline ran.
+    pub fused: bool,
+    /// Per-kernel reports, in launch order.
+    pub kernels: Vec<KernelReport>,
+    /// Total modeled time (µs) — the sum of kernel times including one
+    /// launch overhead each.
+    pub total_us: f64,
+    /// Scalar precision label (`"f32"` / `"f64"`).
+    pub precision: &'static str,
+}
+
+impl GpuSolveReport {
+    /// Modeled time of the tiled PCR stage alone (0 when `k = 0`).
+    pub fn pcr_us(&self) -> f64 {
+        if self.fused || self.k == 0 {
+            0.0
+        } else {
+            self.kernels.first().map(|k| k.timing.total_us).unwrap_or(0.0)
+        }
+    }
+}
+
+/// The solver: a device spec plus a configuration.
+#[derive(Debug, Clone)]
+pub struct GpuTridiagSolver {
+    spec: DeviceSpec,
+    config: GpuSolverConfig,
+}
+
+impl GpuTridiagSolver {
+    /// Build a solver for `spec` with `config`.
+    pub fn new(spec: DeviceSpec, config: GpuSolverConfig) -> Self {
+        Self { spec, config }
+    }
+
+    /// GTX480 with the paper's defaults.
+    pub fn gtx480() -> Self {
+        Self::new(DeviceSpec::gtx480(), GpuSolverConfig::default())
+    }
+
+    /// The device spec in use.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Largest `k` whose window still fits this device's shared memory
+    /// at scale `c` and element size `bytes`.
+    pub fn max_k_for_shared(&self, c: usize, bytes: usize) -> u32 {
+        let mut k = 0u32;
+        while k < 20 {
+            let st = c.max(1) << (k + 1);
+            let elems = TiledPcrKernel::shared_elems_per_slot(k + 1, st);
+            if elems * bytes > self.spec.max_shared_per_block {
+                break;
+            }
+            k += 1;
+        }
+        k
+    }
+
+    /// Solve every system in `batch` on the simulated device. Returns
+    /// the solutions in the batch's layout plus the solve report.
+    pub fn solve_batch<S: GpuScalar>(
+        &self,
+        batch: &SystemBatch<S>,
+    ) -> Result<(Vec<S>, GpuSolveReport)> {
+        let m = batch.num_systems();
+        let n = batch.system_len();
+        let precision = if <S as gpu_sim::Elem>::BYTES == 4 {
+            Precision::F32
+        } else {
+            Precision::F64
+        };
+        let c = self.config.sub_tile_scale.max(1);
+        let mut k = choose_k(self.config.policy, m, n)
+            .min(self.max_k_for_shared(c, <S as gpu_sim::Elem>::BYTES))
+            .min(max_k_for(n));
+        // 2^k threads per group must fit a block.
+        while k > 0 && (1u32 << k) > self.spec.max_threads_per_block {
+            k -= 1;
+        }
+
+        let mut kernels: Vec<KernelReport> = Vec::new();
+        let mut mem = GpuMemory::new();
+
+        let x = if k == 0 {
+            // ---- pure p-Thomas on the interleaved batch -------------
+            let inter = batch.to_layout(Layout::Interleaved);
+            let dev = upload(&mut mem, &inter);
+            let cp = mem.alloc(dev.total());
+            let dp = mem.alloc(dev.total());
+            let kernel = PThomasKernel {
+                a: dev.a,
+                b: dev.b,
+                c: dev.c,
+                d: dev.d,
+                c_prime: cp,
+                d_prime: dp,
+                x: dev.x,
+                map: AddrMap::Interleaved { m, n },
+            };
+            let cfg = LaunchConfig::new(
+                "p_thomas",
+                m.div_ceil(self.config.pthomas_block as usize),
+                self.config.pthomas_block.min(m as u32).max(1),
+            )
+            .with_regs(REGS_PTHOMAS);
+            let res = launch(&self.spec, &cfg, &kernel, &mut mem)?;
+            kernels.push(self.report(&res, precision));
+            // Convert back to the caller's layout.
+            let xi = mem.read(dev.x)?;
+            let mut out = vec![S::ZERO; batch.total_len()];
+            for sys in 0..m {
+                for row in 0..n {
+                    out[batch.index(sys, row)] = xi[row * m + sys];
+                }
+            }
+            out
+        } else {
+            let contig = batch.to_layout(Layout::Contiguous);
+            let dev = upload(&mut mem, &contig);
+            let st = c << k;
+            let mapping = self.resolve_mapping(m, n, k, st, <S as gpu_sim::Elem>::BYTES);
+
+            let use_fused = self.config.fused
+                && matches!(mapping, MappingVariant::BlockPerSystem);
+            let xr = if use_fused {
+                let cp = mem.alloc(m * n);
+                let dp = mem.alloc(m * n);
+                let kernel = FusedKernel {
+                    input: [dev.a, dev.b, dev.c, dev.d],
+                    c_prime: cp,
+                    d_prime: dp,
+                    x: dev.x,
+                    n,
+                    k,
+                    sub_tile: st,
+                    m,
+                };
+                let cfg = LaunchConfig::new("fused_pcr_thomas", m, 1 << k).with_regs(REGS_FUSED);
+                let res = launch(&self.spec, &cfg, &kernel, &mut mem)?;
+                kernels.push(self.report(&res, precision));
+                mem.read(dev.x)?.to_vec()
+            } else {
+                let (assignments, threads) = match mapping {
+                    MappingVariant::BlockPerSystem => {
+                        (TiledPcrKernel::assign_block_per_system(m, n), 1u32 << k)
+                    }
+                    MappingVariant::BlockGroupPerSystem(g) => (
+                        TiledPcrKernel::assign_block_group_per_system(m, n, g),
+                        1u32 << k,
+                    ),
+                    MappingVariant::MultiSystemPerBlock(q) => (
+                        TiledPcrKernel::assign_multi_system_per_block(m, n, q),
+                        ((q as u32) << k).min(self.spec.max_threads_per_block),
+                    ),
+                    MappingVariant::Auto => unreachable!("resolved above"),
+                };
+                let out = [
+                    mem.alloc(m * n),
+                    mem.alloc(m * n),
+                    mem.alloc(m * n),
+                    mem.alloc(m * n),
+                ];
+                let blocks = assignments.len();
+                let kernel = TiledPcrKernel {
+                    input: [dev.a, dev.b, dev.c, dev.d],
+                    output: out,
+                    n,
+                    k,
+                    sub_tile: st,
+                    assignments,
+                };
+                let cfg =
+                    LaunchConfig::new("tiled_pcr", blocks, threads).with_regs(REGS_TILED_PCR);
+                let res = launch(&self.spec, &cfg, &kernel, &mut mem)?;
+                kernels.push(self.report(&res, precision));
+
+                // p-Thomas over the 2^k·M interleaved subsystems.
+                let cp = mem.alloc(m * n);
+                let dp = mem.alloc(m * n);
+                let map = AddrMap::HybridSubsystems { m, n, k };
+                let total_threads = map.num_threads();
+                let kernel = PThomasKernel {
+                    a: out[0],
+                    b: out[1],
+                    c: out[2],
+                    d: out[3],
+                    c_prime: cp,
+                    d_prime: dp,
+                    x: dev.x,
+                    map,
+                };
+                let tpb = self
+                    .config
+                    .pthomas_block
+                    .min(total_threads as u32)
+                    .max(1);
+                let cfg = LaunchConfig::new(
+                    "p_thomas",
+                    total_threads.div_ceil(tpb as usize),
+                    tpb,
+                )
+                .with_regs(REGS_PTHOMAS);
+                let res = launch(&self.spec, &cfg, &kernel, &mut mem)?;
+                kernels.push(self.report(&res, precision));
+                mem.read(dev.x)?.to_vec()
+            };
+
+            // Contiguous → caller's layout.
+            let mut out = vec![S::ZERO; batch.total_len()];
+            for sys in 0..m {
+                for row in 0..n {
+                    out[batch.index(sys, row)] = xr[sys * n + row];
+                }
+            }
+            let report = GpuSolveReport {
+                k,
+                mapping,
+                fused: use_fused,
+                total_us: kernels.iter().map(|kr| kr.timing.total_us).sum(),
+                kernels,
+                precision: S::NAME,
+            };
+            return Ok((out, report));
+        };
+
+        let report = GpuSolveReport {
+            k,
+            mapping: MappingVariant::BlockPerSystem,
+            fused: false,
+            total_us: kernels.iter().map(|kr| kr.timing.total_us).sum(),
+            kernels,
+            precision: S::NAME,
+        };
+        Ok((x, report))
+    }
+
+    fn report(&self, res: &gpu_sim::LaunchResult, precision: Precision) -> KernelReport {
+        KernelReport {
+            timing: time_kernel(&self.spec, res, precision),
+            traffic: TrafficSummary::from_stats(&self.spec, &res.stats),
+            shared_bytes: res.shared_bytes_per_block,
+            blocks: res.stats.blocks,
+        }
+    }
+
+    /// Resolve [`MappingVariant::Auto`]: partition lone large systems
+    /// across block groups so more SMs engage; otherwise one block per
+    /// system.
+    fn resolve_mapping(
+        &self,
+        m: usize,
+        n: usize,
+        k: u32,
+        st: usize,
+        elem_bytes: usize,
+    ) -> MappingVariant {
+        match self.config.mapping {
+            MappingVariant::Auto => {
+                let want_blocks = 2 * self.spec.num_sms as usize;
+                if m < want_blocks {
+                    // Partition each system, but keep partitions at
+                    // least 4 sub-tiles long so halo overhead stays
+                    // negligible.
+                    let g_max_useful = (n / (4 * st)).max(1);
+                    let g = want_blocks.div_ceil(m).min(g_max_useful);
+                    if g > 1 {
+                        return MappingVariant::BlockGroupPerSystem(g);
+                    }
+                }
+                let _ = elem_bytes;
+                MappingVariant::BlockPerSystem
+            }
+            explicit => {
+                if let MappingVariant::MultiSystemPerBlock(q) = explicit {
+                    // Validate the footprint fits shared memory.
+                    let elems = TiledPcrKernel::shared_elems_per_slot(k, st) * q;
+                    if elems * elem_bytes > self.spec.max_shared_per_block {
+                        return MappingVariant::BlockPerSystem;
+                    }
+                }
+                explicit
+            }
+        }
+    }
+}
+
+/// Convenience: solve with defaults on a GTX480; returns the solution
+/// in the batch's layout.
+pub fn solve_batch_gtx480<S: GpuScalar>(
+    batch: &SystemBatch<S>,
+) -> Result<(Vec<S>, GpuSolveReport)> {
+    GpuTridiagSolver::gtx480().solve_batch(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tridiag_core::generators::random_batch;
+    use tridiag_core::verify;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow simulation; run with --release")]
+    fn solves_across_the_table3_regimes() {
+        // (m, n) pairs spanning every Table III row (k = 8, 7, 6, 5, 0),
+        // sizes kept moderate for test speed.
+        for (m, n) in [(1usize, 2048usize), (16, 1024), (64, 512), (600, 256), (1100, 64)] {
+            let batch = random_batch::<f64>(m, n, 7 + m as u64);
+            let (x, report) = solve_batch_gtx480(&batch).unwrap();
+            let resid = batch.max_relative_residual(&x).unwrap();
+            assert!(resid < 1e-9, "m={m} n={n}: residual {resid}");
+            let expected_k = tridiag_core::cost_model::gtx480_heuristic_k(m as u64)
+                .min(tridiag_core::transition::max_k_for(n));
+            assert_eq!(report.k, expected_k, "m={m} n={n}");
+            assert!(report.total_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn f32_path_works() {
+        let batch = random_batch::<f32>(32, 512, 3);
+        let (x, report) = solve_batch_gtx480(&batch).unwrap();
+        assert!(batch.max_relative_residual(&x).unwrap() < 1e-3);
+        assert_eq!(report.precision, "f32");
+    }
+
+    #[test]
+    fn k0_path_is_single_kernel() {
+        let batch = random_batch::<f64>(2048, 128, 5);
+        let (_, report) = solve_batch_gtx480(&batch).unwrap();
+        assert_eq!(report.k, 0);
+        assert_eq!(report.kernels.len(), 1);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow simulation; run with --release")]
+    fn hybrid_path_is_two_kernels_fused_is_one() {
+        let batch = random_batch::<f64>(64, 1024, 9);
+        let split = GpuTridiagSolver::new(DeviceSpec::gtx480(), GpuSolverConfig::default());
+        let (_, r_split) = split.solve_batch(&batch).unwrap();
+        assert_eq!(r_split.kernels.len(), 2);
+        assert!(!r_split.fused);
+
+        let fused = GpuTridiagSolver::new(
+            DeviceSpec::gtx480(),
+            GpuSolverConfig {
+                fused: true,
+                mapping: MappingVariant::BlockPerSystem,
+                ..Default::default()
+            },
+        );
+        let (xf, r_fused) = fused.solve_batch(&batch).unwrap();
+        assert!(r_fused.fused);
+        assert_eq!(r_fused.kernels.len(), 1);
+        assert!(batch.max_relative_residual(&xf).unwrap() < 1e-9);
+        // One launch overhead saved.
+        let spec = DeviceSpec::gtx480();
+        let split_launches = 2.0 * spec.launch_overhead_us;
+        let fused_launches = spec.launch_overhead_us;
+        assert!(split_launches > fused_launches);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow simulation; run with --release")]
+    fn lone_large_system_gets_partitioned() {
+        let batch = random_batch::<f64>(1, 1 << 16, 11);
+        let (x, report) = solve_batch_gtx480(&batch).unwrap();
+        assert!(batch.max_relative_residual(&x).unwrap() < 1e-9);
+        assert!(
+            matches!(report.mapping, MappingVariant::BlockGroupPerSystem(g) if g > 1),
+            "mapping {:?}",
+            report.mapping
+        );
+    }
+
+    #[test]
+    fn explicit_multi_system_mapping() {
+        let batch = random_batch::<f64>(8, 512, 13);
+        let solver = GpuTridiagSolver::new(
+            DeviceSpec::gtx480(),
+            GpuSolverConfig {
+                policy: TransitionPolicy::Fixed(4),
+                mapping: MappingVariant::MultiSystemPerBlock(2),
+                ..Default::default()
+            },
+        );
+        let (x, report) = solver.solve_batch(&batch).unwrap();
+        assert!(batch.max_relative_residual(&x).unwrap() < 1e-9);
+        assert_eq!(report.k, 4);
+        assert!(matches!(report.mapping, MappingVariant::MultiSystemPerBlock(2)));
+        // Half the blocks of block-per-system.
+        assert_eq!(report.kernels[0].blocks, 4);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow simulation; run with --release")]
+    fn shared_memory_clamps_k_on_small_devices() {
+        let solver = GpuTridiagSolver::new(DeviceSpec::gtx280(), GpuSolverConfig::default());
+        // GTX280 has 16 KiB shared: k = 8 in f64 cannot fit.
+        let max_k = solver.max_k_for_shared(1, 8);
+        assert!(max_k < 8, "got {max_k}");
+        let batch = random_batch::<f64>(1, 4096, 17);
+        let (x, report) = solver.solve_batch(&batch).unwrap();
+        assert!(batch.max_relative_residual(&x).unwrap() < 1e-9);
+        assert!(report.k <= max_k);
+    }
+
+    #[test]
+    fn matches_host_hybrid_numerically() {
+        use tridiag_core::hybrid::{solve_batch as host_solve, HybridConfig};
+        let batch = random_batch::<f64>(4, 777, 19);
+        let (xg, _) = solve_batch_gtx480(&batch).unwrap();
+        let (xh, _) = host_solve(&batch, HybridConfig::default()).unwrap();
+        for i in 0..xg.len() {
+            assert!((xg[i] - xh[i]).abs() < 1e-8, "row {i}");
+        }
+        let s0 = batch.system(0).unwrap();
+        verify::check_solution(&s0, &batch.split_solution(&xg).unwrap()[0], 1e-9).unwrap();
+    }
+}
+
+impl std::fmt::Display for GpuSolveReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "GPU solve [{}]: {:.1} us total, k = {} PCR steps, {:?}{}",
+            self.precision,
+            self.total_us,
+            self.k,
+            self.mapping,
+            if self.fused { ", fused" } else { "" }
+        )?;
+        for kr in &self.kernels {
+            writeln!(
+                f,
+                "  {:>18}: {:>9.1} us  ({:?}-bound, {:>3.0}% occupancy, {:>7.2} MiB, {:>5.1}% coalesced, {} blocks)",
+                kr.timing.name,
+                kr.timing.total_us,
+                kr.timing.bound,
+                kr.timing.occupancy_fraction * 100.0,
+                kr.traffic.traffic_mib,
+                kr.traffic.coalescing * 100.0,
+                kr.blocks,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use tridiag_core::generators::random_batch;
+
+    #[test]
+    fn report_display_is_informative() {
+        let batch = random_batch::<f64>(32, 512, 1);
+        let (_, report) = solve_batch_gtx480(&batch).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("k = 6"), "{text}");
+        assert!(text.contains("tiled_pcr"), "{text}");
+        assert!(text.contains("p_thomas"), "{text}");
+        assert!(text.contains("occupancy"), "{text}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Failure injection: singular and malformed inputs must surface typed
+//! errors from every engine — never panics, never silent garbage.
+
+use scalable_tridiag::cpu_ref;
+use scalable_tridiag::tridiag_core::{
+    cr, generators, pcr, rd, thomas, SystemBatch, TridiagError, TridiagonalSystem,
+};
+use scalable_tridiag::tridiag_gpu::solver::GpuTridiagSolver;
+
+/// A system whose very first pivot is exactly zero.
+fn zero_head(n: usize) -> TridiagonalSystem<f64> {
+    generators::near_singular::<f64>(n, 0, 0.0, 99)
+}
+
+#[test]
+fn host_algorithms_report_zero_pivot() {
+    let s = zero_head(32);
+    assert!(matches!(
+        thomas::solve_typed(&s).unwrap_err(),
+        TridiagError::ZeroPivot { .. }
+    ));
+    assert!(cr::solve(&s).is_err());
+    assert!(pcr::solve(&s).is_err());
+    assert!(rd::solve(&s).is_err());
+}
+
+#[test]
+fn cpu_batched_solvers_propagate_errors() {
+    let good = generators::dominant_random::<f64>(32, 1);
+    let batch = SystemBatch::from_systems(vec![good.clone(), zero_head(32), good]).unwrap();
+    assert!(cpu_ref::solve_batch_sequential(&batch).is_err());
+    assert!(cpu_ref::solve_batch_threaded(&batch, &cpu_ref::ThreadPool::new(4)).is_err());
+}
+
+#[test]
+fn gpu_solver_faults_cleanly_on_singular_input() {
+    let good = generators::dominant_random::<f64>(64, 2);
+    let batch = SystemBatch::from_systems(vec![good, zero_head(64)]).unwrap();
+    let err = GpuTridiagSolver::gtx480().solve_batch(&batch).unwrap_err();
+    // A kernel fault, not a panic and not a wrong answer.
+    assert!(matches!(err, gpu_sim::SimError::KernelFault(_)), "{err}");
+}
+
+#[test]
+fn malformed_construction_is_rejected() {
+    assert!(matches!(
+        TridiagonalSystem::<f64>::new(vec![], vec![], vec![], vec![]).unwrap_err(),
+        TridiagError::EmptySystem
+    ));
+    assert!(matches!(
+        TridiagonalSystem::<f64>::new(vec![0.0], vec![1.0, 2.0], vec![0.0, 0.0], vec![1.0, 1.0])
+            .unwrap_err(),
+        TridiagError::LengthMismatch { .. }
+    ));
+    let s1 = generators::dominant_random::<f64>(4, 1);
+    let s2 = generators::dominant_random::<f64>(5, 2);
+    assert!(SystemBatch::from_systems(vec![s1, s2]).is_err());
+}
+
+#[test]
+fn nan_input_is_caught_not_propagated_silently() {
+    let mut s = generators::dominant_random::<f64>(16, 3);
+    s.rhs_mut()[7] = f64::NAN;
+    assert!(matches!(
+        s.check_finite().unwrap_err(),
+        TridiagError::NonFinite { row: 7 }
+    ));
+    // Thomas detects the NaN during the sweep.
+    assert!(thomas::solve_typed(&s).is_err());
+}
+
+#[test]
+fn nearly_singular_still_solves_but_residual_tells() {
+    // A tiny-but-nonzero pivot: pivot-free elimination goes through;
+    // the residual check is the user's guard.
+    let s = generators::near_singular::<f64>(64, 20, 1e-13, 5);
+    if let Ok(x) = thomas::solve_typed(&s) {
+        let r = s.relative_residual(&x).unwrap();
+        // Either an accurate solve or a residual loud enough to notice;
+        // what must not happen is a quiet NaN.
+        assert!(x.iter().all(|v| v.is_finite()) || r > 1e-6);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based cross-crate tests: for arbitrary well-conditioned
+//! inputs, the whole pipeline holds its invariants.
+
+use proptest::prelude::*;
+use scalable_tridiag::tridiag_core::{
+    generators, pcr, sliding_window::PcrPipeline, thomas, tiled_pcr, transition, Layout,
+};
+use scalable_tridiag::tridiag_gpu::solver::GpuTridiagSolver;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulated GPU solves anything the host Thomas solves.
+    #[test]
+    fn gpu_solver_matches_thomas(
+        m in 1usize..12,
+        n_exp in 3u32..10,
+        n_off in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let n = (1usize << n_exp) + n_off;
+        let batch = generators::random_batch::<f64>(m, n, seed);
+        let (x, report) = GpuTridiagSolver::gtx480().solve_batch(&batch).unwrap();
+        prop_assert!(batch.max_relative_residual(&x).unwrap() < 1e-8);
+        prop_assert!(report.total_us > 0.0);
+        for sys in 0..m {
+            let s = batch.system(sys).unwrap();
+            let reference = thomas::solve_typed(&s).unwrap();
+            for row in 0..n {
+                let g = x[batch.index(sys, row)];
+                prop_assert!(
+                    (g - reference[row]).abs() < 1e-7 * reference[row].abs().max(1.0),
+                    "sys {} row {}: {} vs {}", sys, row, g, reference[row]
+                );
+            }
+        }
+    }
+
+    /// Streamed, partitioned and naive tiled PCR all equal monolithic
+    /// reduction bit-for-bit, for arbitrary sizes and k.
+    #[test]
+    fn tilings_equal_monolithic(
+        n in 16usize..600,
+        k in 1u32..5,
+        sub_tile in 1usize..40,
+        parts in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!((1usize << k) <= n);
+        let s = generators::dominant_random::<f64>(n, seed);
+        let mono = pcr::reduce(&s, k).unwrap();
+        let (ma, mb, mc, md) = mono.arrays();
+
+        let (st, _) = tiled_pcr::reduce_streamed(&s, k, sub_tile).unwrap();
+        let (sa, sb, sc, sd) = st.arrays();
+        prop_assert!(sa == ma && sb == mb && sc == mc && sd == md, "streamed");
+
+        let parts = parts.min(n);
+        let (pt, _) = tiled_pcr::reduce_partitioned(&s, k, parts).unwrap();
+        let (pa, pb, pc, pd) = pt.arrays();
+        prop_assert!(pa == ma && pb == mb && pc == mc && pd == md, "partitioned");
+
+        let (nt, _) = tiled_pcr::reduce_naive_tiled(&s, k, sub_tile).unwrap();
+        let (na, nb, nc, nd) = nt.arrays();
+        prop_assert!(na == ma && nb == mb && nc == mc && nd == md, "naive");
+    }
+
+    /// Incomplete PCR + independent Thomas equals a direct solve.
+    #[test]
+    fn divide_and_conquer_is_exact(
+        n in 8usize..500,
+        k in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!((1usize << k) <= n);
+        let s = generators::dominant_random::<f64>(n, seed);
+        let direct = thomas::solve_typed(&s).unwrap();
+        let via_pcr = pcr::reduce(&s, k).unwrap().solve_subsystems_thomas().unwrap();
+        for i in 0..n {
+            prop_assert!((direct[i] - via_pcr[i]).abs() < 1e-7 * direct[i].abs().max(1.0));
+        }
+    }
+
+    /// Layout conversion round-trips and never changes row content.
+    #[test]
+    fn layout_round_trip(m in 1usize..10, n in 1usize..64, seed in any::<u64>()) {
+        let b = generators::random_batch::<f64>(m, n, seed);
+        let i = b.to_layout(Layout::Interleaved);
+        let back = i.to_layout(Layout::Contiguous);
+        prop_assert_eq!(&back, &b);
+        for sys in 0..m {
+            for row in 0..n {
+                prop_assert_eq!(b.row(sys, row), i.row(sys, row));
+            }
+        }
+    }
+
+    /// The sliding-window pipeline accepts any feed chunking and still
+    /// produces monolithic output (chunk boundaries are invisible).
+    #[test]
+    fn pipeline_chunking_invariant(
+        n in 16usize..300,
+        k in 1u32..4,
+        chunk in 1usize..23,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!((1usize << k) <= n);
+        let s = generators::dominant_random::<f64>(n, seed);
+        let mono = pcr::reduce(&s, k).unwrap();
+        let (ma, ..) = mono.arrays();
+        let mut pipe = PcrPipeline::new(n, k).unwrap();
+        let mut fed = 0usize;
+        while fed < n {
+            let end = (fed + chunk).min(n);
+            for i in fed..end {
+                pipe.push(scalable_tridiag::tridiag_core::cr::Row::from_system(&s, i)).unwrap();
+            }
+            fed = end;
+        }
+        let (rows, stats) = pipe.finish().unwrap();
+        prop_assert_eq!(stats.rows_loaded, n);
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(r.a, ma[i]);
+        }
+    }
+
+    /// choose_k never returns an invalid step count.
+    #[test]
+    fn transition_always_valid(m in 1usize..100_000, n in 1usize..100_000) {
+        for policy in [
+            transition::TransitionPolicy::Gtx480Heuristic,
+            transition::TransitionPolicy::CostModel { parallelism: 23040, k_max: 12 },
+            transition::TransitionPolicy::Fixed(9),
+        ] {
+            let k = transition::choose_k(policy, m, n);
+            prop_assert!((1usize << k) <= n.max(1), "policy {:?}: k={} n={}", policy, k, n);
+        }
+    }
+}
