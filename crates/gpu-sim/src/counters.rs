@@ -1,5 +1,41 @@
 //! Instrumentation counters collected during functional execution.
 
+/// Sanitizer violation tallies (all zero when the sanitizer is off, or
+/// when the kernel is clean). Unlike the capped violation *reports* in
+/// [`crate::exec::LaunchResult::violations`], these count every hazard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SanitizerCounts {
+    /// Shared-memory data races (two lanes, same word, ≥1 write, no
+    /// intervening barrier).
+    pub shared_races: u64,
+    /// Out-of-bounds lanes in block-wide loads/stores.
+    pub out_of_bounds: u64,
+    /// Reads of never-written shared/global words.
+    pub uninit_reads: u64,
+    /// Barriers reached by a strict subset of the block's lanes.
+    pub barrier_divergence: u64,
+}
+
+impl SanitizerCounts {
+    /// Elementwise sum.
+    pub fn merge(&mut self, o: &SanitizerCounts) {
+        self.shared_races += o.shared_races;
+        self.out_of_bounds += o.out_of_bounds;
+        self.uninit_reads += o.uninit_reads;
+        self.barrier_divergence += o.barrier_divergence;
+    }
+
+    /// Total violations of every class.
+    pub fn total(&self) -> u64 {
+        self.shared_races + self.out_of_bounds + self.uninit_reads + self.barrier_divergence
+    }
+
+    /// `true` when no violation of any class was counted.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+}
+
 /// Per-block execution counters, filled in by [`crate::exec::BlockCtx`]
 /// as the kernel runs and consumed by the timing model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,6 +63,8 @@ pub struct BlockStats {
     pub barriers: u64,
     /// Peak shared memory the block allocated, in bytes.
     pub shared_bytes_peak: u64,
+    /// Sanitizer violation tallies (zero when the sanitizer is off).
+    pub sanitizer: SanitizerCounts,
 }
 
 impl BlockStats {
@@ -43,6 +81,7 @@ impl BlockStats {
         self.bank_conflict_replays += o.bank_conflict_replays;
         self.barriers += o.barriers;
         self.shared_bytes_peak = self.shared_bytes_peak.max(o.shared_bytes_peak);
+        self.sanitizer.merge(&o.sanitizer);
     }
 
     /// Total global transactions (loads + stores).
@@ -103,6 +142,7 @@ mod tests {
             bank_conflict_replays: 1,
             barriers: 2,
             shared_bytes_peak: 1024,
+            sanitizer: SanitizerCounts::default(),
         };
         let b = BlockStats {
             flops: 5,
@@ -114,6 +154,21 @@ mod tests {
         assert_eq!(a.shared_bytes_peak, 2048);
         assert_eq!(a.global_transactions(), 3);
         assert_eq!(a.global_bytes(), 150);
+    }
+
+    #[test]
+    fn sanitizer_counts_merge_and_total() {
+        let mut a = SanitizerCounts {
+            shared_races: 1,
+            out_of_bounds: 2,
+            uninit_reads: 3,
+            barrier_divergence: 4,
+        };
+        assert!(!a.is_clean());
+        assert_eq!(a.total(), 10);
+        a.merge(&a.clone());
+        assert_eq!(a.total(), 20);
+        assert!(SanitizerCounts::default().is_clean());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Error types for the GPU simulator.
 
+use crate::sanitizer::SanitizerViolation;
 use std::fmt;
 
 /// Errors raised by kernel launches and in-kernel memory operations.
@@ -46,6 +47,12 @@ pub enum SimError {
     /// The kernel itself failed (numerical error etc.); carries the
     /// kernel's message.
     KernelFault(String),
+    /// A sanitizer finding severe enough to abort the launch: every
+    /// out-of-bounds access (the functional read would be undefined),
+    /// or the first violation of any class under
+    /// [`crate::exec::ExecConfig::fail_fast`]. Carries full
+    /// kernel/block/warp/lane/address attribution.
+    Sanitizer(SanitizerViolation),
 }
 
 impl fmt::Display for SimError {
@@ -72,6 +79,7 @@ impl fmt::Display for SimError {
             ),
             SimError::BadBuffer { buffer } => write!(f, "unknown buffer handle {buffer}"),
             SimError::KernelFault(msg) => write!(f, "kernel fault: {msg}"),
+            SimError::Sanitizer(v) => write!(f, "sanitizer: {v}"),
         }
     }
 }

@@ -16,8 +16,9 @@
 
 use crate::counters::{BlockStats, KernelStats};
 use crate::error::{Result, SimError};
-use crate::memory::{shared_conflict_cycles_dense, warp_transactions_dense};
+use crate::memory::{shared_conflict_cycles_dense, warp_transactions_dense, InitMask};
 use crate::occupancy::{occupancy, Occupancy};
+use crate::sanitizer::{MemSpace, Sanitizer, SanitizerViolation};
 use crate::spec::DeviceSpec;
 use std::fmt::Debug;
 
@@ -42,27 +43,46 @@ impl Elem for u32 {
 pub struct BufId(usize);
 
 /// Simulated device global memory: an arena of typed buffers.
+///
+/// Every buffer carries a word-granular [`InitMask`] shadow recording
+/// which elements have ever been written — by a kernel store or a host
+/// upload. The sanitizer's initcheck reads it; maintenance is cheap
+/// enough to run unconditionally, so the shadow stays accurate even
+/// when only some launches are sanitized.
 #[derive(Debug, Default)]
 pub struct GpuMemory<S: Elem> {
     buffers: Vec<Vec<S>>,
+    init: Vec<InitMask>,
 }
 
 impl<S: Elem> GpuMemory<S> {
     /// Empty arena.
     pub fn new() -> Self {
-        Self { buffers: Vec::new() }
+        Self {
+            buffers: Vec::new(),
+            init: Vec::new(),
+        }
     }
 
-    /// Allocate a zero-initialised buffer of `len` elements.
+    /// Allocate a buffer of `len` elements. Functionally zero-filled
+    /// (deterministic), but *uninitialized* to the sanitizer — like
+    /// `cudaMalloc`, whose contents are undefined.
     pub fn alloc(&mut self, len: usize) -> BufId {
         self.buffers.push(vec![S::default(); len]);
+        self.init.push(InitMask::uninit(len));
         BufId(self.buffers.len() - 1)
     }
 
-    /// Upload host data ("cudaMemcpy host→device").
+    /// Upload host data ("cudaMemcpy host→device"); fully initialized.
     pub fn alloc_from(&mut self, data: Vec<S>) -> BufId {
         self.buffers.push(data);
+        self.init.push(InitMask::Full);
         BufId(self.buffers.len() - 1)
+    }
+
+    /// Is element `i` of `id` initialized (host-uploaded or stored to)?
+    pub fn is_word_init(&self, id: BufId, i: usize) -> bool {
+        self.init.get(id.0).is_some_and(|m| m.is_set(i))
     }
 
     /// Read back a buffer ("cudaMemcpy device→host").
@@ -97,7 +117,54 @@ impl<S: Elem> GpuMemory<S> {
             });
         }
         buf.copy_from_slice(data);
+        self.init[id.0] = InitMask::Full;
         Ok(())
+    }
+}
+
+/// Execution options orthogonal to the launch geometry — currently the
+/// sanitizer toggles. Pass to [`launch_with`]; [`launch`] uses the
+/// default (sanitizer off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Run the kernel under the sanitizer (see [`crate::sanitizer`]).
+    pub sanitize: bool,
+    /// Abort the launch with [`SimError::Sanitizer`] at the first
+    /// violation instead of collecting them into
+    /// [`LaunchResult::violations`]. Out-of-bounds accesses always
+    /// abort regardless.
+    pub fail_fast: bool,
+    /// Cap on *recorded* violation reports per block (counters in
+    /// [`crate::counters::SanitizerCounts`] are never capped).
+    pub max_violations: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self {
+            sanitize: false,
+            fail_fast: false,
+            max_violations: 64,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Sanitizer on, collect-all mode.
+    pub fn sanitized() -> Self {
+        Self {
+            sanitize: true,
+            ..Self::default()
+        }
+    }
+
+    /// Sanitizer on, abort at the first violation.
+    pub fn fail_fast() -> Self {
+        Self {
+            sanitize: true,
+            fail_fast: true,
+            ..Self::default()
+        }
     }
 }
 
@@ -154,6 +221,7 @@ pub struct BlockCtx<'a, S: Elem> {
     banks: u32,
     max_shared_bytes: usize,
     stats: BlockStats,
+    san: Option<Sanitizer>,
 }
 
 impl<'a, S: Elem> BlockCtx<'a, S> {
@@ -163,6 +231,14 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
     /// transaction per distinct 128-byte segment per warp.
     pub fn ld(&mut self, buf: BufId, idx: &[usize], out: &mut Vec<S>) -> Result<()> {
         self.account_global(buf, idx, true)?;
+        if let Some(san) = self.san.as_mut() {
+            let mask = &self.mem.init[buf.0];
+            for (lane, &i) in idx.iter().enumerate() {
+                if !mask.is_set(i) {
+                    san.global_uninit_read(lane, buf.0, i);
+                }
+            }
+        }
         let data = self.mem.read(buf)?;
         out.clear();
         out.reserve(idx.len());
@@ -191,15 +267,22 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
         for (&i, &v) in idx.iter().zip(vals) {
             data[i] = v;
         }
+        let mask = &mut self.mem.init[buf.0];
+        for &i in idx {
+            mask.set(i);
+        }
         Ok(())
     }
 
     fn account_global(&mut self, buf: BufId, idx: &[usize], is_load: bool) -> Result<()> {
         let len = self.mem.len(buf)?;
-        if let Some(&bad) = idx.iter().find(|&&i| i >= len) {
+        if let Some(pos) = idx.iter().position(|&i| i >= len) {
+            if let Some(san) = self.san.as_mut() {
+                return Err(san.oob(pos, idx[pos], len, MemSpace::Global, Some(buf.0)));
+            }
             return Err(SimError::GlobalOutOfBounds {
                 buffer: buf.0,
-                index: bad,
+                index: idx[pos],
                 len,
             });
         }
@@ -240,12 +323,18 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
         }
         self.shared.resize(base + len, S::default());
         self.stats.shared_bytes_peak = self.stats.shared_bytes_peak.max(new_bytes as u64);
+        if let Some(san) = self.san.as_mut() {
+            san.on_shared_alloc(base + len);
+        }
         Ok(base)
     }
 
     /// Block-wide shared load with bank-conflict accounting.
     pub fn sh_ld(&mut self, idx: &[usize], out: &mut Vec<S>) -> Result<()> {
         self.account_shared(idx)?;
+        if let Some(san) = self.san.as_mut() {
+            san.shared_access(idx, false);
+        }
         out.clear();
         out.reserve(idx.len());
         for &i in idx {
@@ -263,6 +352,9 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
             });
         }
         self.account_shared(idx)?;
+        if let Some(san) = self.san.as_mut() {
+            san.shared_access(idx, true);
+        }
         for (&i, &v) in idx.iter().zip(vals) {
             self.shared[i] = v;
         }
@@ -277,10 +369,14 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
     }
 
     fn account_shared(&mut self, idx: &[usize]) -> Result<()> {
-        if let Some(&bad) = idx.iter().find(|&&i| i >= self.shared.len()) {
+        if let Some(pos) = idx.iter().position(|&i| i >= self.shared.len()) {
+            let len = self.shared.len();
+            if let Some(san) = self.san.as_mut() {
+                return Err(san.oob(pos, idx[pos], len, MemSpace::Shared, None));
+            }
             return Err(SimError::SharedOutOfBounds {
-                index: bad,
-                len: self.shared.len(),
+                index: idx[pos],
+                len,
             });
         }
         let mut replays = 0u64;
@@ -292,9 +388,24 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
         Ok(())
     }
 
-    /// `__syncthreads()`.
+    /// `__syncthreads()` — every lane of the block arrives.
     pub fn sync(&mut self) {
         self.stats.barriers += 1;
+        if let Some(san) = self.san.as_mut() {
+            san.barrier();
+        }
+    }
+
+    /// A barrier only the given lanes reach — how divergent kernels
+    /// misuse `__syncthreads()` inside non-uniform control flow. Under
+    /// the sanitizer a strict subset of the block's lanes is reported
+    /// as [`SanitizerViolation::BarrierDivergence`]; without it this is
+    /// identical to [`BlockCtx::sync`] (the simulator cannot hang).
+    pub fn sync_arrive(&mut self, arrived: &[usize]) {
+        self.stats.barriers += 1;
+        if let Some(san) = self.san.as_mut() {
+            san.barrier_arrive(arrived);
+        }
     }
 
     /// Account `n` floating-point operations (block-wide total).
@@ -323,15 +434,33 @@ pub struct LaunchResult {
     pub shared_bytes_per_block: usize,
     /// Echo of the launch configuration.
     pub config: LaunchConfig,
+    /// Sanitizer violation reports, capped per block by
+    /// [`ExecConfig::max_violations`]; empty when the sanitizer was off
+    /// or the kernel is clean. Uncapped tallies live in
+    /// `stats.total.sanitizer`.
+    pub violations: Vec<SanitizerViolation>,
 }
 
-/// Launch `kernel` over `cfg.grid_blocks` blocks against `mem`.
+/// Launch `kernel` over `cfg.grid_blocks` blocks against `mem` with the
+/// default [`ExecConfig`] (sanitizer off).
 ///
 /// Functionally exact: after this returns, `mem` holds precisely what a
 /// real device would. Counters are exact per the access-level model.
 pub fn launch<S: Elem, K: BlockKernel<S>>(
     spec: &DeviceSpec,
     cfg: &LaunchConfig,
+    kernel: &K,
+    mem: &mut GpuMemory<S>,
+) -> Result<LaunchResult> {
+    launch_with(spec, cfg, &ExecConfig::default(), kernel, mem)
+}
+
+/// [`launch`] with explicit [`ExecConfig`] execution options — the
+/// entry point for sanitized runs.
+pub fn launch_with<S: Elem, K: BlockKernel<S>>(
+    spec: &DeviceSpec,
+    cfg: &LaunchConfig,
+    exec: &ExecConfig,
     kernel: &K,
     mem: &mut GpuMemory<S>,
 ) -> Result<LaunchResult> {
@@ -354,6 +483,7 @@ pub fn launch<S: Elem, K: BlockKernel<S>>(
         ..Default::default()
     };
     let mut shared_peak = 0usize;
+    let mut violations: Vec<SanitizerViolation> = Vec::new();
 
     for block_id in 0..cfg.grid_blocks {
         let mut ctx = BlockCtx {
@@ -367,9 +497,26 @@ pub fn launch<S: Elem, K: BlockKernel<S>>(
             banks: spec.shared_banks,
             max_shared_bytes: spec.max_shared_per_block,
             stats: BlockStats::default(),
+            san: exec.sanitize.then(|| {
+                Sanitizer::new(
+                    cfg.name,
+                    block_id,
+                    cfg.threads_per_block as usize,
+                    spec.warp_size as usize,
+                    exec.max_violations,
+                )
+            }),
         };
         kernel.run_block(&mut ctx)?;
-        let b = ctx.stats;
+        let mut b = ctx.stats;
+        if let Some(mut san) = ctx.san {
+            b.sanitizer = san.counts();
+            let mut v = san.take_violations();
+            if exec.fail_fast && !v.is_empty() {
+                return Err(SimError::Sanitizer(v.remove(0)));
+            }
+            violations.append(&mut v);
+        }
         shared_peak = shared_peak.max(b.shared_bytes_peak as usize);
         stats.rounds_per_block.push(b.global_access_rounds);
         stats.flops_per_block.push(b.flops);
@@ -384,6 +531,7 @@ pub fn launch<S: Elem, K: BlockKernel<S>>(
         occupancy: occ,
         shared_bytes_per_block: shared_peak,
         config: cfg.clone(),
+        violations,
     })
 }
 

@@ -17,6 +17,11 @@
 //! - shared-memory **bank conflicts** ([`memory::shared_conflict_cycles`]),
 //! - FLOPs, barriers, and dependent global-access **rounds**.
 //!
+//! A [`sanitizer`] (opt-in via [`exec::ExecConfig`] and
+//! [`exec::launch_with`]) additionally checks the accesses the way
+//! `compute-sanitizer` would: shared-memory races between barriers,
+//! out-of-bounds lanes, uninitialized reads and divergent barriers.
+//!
 //! [`occupancy::occupancy`] computes residency from the block footprint
 //! and [`timing::time_kernel`] turns counters + residency into modeled
 //! microseconds with a three-term wave model (compute / bandwidth /
@@ -64,12 +69,17 @@ pub mod error;
 pub mod exec;
 pub mod memory;
 pub mod occupancy;
+pub mod sanitizer;
 pub mod spec;
 pub mod timing;
 
-pub use counters::{BlockStats, KernelStats};
+pub use counters::{BlockStats, KernelStats, SanitizerCounts};
 pub use error::{Result, SimError};
-pub use exec::{launch, BlockCtx, BlockKernel, BufId, Elem, GpuMemory, LaunchConfig, LaunchResult};
+pub use exec::{
+    launch, launch_with, BlockCtx, BlockKernel, BufId, Elem, ExecConfig, GpuMemory, LaunchConfig,
+    LaunchResult,
+};
+pub use sanitizer::{AccessSite, MemSpace, RaceKind, SanitizerViolation};
 pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use spec::{DeviceSpec, Precision};
 pub use timing::{time_kernel, BoundKind, KernelTiming};

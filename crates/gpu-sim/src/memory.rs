@@ -1,4 +1,5 @@
-//! Global-memory access analysis: coalescing.
+//! Global-memory access analysis: coalescing, plus the word-granular
+//! initialization shadow the sanitizer's initcheck uses.
 //!
 //! Fermi-class GPUs service a warp's global access as one transaction
 //! per distinct 128-byte segment the warp's lanes touch. Adjacent lanes
@@ -6,6 +7,42 @@
 //! transactions (fully coalesced), while lanes striding by a large pitch
 //! cost one transaction *each* — the difference between the paper's
 //! interleaved and contiguous p-Thomas layouts (Section III-B).
+
+/// Word-granular initialization shadow for one buffer: which elements a
+/// store (or host upload) has ever written. `Full` is the common case —
+/// buffers uploaded from host data — and costs nothing; `Partial` is a
+/// bitmap, one bit per element, for device-side allocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InitMask {
+    /// Every word is initialized (host-uploaded buffers).
+    Full,
+    /// Bitmap of initialized words (`bit i` = element `i` written).
+    Partial(Vec<u64>),
+}
+
+impl InitMask {
+    /// A mask with every word uninitialized (fresh `cudaMalloc`).
+    pub fn uninit(len: usize) -> Self {
+        InitMask::Partial(vec![0u64; len.div_ceil(64)])
+    }
+
+    /// Is element `i` initialized?
+    #[inline]
+    pub fn is_set(&self, i: usize) -> bool {
+        match self {
+            InitMask::Full => true,
+            InitMask::Partial(bits) => bits[i / 64] & (1u64 << (i % 64)) != 0,
+        }
+    }
+
+    /// Mark element `i` initialized.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        if let InitMask::Partial(bits) = self {
+            bits[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+}
 
 /// Count the transactions a single warp-wide access costs: the number
 /// of distinct `segment_bytes`-aligned segments covered by the given
@@ -81,6 +118,19 @@ mod tests {
 
     fn lanes(v: impl IntoIterator<Item = usize>) -> Vec<Option<usize>> {
         v.into_iter().map(Some).collect()
+    }
+
+    #[test]
+    fn init_mask_tracks_words() {
+        let mut m = InitMask::uninit(130);
+        assert!(!m.is_set(0) && !m.is_set(129));
+        m.set(0);
+        m.set(64);
+        m.set(129);
+        assert!(m.is_set(0) && m.is_set(64) && m.is_set(129));
+        assert!(!m.is_set(1) && !m.is_set(65) && !m.is_set(128));
+        let full = InitMask::Full;
+        assert!(full.is_set(12345));
     }
 
     #[test]

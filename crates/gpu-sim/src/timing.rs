@@ -228,6 +228,7 @@ mod tests {
             occupancy: occupancy(spec, threads, shared_bytes, 32).unwrap(),
             shared_bytes_per_block: shared_bytes,
             config: LaunchConfig::new("fake", blocks, threads),
+            violations: Vec::new(),
         }
     }
 

@@ -34,7 +34,7 @@ fn device_by_name(name: &str) -> Result<DeviceSpec, String> {
 
 fn usage() -> &'static str {
     "usage:\n  tridiag solve   --m M --n N [--engine gpu|cpu|cpu-mt|davidson|zhang] \
-     [--precision f64|f32] [--device gtx480|gtx280|c2050] [--seed S] [--verbose]\n  \
+     [--precision f64|f32] [--device gtx480|gtx280|c2050] [--seed S] [--verbose] [--sanitize]\n  \
      tridiag compare --m M --n N [--seed S]\n  \
      tridiag tune    --n N [--m-list 1,16,256] [--k-max 8]\n  \
      tridiag info    [--device gtx480]"
@@ -47,13 +47,18 @@ fn cmd_solve(a: &Args) -> Result<(), String> {
     let engine = a.get("engine").unwrap_or("gpu");
     let precision = a.get("precision").unwrap_or("f64");
     let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
+    let sanitize = a.flag("sanitize");
+    if sanitize && engine != "gpu" {
+        return Err(format!("--sanitize only applies to the gpu engine (got {engine:?})"));
+    }
     if precision == "f32" {
-        solve_typed::<f32>(m, n, seed, engine, device, a.flag("verbose"))
+        solve_typed::<f32>(m, n, seed, engine, device, a.flag("verbose"), sanitize)
     } else {
-        solve_typed::<f64>(m, n, seed, engine, device, a.flag("verbose"))
+        solve_typed::<f64>(m, n, seed, engine, device, a.flag("verbose"), sanitize)
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn solve_typed<S: tridiag_gpu::GpuScalar>(
     m: usize,
     n: usize,
@@ -61,15 +66,37 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
     engine: &str,
     device: DeviceSpec,
     verbose: bool,
+    sanitize: bool,
 ) -> Result<(), String> {
     let batch: SystemBatch<S> = random_batch(m, n, seed);
     let t0 = std::time::Instant::now();
+    let mut sanitizer_line: Option<Result<String, String>> = None;
     let (x, modeled_us): (Vec<S>, Option<f64>) = match engine {
         "gpu" => {
-            let solver = GpuTridiagSolver::new(device, GpuSolverConfig::default());
+            let config = GpuSolverConfig {
+                exec: if sanitize {
+                    gpu_sim::ExecConfig::sanitized()
+                } else {
+                    gpu_sim::ExecConfig::default()
+                },
+                ..Default::default()
+            };
+            let solver = GpuTridiagSolver::new(device, config);
             let (x, report) = solver.solve_batch(&batch).map_err(|e| e.to_string())?;
             if verbose {
                 print!("{report}");
+            }
+            if sanitize {
+                sanitizer_line = Some(if report.is_sanitizer_clean() {
+                    Ok("clean (no races, OOB, uninit reads or divergent barriers)".into())
+                } else {
+                    Err(report
+                        .violations
+                        .iter()
+                        .map(|v| format!("  - {v}"))
+                        .collect::<Vec<_>>()
+                        .join("\n"))
+                });
             }
             (x, Some(report.total_us))
         }
@@ -102,6 +129,14 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
     }
     println!("host time   : {host:?} (simulator/solver wall-clock)");
     println!("residual    : {resid:.3e}");
+    match sanitizer_line {
+        Some(Ok(msg)) => println!("sanitizer   : {msg}"),
+        Some(Err(reports)) => {
+            println!("sanitizer   : VIOLATIONS");
+            return Err(format!("sanitizer violations:\n{reports}"));
+        }
+        None => {}
+    }
     if resid > tridiag_core::verify::default_tolerance::<S>() * 1e3 {
         return Err(format!("residual {resid:.3e} exceeds tolerance"));
     }

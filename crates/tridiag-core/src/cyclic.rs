@@ -204,8 +204,8 @@ mod tests {
         let mut diag = Vec::new();
         let mut upper = Vec::new();
         let mut rhs = Vec::new();
-        let tr = rng.gen_range(-0.5..0.5);
-        let bl = rng.gen_range(-0.5..0.5);
+        let tr: f64 = rng.gen_range(-0.5..0.5);
+        let bl: f64 = rng.gen_range(-0.5..0.5);
         for i in 0..n {
             let a: f64 = rng.gen_range(-1.0..1.0);
             let c: f64 = rng.gen_range(-1.0..1.0);

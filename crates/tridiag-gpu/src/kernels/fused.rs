@@ -95,6 +95,10 @@ impl<S: GpuScalar> BlockKernel<S> for FusedKernel {
                     rows[arr].extend_from_slice(&tmp);
                 }
             }
+            // All lanes must finish reading the window before the next
+            // advance() overwrites it: the fresh region [2f, 2f + st)
+            // overlaps the rows just read whenever st > 2f (c ≥ 2).
+            ctx.sync();
 
             // ---- fold into the per-thread Thomas forward recurrence --
             let mut folded = 0u64;

@@ -132,8 +132,10 @@ impl<S: GpuScalar> BlockKernel<S> for TiledPcrKernel {
 
         let mut sh_idx: Vec<usize> = Vec::new();
         let mut g_idx: Vec<usize> = Vec::new();
-        let mut sh_val: Vec<S> = Vec::new();
         let mut tmp: Vec<S> = Vec::new();
+        // Per-array register tile staging the carry roll across the
+        // barrier that separates it from the emit reads.
+        let mut roll_vals: [Vec<S>; 4] = Default::default();
 
         loop {
             let active = engine.advance(ctx, self.input)?;
@@ -169,8 +171,8 @@ impl<S: GpuScalar> BlockKernel<S> for TiledPcrKernel {
                     }
                 }
 
-                // Roll the carry: next chunk's head [t0, t0 + st − f)
-                // is this sub-tile's buf[f .. st).
+                // Read the next chunk's carry head [t0, t0 + st − f) —
+                // this sub-tile's buf[f .. st) — into registers.
                 if st > f {
                     sh_idx.clear();
                     for &g in &active {
@@ -178,18 +180,27 @@ impl<S: GpuScalar> BlockKernel<S> for TiledPcrKernel {
                             sh_idx.push(engine.slots[g].buf[arr] + f + e);
                         }
                     }
-                    sh_val.clear();
+                    roll_vals[arr].clear();
                     for chunk in sh_idx.chunks(ctx.threads) {
                         ctx.sh_ld(chunk, &mut tmp)?;
-                        sh_val.extend_from_slice(&tmp);
+                        roll_vals[arr].extend_from_slice(&tmp);
                     }
+                }
+            }
+            // The emit phase *read* the carry words the roll below
+            // *writes*, from differently-mapped lanes; without this
+            // barrier that is a write-after-read race (a stream slot's
+            // emit could observe the next sub-tile's carry).
+            ctx.sync();
+            if st > f {
+                for (arr, vals) in roll_vals.iter().enumerate() {
                     sh_idx.clear();
                     for &g in &active {
                         for e in 0..st - f {
                             sh_idx.push(carry[g][arr] + e);
                         }
                     }
-                    for (ci, cv) in sh_idx.chunks(ctx.threads).zip(sh_val.chunks(ctx.threads)) {
+                    for (ci, cv) in sh_idx.chunks(ctx.threads).zip(vals.chunks(ctx.threads)) {
                         ctx.sh_st(ci, cv)?;
                     }
                 }

@@ -21,7 +21,10 @@ use crate::kernels::fused::FusedKernel;
 use crate::kernels::p_thomas::{AddrMap, PThomasKernel};
 use crate::kernels::tiled_pcr::TiledPcrKernel;
 use gpu_sim::timing::{time_kernel, TrafficSummary};
-use gpu_sim::{launch, DeviceSpec, GpuMemory, KernelTiming, LaunchConfig, Precision, Result};
+use gpu_sim::{
+    launch_with, DeviceSpec, ExecConfig, GpuMemory, KernelTiming, LaunchConfig, Precision, Result,
+    SanitizerViolation,
+};
 use tridiag_core::transition::{choose_k, max_k_for, TransitionPolicy};
 use tridiag_core::{Layout, SystemBatch};
 
@@ -53,6 +56,10 @@ pub struct GpuSolverConfig {
     pub mapping: MappingVariant,
     /// p-Thomas threads per block.
     pub pthomas_block: u32,
+    /// Execution options — set `exec.sanitize` to run every kernel in
+    /// the pipeline under the memory/race sanitizer (compute-sanitizer
+    /// analog); violations land in [`GpuSolveReport::violations`].
+    pub exec: ExecConfig,
 }
 
 impl Default for GpuSolverConfig {
@@ -63,6 +70,7 @@ impl Default for GpuSolverConfig {
             fused: false,
             mapping: MappingVariant::Auto,
             pthomas_block: PTHOMAS_BLOCK,
+            exec: ExecConfig::default(),
         }
     }
 }
@@ -97,9 +105,18 @@ pub struct GpuSolveReport {
     pub total_us: f64,
     /// Scalar precision label (`"f32"` / `"f64"`).
     pub precision: &'static str,
+    /// Sanitizer violation reports across every kernel in the pipeline
+    /// (empty when the sanitizer is off or the run was clean).
+    pub violations: Vec<SanitizerViolation>,
 }
 
 impl GpuSolveReport {
+    /// `true` when the run produced no sanitizer reports (vacuously true
+    /// with the sanitizer off).
+    pub fn is_sanitizer_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
     /// Modeled time of the tiled PCR stage alone (0 when `k = 0`).
     pub fn pcr_us(&self) -> f64 {
         if self.fused || self.k == 0 {
@@ -171,6 +188,7 @@ impl GpuTridiagSolver {
         }
 
         let mut kernels: Vec<KernelReport> = Vec::new();
+        let mut violations: Vec<SanitizerViolation> = Vec::new();
         let mut mem = GpuMemory::new();
 
         let x = if k == 0 {
@@ -195,7 +213,8 @@ impl GpuTridiagSolver {
                 self.config.pthomas_block.min(m as u32).max(1),
             )
             .with_regs(REGS_PTHOMAS);
-            let res = launch(&self.spec, &cfg, &kernel, &mut mem)?;
+            let mut res = launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
+            violations.append(&mut res.violations);
             kernels.push(self.report(&res, precision));
             // Convert back to the caller's layout.
             let xi = mem.read(dev.x)?;
@@ -228,7 +247,9 @@ impl GpuTridiagSolver {
                     m,
                 };
                 let cfg = LaunchConfig::new("fused_pcr_thomas", m, 1 << k).with_regs(REGS_FUSED);
-                let res = launch(&self.spec, &cfg, &kernel, &mut mem)?;
+                let mut res =
+                    launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
+                violations.append(&mut res.violations);
                 kernels.push(self.report(&res, precision));
                 mem.read(dev.x)?.to_vec()
             } else {
@@ -263,7 +284,9 @@ impl GpuTridiagSolver {
                 };
                 let cfg =
                     LaunchConfig::new("tiled_pcr", blocks, threads).with_regs(REGS_TILED_PCR);
-                let res = launch(&self.spec, &cfg, &kernel, &mut mem)?;
+                let mut res =
+                    launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
+                violations.append(&mut res.violations);
                 kernels.push(self.report(&res, precision));
 
                 // p-Thomas over the 2^k·M interleaved subsystems.
@@ -292,7 +315,9 @@ impl GpuTridiagSolver {
                     tpb,
                 )
                 .with_regs(REGS_PTHOMAS);
-                let res = launch(&self.spec, &cfg, &kernel, &mut mem)?;
+                let mut res =
+                    launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
+                violations.append(&mut res.violations);
                 kernels.push(self.report(&res, precision));
                 mem.read(dev.x)?.to_vec()
             };
@@ -311,6 +336,7 @@ impl GpuTridiagSolver {
                 total_us: kernels.iter().map(|kr| kr.timing.total_us).sum(),
                 kernels,
                 precision: S::NAME,
+                violations,
             };
             return Ok((out, report));
         };
@@ -322,6 +348,7 @@ impl GpuTridiagSolver {
             total_us: kernels.iter().map(|kr| kr.timing.total_us).sum(),
             kernels,
             precision: S::NAME,
+            violations,
         };
         Ok((x, report))
     }
@@ -497,6 +524,33 @@ mod tests {
     }
 
     #[test]
+    fn sanitized_pipeline_is_clean_end_to_end() {
+        // Both solver paths (hybrid split and fused) under the sanitizer:
+        // every kernel must run without races, OOB lanes or uninitialized
+        // reads, and the report must say so.
+        for fused in [false, true] {
+            let solver = GpuTridiagSolver::new(
+                DeviceSpec::gtx480(),
+                GpuSolverConfig {
+                    policy: TransitionPolicy::Fixed(3),
+                    fused,
+                    mapping: MappingVariant::BlockPerSystem,
+                    exec: ExecConfig::sanitized(),
+                    ..Default::default()
+                },
+            );
+            let batch = random_batch::<f64>(4, 256, 23);
+            let (x, report) = solver.solve_batch(&batch).unwrap();
+            assert!(batch.max_relative_residual(&x).unwrap() < 1e-9);
+            assert!(
+                report.is_sanitizer_clean(),
+                "fused={fused}: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
     fn matches_host_hybrid_numerically() {
         use tridiag_core::hybrid::{solve_batch as host_solve, HybridConfig};
         let batch = random_batch::<f64>(4, 777, 19);
@@ -533,6 +587,12 @@ impl std::fmt::Display for GpuSolveReport {
                 kr.traffic.coalescing * 100.0,
                 kr.blocks,
             )?;
+        }
+        if !self.violations.is_empty() {
+            writeln!(f, "  sanitizer: {} violation(s)", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "    - {v}")?;
+            }
         }
         Ok(())
     }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo health check: tier-1 (build + root-package tests) plus the
+# sanitizer suites. Run from anywhere; exits non-zero on any failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: root-package tests =="
+cargo test -q
+
+echo "== sanitizer: negative suite (violations must fire) =="
+cargo test -q -p gpu-sim --test sanitizer_negative
+
+echo "== sanitizer: kernel zoo must run clean =="
+cargo test -q -p tridiag-gpu --test sanitizer_clean
+
+echo "== golden counters =="
+cargo test -q -p tridiag-gpu --test golden_counters
+
+echo "== CLI --sanitize smoke =="
+cargo run --release -q -p tridiag-cli -- solve --m 8 --n 256 --sanitize \
+    | grep -q "sanitizer   : clean"
+
+echo "all checks passed"

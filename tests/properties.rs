@@ -2,10 +2,86 @@
 //! inputs, the whole pipeline holds its invariants.
 
 use proptest::prelude::*;
+use scalable_tridiag::cpu_ref;
 use scalable_tridiag::tridiag_core::{
-    generators, pcr, sliding_window::PcrPipeline, thomas, tiled_pcr, transition, Layout,
+    condition, cr, generators, hybrid, pcr, sliding_window::PcrPipeline, thomas, tiled_pcr,
+    transition, Layout, Scalar, SystemBatch, TridiagonalSystem,
 };
 use scalable_tridiag::tridiag_gpu::solver::GpuTridiagSolver;
+
+/// Forward-error tolerance for a solve of `system`, derived from its
+/// estimated condition number: `κ_∞(A) · ε · n^{1/2} · margin`. The
+/// margin absorbs the different error constants of the algorithms under
+/// test (CR/PCR accumulate across log₂ n levels).
+fn condition_tolerance<S: Scalar>(system: &TridiagonalSystem<S>) -> f64 {
+    let kappa = condition::condition_estimate(system).unwrap_or(1e6);
+    let n = system.len() as f64;
+    (kappa * S::EPSILON.to_f64() * n.sqrt() * 256.0).max(S::EPSILON.to_f64() * 64.0)
+}
+
+/// Run every host algorithm on `system` and compare against the cpu-ref
+/// engine, elementwise, within the condition-derived tolerance.
+fn algorithms_match_cpu_ref<S: Scalar>(system: &TridiagonalSystem<S>) -> Result<(), TestCaseError> {
+    let batch = SystemBatch::from_systems(vec![system.clone()]).unwrap();
+    let reference = cpu_ref::solve_batch_sequential(&batch).unwrap();
+    let tol = condition_tolerance(system);
+    let scale = reference
+        .iter()
+        .map(|v| v.to_f64().abs())
+        .fold(1.0f64, f64::max);
+
+    let candidates: [(&str, Vec<S>); 4] = [
+        ("thomas", thomas::solve_typed(system).unwrap()),
+        ("cr", cr::solve(system).unwrap()),
+        ("pcr", pcr::solve(system).unwrap()),
+        (
+            "hybrid",
+            hybrid::solve(system, hybrid::HybridConfig::default())
+                .unwrap()
+                .0,
+        ),
+    ];
+    for (name, x) in &candidates {
+        prop_assert_eq!(x.len(), reference.len());
+        for (i, (got, want)) in x.iter().zip(&reference).enumerate() {
+            let err = (got.to_f64() - want.to_f64()).abs() / scale;
+            prop_assert!(
+                err < tol,
+                "{} ({}) row {}: {} vs {} (rel err {:.3e}, tol {:.3e})",
+                name,
+                S::NAME,
+                i,
+                got,
+                want,
+                err,
+                tol
+            );
+        }
+    }
+    Ok(())
+}
+
+/// A diagonally dominant Toeplitz system: constant stencil `(a, b, c)`
+/// with `|b| > |a| + |c|`, random RHS.
+fn toeplitz_dominant<S: Scalar>(
+    n: usize,
+    a: f64,
+    c: f64,
+    margin: f64,
+    neg: bool,
+    seed: u64,
+) -> TridiagonalSystem<S> {
+    let b = (a.abs() + c.abs() + margin) * if neg { -1.0 } else { 1.0 };
+    // Cheap deterministic RHS in [-1, 1).
+    let mut state = seed | 1;
+    let rhs: Vec<S> = (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            S::from_f64((state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0)
+        })
+        .collect();
+    generators::toeplitz(S::from_f64(a), S::from_f64(b), S::from_f64(c), rhs)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -122,6 +198,50 @@ proptest! {
         for (i, r) in rows.iter().enumerate() {
             prop_assert_eq!(r.a, ma[i]);
         }
+    }
+
+    /// Every host algorithm (Thomas, CR, PCR, tiled-PCR + p-Thomas
+    /// hybrid) agrees with the cpu-ref engine on diagonally dominant
+    /// random systems, in both precisions, within a tolerance derived
+    /// from the estimated condition number.
+    #[test]
+    fn algorithms_agree_on_dominant_systems(
+        n in 4usize..300,
+        seed in any::<u64>(),
+    ) {
+        algorithms_match_cpu_ref(&generators::dominant_random::<f64>(n, seed))?;
+        algorithms_match_cpu_ref(&generators::dominant_random::<f32>(n, seed))?;
+    }
+
+    /// Same agreement on dominant Toeplitz systems (constant stencil —
+    /// the PDE/spline case), including negative-diagonal stencils.
+    #[test]
+    fn algorithms_agree_on_toeplitz_systems(
+        n in 4usize..300,
+        a in -1.0f64..1.0,
+        c in -1.0f64..1.0,
+        margin in 0.25f64..4.0,
+        neg in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        algorithms_match_cpu_ref(&toeplitz_dominant::<f64>(n, a, c, margin, neg, seed))?;
+        algorithms_match_cpu_ref(&toeplitz_dominant::<f32>(n, a, c, margin, neg, seed))?;
+    }
+
+    /// The condition-derived tolerance is honored end-to-end by the
+    /// simulated GPU solver too (both precisions, Toeplitz batch).
+    #[test]
+    fn gpu_solver_within_condition_tolerance(
+        m in 1usize..6,
+        n in 8usize..200,
+        margin in 0.5f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let sys = toeplitz_dominant::<f64>(n, -1.0, -1.0, margin, false, seed);
+        let tol = condition_tolerance(&sys);
+        let batch = SystemBatch::from_systems(vec![sys; m]).unwrap();
+        let (x, _) = GpuTridiagSolver::gtx480().solve_batch(&batch).unwrap();
+        prop_assert!(batch.max_relative_residual(&x).unwrap() < tol);
     }
 
     /// choose_k never returns an invalid step count.

@@ -1,0 +1,67 @@
+//! Offline stand-in for the `crossbeam` crate: scoped threads only,
+//! implemented over `std::thread::scope` (stable since Rust 1.63).
+
+pub mod thread {
+    //! `crossbeam::thread`-compatible scoped spawning.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle passed to [`scope`] closures; spawned closures receive a
+    /// reference to it as their argument (crossbeam convention).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; it may borrow from the enclosing
+        /// stack frame and is joined before [`scope`] returns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined
+    /// before this returns. A child panic is returned as `Err` (as in
+    /// crossbeam) rather than propagated.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let r = super::scope(|scope| {
+                scope.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x surface this workspace
+//! uses: the [`proptest!`] macro, range/`any`/`select`/`collection::vec`
+//! strategies, `prop_assert*` / `prop_assume!`, and
+//! [`test_runner::ProptestConfig`]. Cases are drawn from a deterministic
+//! RNG seeded by the test name, so failures reproduce exactly on re-run.
+//! Shrinking is not implemented — on failure the offending inputs are
+//! printed instead.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Case-loop driver and its configuration.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The RNG strategies draw from.
+    pub type TestRng = StdRng;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Give up after this many `prop_assume!` rejections.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    /// Why a case did not complete: rejected by `prop_assume!`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case's inputs failed an assumption; draw new ones.
+        Reject,
+    }
+
+    /// Drives the case loop for one `proptest!` test function.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        rng: TestRng,
+        rejects: u32,
+        max_global_rejects: u32,
+    }
+
+    impl TestRunner {
+        /// Runner with a stream derived deterministically from `name`.
+        pub fn new(config: &ProptestConfig, name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            Self {
+                rng: TestRng::seed_from_u64(h),
+                rejects: 0,
+                max_global_rejects: config.max_global_rejects,
+            }
+        }
+
+        /// The RNG for drawing this case's inputs.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+
+        /// Record a case outcome; `Err(Reject)` does not count towards
+        /// the case budget but is bounded globally.
+        pub fn finish_case(&mut self, result: Result<(), TestCaseError>) -> bool {
+            match result {
+                Ok(()) => true,
+                Err(TestCaseError::Reject) => {
+                    self.rejects += 1;
+                    assert!(
+                        self.rejects <= self.max_global_rejects,
+                        "too many prop_assume! rejections ({})",
+                        self.rejects
+                    );
+                    false
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bound accepted by [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies drawing from explicit value sets.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy choosing uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty option set");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-range strategies for primitives.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<A>(PhantomData<A>);
+
+    /// Full-range strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn sample(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of the crate root (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each function draws its arguments from the
+/// given strategies and runs its body for `config.cases` cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one test function per entry.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($p:pat in $s:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(&config, stringify!($name));
+            let mut passed = 0u32;
+            while passed < config.cases {
+                $(let $p = $crate::strategy::Strategy::sample(&($s), runner.rng());)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if runner.finish_case(outcome) {
+                    passed += 1;
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a proptest body (plain assert; inputs are
+/// reproducible from the deterministic per-test stream).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Reject the current case (its inputs don't satisfy a precondition)
+/// and draw fresh ones without counting against the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_and_assume(n in 8usize..100, k in 1u32..4, seed in any::<u64>()) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n >= 8 && n < 100);
+            prop_assert!(k >= 1 && k < 4);
+            let _ = seed;
+        }
+
+        #[test]
+        fn collections_and_select(
+            mut v in prop::collection::vec(0usize..1000, 1..=32),
+            pick in prop::sample::select(vec![4usize, 8]),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() <= 32);
+            prop_assert!(v.iter().all(|&x| x < 1000));
+            prop_assert!(pick == 4 || pick == 8);
+            v.push(pick);
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        use crate::strategy::Strategy;
+        let cfg = ProptestConfig::default();
+        let mut r1 = crate::test_runner::TestRunner::new(&cfg, "x");
+        let mut r2 = crate::test_runner::TestRunner::new(&cfg, "x");
+        let s = 0usize..1_000_000;
+        for _ in 0..64 {
+            assert_eq!(s.sample(r1.rng()), s.sample(r2.rng()));
+        }
+    }
+}
