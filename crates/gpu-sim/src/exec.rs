@@ -18,6 +18,7 @@ use crate::counters::{BlockStats, KernelStats};
 use crate::error::{Result, SimError};
 use crate::memory::{shared_conflict_cycles_dense, warp_transactions_dense, InitMask};
 use crate::occupancy::{occupancy, Occupancy};
+use crate::plan::{AccessKind, AccessPlan, PlanRecorder};
 use crate::sanitizer::{MemSpace, Sanitizer, SanitizerViolation};
 use crate::spec::DeviceSpec;
 use std::fmt::Debug;
@@ -122,9 +123,9 @@ impl<S: Elem> GpuMemory<S> {
     }
 }
 
-/// Execution options orthogonal to the launch geometry — currently the
-/// sanitizer toggles. Pass to [`launch_with`]; [`launch`] uses the
-/// default (sanitizer off).
+/// Execution options orthogonal to the launch geometry — the sanitizer
+/// toggles and the access-plan recorder. Pass to [`launch_with`];
+/// [`launch`] uses the default (everything off).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
     /// Run the kernel under the sanitizer (see [`crate::sanitizer`]).
@@ -137,6 +138,10 @@ pub struct ExecConfig {
     /// Cap on *recorded* violation reports per block (counters in
     /// [`crate::counters::SanitizerCounts`] are never capped).
     pub max_violations: usize,
+    /// Record every access's affine index expression into an
+    /// [`AccessPlan`] attached to [`LaunchResult::plan`], as input for
+    /// the static lint passes in [`crate::lint`].
+    pub record_plan: bool,
 }
 
 impl Default for ExecConfig {
@@ -145,6 +150,7 @@ impl Default for ExecConfig {
             sanitize: false,
             fail_fast: false,
             max_violations: 64,
+            record_plan: false,
         }
     }
 }
@@ -163,6 +169,24 @@ impl ExecConfig {
         Self {
             sanitize: true,
             fail_fast: true,
+            ..Self::default()
+        }
+    }
+
+    /// Plan recording on (sanitizer off).
+    pub fn planned() -> Self {
+        Self {
+            record_plan: true,
+            ..Self::default()
+        }
+    }
+
+    /// Everything on: sanitizer plus plan recording — the `--check`
+    /// configuration.
+    pub fn checked() -> Self {
+        Self {
+            sanitize: true,
+            record_plan: true,
             ..Self::default()
         }
     }
@@ -222,6 +246,7 @@ pub struct BlockCtx<'a, S: Elem> {
     max_shared_bytes: usize,
     stats: BlockStats,
     san: Option<Sanitizer>,
+    rec: Option<PlanRecorder>,
 }
 
 impl<'a, S: Elem> BlockCtx<'a, S> {
@@ -231,6 +256,9 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
     /// transaction per distinct 128-byte segment per warp.
     pub fn ld(&mut self, buf: BufId, idx: &[usize], out: &mut Vec<S>) -> Result<()> {
         self.account_global(buf, idx, true)?;
+        if let Some(rec) = self.rec.as_mut() {
+            rec.access(AccessKind::GlobalLoad, Some(buf.0), self.mem.buffers[buf.0].len(), idx);
+        }
         if let Some(san) = self.san.as_mut() {
             let mask = &self.mem.init[buf.0];
             for (lane, &i) in idx.iter().enumerate() {
@@ -259,6 +287,9 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
             });
         }
         self.account_global(buf, idx, false)?;
+        if let Some(rec) = self.rec.as_mut() {
+            rec.access(AccessKind::GlobalStore, Some(buf.0), self.mem.buffers[buf.0].len(), idx);
+        }
         let data = self
             .mem
             .buffers
@@ -326,12 +357,18 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
         if let Some(san) = self.san.as_mut() {
             san.on_shared_alloc(base + len);
         }
+        if let Some(rec) = self.rec.as_mut() {
+            rec.alloc(base, len);
+        }
         Ok(base)
     }
 
     /// Block-wide shared load with bank-conflict accounting.
     pub fn sh_ld(&mut self, idx: &[usize], out: &mut Vec<S>) -> Result<()> {
         self.account_shared(idx)?;
+        if let Some(rec) = self.rec.as_mut() {
+            rec.access(AccessKind::SharedLoad, None, self.shared.len(), idx);
+        }
         if let Some(san) = self.san.as_mut() {
             san.shared_access(idx, false);
         }
@@ -352,6 +389,9 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
             });
         }
         self.account_shared(idx)?;
+        if let Some(rec) = self.rec.as_mut() {
+            rec.access(AccessKind::SharedStore, None, self.shared.len(), idx);
+        }
         if let Some(san) = self.san.as_mut() {
             san.shared_access(idx, true);
         }
@@ -391,6 +431,9 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
     /// `__syncthreads()` — every lane of the block arrives.
     pub fn sync(&mut self) {
         self.stats.barriers += 1;
+        if let Some(rec) = self.rec.as_mut() {
+            rec.barrier(self.threads, self.threads);
+        }
         if let Some(san) = self.san.as_mut() {
             san.barrier();
         }
@@ -403,8 +446,28 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
     /// identical to [`BlockCtx::sync`] (the simulator cannot hang).
     pub fn sync_arrive(&mut self, arrived: &[usize]) {
         self.stats.barriers += 1;
+        if let Some(rec) = self.rec.as_mut() {
+            let mut seen = vec![false; self.threads];
+            let mut count = 0usize;
+            for &l in arrived {
+                if l < self.threads && !seen[l] {
+                    seen[l] = true;
+                    count += 1;
+                }
+            }
+            rec.barrier(count, self.threads);
+        }
         if let Some(san) = self.san.as_mut() {
             san.barrier_arrive(arrived);
+        }
+    }
+
+    /// Label the phase subsequent accesses belong to — pure metadata
+    /// for plan recording and lint attribution; no counter effect and a
+    /// no-op when [`ExecConfig::record_plan`] is off.
+    pub fn phase(&mut self, label: &'static str) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.set_phase(label);
         }
     }
 
@@ -439,6 +502,9 @@ pub struct LaunchResult {
     /// or the kernel is clean. Uncapped tallies live in
     /// `stats.total.sanitizer`.
     pub violations: Vec<SanitizerViolation>,
+    /// The recorded affine access plan (input for [`crate::lint`]);
+    /// `None` unless [`ExecConfig::record_plan`] was set.
+    pub plan: Option<AccessPlan>,
 }
 
 /// Launch `kernel` over `cfg.grid_blocks` blocks against `mem` with the
@@ -484,6 +550,16 @@ pub fn launch_with<S: Elem, K: BlockKernel<S>>(
     };
     let mut shared_peak = 0usize;
     let mut violations: Vec<SanitizerViolation> = Vec::new();
+    let mut plan = exec.record_plan.then(|| AccessPlan {
+        kernel: cfg.name,
+        grid_blocks: cfg.grid_blocks,
+        threads_per_block: cfg.threads_per_block as usize,
+        elem_bytes: S::BYTES,
+        warp_size: spec.warp_size as usize,
+        segment_bytes: spec.transaction_bytes,
+        banks: spec.shared_banks,
+        blocks: Vec::with_capacity(cfg.grid_blocks),
+    });
 
     for block_id in 0..cfg.grid_blocks {
         let mut ctx = BlockCtx {
@@ -506,9 +582,13 @@ pub fn launch_with<S: Elem, K: BlockKernel<S>>(
                     exec.max_violations,
                 )
             }),
+            rec: exec.record_plan.then(|| PlanRecorder::new(block_id)),
         };
         kernel.run_block(&mut ctx)?;
         let mut b = ctx.stats;
+        if let (Some(plan), Some(rec)) = (plan.as_mut(), ctx.rec) {
+            plan.blocks.push(rec.finish());
+        }
         if let Some(mut san) = ctx.san {
             b.sanitizer = san.counts();
             let mut v = san.take_violations();
@@ -532,6 +612,7 @@ pub fn launch_with<S: Elem, K: BlockKernel<S>>(
         shared_bytes_per_block: shared_peak,
         config: cfg.clone(),
         violations,
+        plan,
     })
 }
 
@@ -579,8 +660,8 @@ mod tests {
         let k = DoubleKernel { input, output, n };
         let res = launch(&gtx480(), &cfg, &k, &mut mem).unwrap();
         let out = mem.read(output).unwrap();
-        for i in 0..n {
-            assert_eq!(out[i], 2.0 * i as f64);
+        for (i, v) in out.iter().enumerate().take(n) {
+            assert_eq!(*v, 2.0 * i as f64);
         }
         assert_eq!(res.stats.blocks, 4);
         assert_eq!(res.stats.total.flops, n as u64);
@@ -661,14 +742,35 @@ mod tests {
         let cfg = LaunchConfig::new("rev", 1, 64);
         let res = launch(&gtx480(), &cfg, &SharedReverse { buf }, &mut mem).unwrap();
         let out = mem.read(buf).unwrap();
-        for i in 0..64 {
-            assert_eq!(out[i], (63 - i) as f64);
+        for (i, v) in out.iter().enumerate().take(64) {
+            assert_eq!(*v, (63 - i) as f64);
         }
         assert_eq!(res.stats.total.barriers, 1);
         assert_eq!(res.stats.total.shared_accesses, 2);
         assert_eq!(res.shared_bytes_per_block, 64 * 8);
         // f64 stride-1: 2-way conflicts on both store and reversed load.
         assert!(res.stats.total.bank_conflict_replays > 0);
+    }
+
+    #[test]
+    fn recorded_plan_lints_clean_and_predicts_counters() {
+        let mut mem = GpuMemory::new();
+        let buf = mem.alloc_from((0..64).map(|i| i as f64).collect());
+        let cfg = LaunchConfig::new("rev", 1, 64);
+        let res = launch_with(
+            &gtx480(),
+            &cfg,
+            &ExecConfig::planned(),
+            &SharedReverse { buf },
+            &mut mem,
+        )
+        .unwrap();
+        let plan = res.plan.as_ref().expect("plan recorded");
+        assert_eq!(plan.kernel, "rev");
+        assert_eq!(plan.blocks.len(), 1);
+        let report = crate::lint::lint(plan, &crate::lint::LintConfig::default());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.cross_check(&res.stats), Vec::<String>::new());
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! `compute-sanitizer` would: shared-memory races between barriers,
 //! out-of-bounds lanes, uninitialized reads and divergent barriers.
 //!
+//! Orthogonally, [`exec::ExecConfig::record_plan`] captures every
+//! access as an affine index expression in a small IR ([`plan`]); the
+//! static [`lint`] passes then *prove* coalescing, bank-conflict,
+//! barrier, race and bounds properties from the expressions alone and
+//! predict the transaction counters in closed form — predictions the
+//! golden-counter suite cross-checks against the dynamic counters.
+//!
 //! [`occupancy::occupancy`] computes residency from the block footprint
 //! and [`timing::time_kernel`] turns counters + residency into modeled
 //! microseconds with a three-term wave model (compute / bandwidth /
@@ -67,8 +74,10 @@
 pub mod counters;
 pub mod error;
 pub mod exec;
+pub mod lint;
 pub mod memory;
 pub mod occupancy;
+pub mod plan;
 pub mod sanitizer;
 pub mod spec;
 pub mod timing;
@@ -79,6 +88,8 @@ pub use exec::{
     launch, launch_with, BlockCtx, BlockKernel, BufId, Elem, ExecConfig, GpuMemory, LaunchConfig,
     LaunchResult,
 };
+pub use lint::{lint, Diagnostic, DiagClass, LintConfig, LintReport, Prediction, Severity};
+pub use plan::{AccessKind, AccessPlan, AffinePiece, BlockPlan, PlanEvent, PlannedAccess};
 pub use sanitizer::{AccessSite, MemSpace, RaceKind, SanitizerViolation};
 pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use spec::{DeviceSpec, Precision};

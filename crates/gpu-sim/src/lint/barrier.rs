@@ -1,0 +1,67 @@
+//! Barrier pass: structural sync matching.
+//!
+//! Every barrier event carries the number of distinct lanes that
+//! arrive. A strict subset is divergence — on hardware,
+//! `__syncthreads()` inside non-uniform control flow hangs or
+//! undefines execution. The pass also totals the barrier count for
+//! the cross-check against the dynamic `barriers` counter.
+
+use super::{DiagClass, DiagSink, Prediction, Severity};
+use crate::plan::{AccessPlan, PlanEvent};
+
+pub(crate) fn run(plan: &AccessPlan, sink: &mut DiagSink, pred: &mut Prediction) {
+    for block in &plan.blocks {
+        for ev in &block.events {
+            if let PlanEvent::Barrier {
+                phase,
+                arrived,
+                expected,
+            } = ev
+            {
+                pred.barriers += 1;
+                if arrived < expected {
+                    sink.push(
+                        DiagClass::BarrierDivergence,
+                        Severity::Error,
+                        block.block_id,
+                        phase,
+                        format!("sync({arrived}/{expected})"),
+                        format!(
+                            "barrier reached by {arrived} of {expected} lanes — subset arrival \
+                             hangs or undefines execution on hardware"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{lint, DiagClass, LintConfig};
+    use crate::plan::AccessPlan;
+
+    #[test]
+    fn full_barriers_are_counted_not_flagged() {
+        let mut plan = AccessPlan::synthetic("s", 64, 8);
+        let b = plan.block_mut(0);
+        b.push_barrier("a", 64, 64);
+        b.push_barrier("b", 64, 64);
+        let r = lint(&plan, &LintConfig::default());
+        assert!(r.is_clean());
+        assert_eq!(r.prediction.barriers, 2);
+    }
+
+    #[test]
+    fn subset_arrival_is_divergence() {
+        let mut plan = AccessPlan::synthetic("s", 64, 8);
+        plan.block_mut(0).push_barrier("fold", 63, 64);
+        let r = lint(&plan, &LintConfig::default());
+        assert_eq!(r.diagnostics.len(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.class, DiagClass::BarrierDivergence);
+        assert_eq!(d.phase, "fold");
+        assert!(d.expr.contains("63/64"), "{}", d.expr);
+    }
+}

@@ -1,0 +1,93 @@
+//! Bounds pass: interval checks of every affine piece against the
+//! addressed region, plus the shared-footprint prediction.
+//!
+//! An affine piece's element range is `[min_elem, max_elem]` — a two-
+//! endpoint computation, no enumeration. Each access records the
+//! length of the region it addressed (`bound`): the buffer length for
+//! global ops, the shared extent at issue time for shared ops. A piece
+//! whose interval escapes `[0, bound)` is a proven out-of-bounds
+//! access for some lane.
+//!
+//! The pass also folds `shared_alloc` events into the predicted peak
+//! shared footprint (`max (base + len) · elem` over blocks), mirroring
+//! [`crate::exec::BlockCtx::shared_alloc`]'s accounting.
+
+use super::{DiagClass, DiagSink, Prediction, Severity};
+use crate::plan::{AccessPlan, PlanEvent};
+
+pub(crate) fn run(plan: &AccessPlan, sink: &mut DiagSink, pred: &mut Prediction) {
+    for block in &plan.blocks {
+        let mut peak_elems = 0usize;
+        for ev in &block.events {
+            match ev {
+                PlanEvent::SharedAlloc { base, len, .. } => {
+                    peak_elems = peak_elems.max(base + len);
+                }
+                PlanEvent::Access(a) => {
+                    for p in &a.pieces {
+                        if p.lanes == 0 {
+                            continue;
+                        }
+                        let (mn, mx) = (p.min_elem(), p.max_elem());
+                        if mn < 0 || mx >= a.bound as i64 {
+                            let space = if a.kind.is_global() { "global" } else { "shared" };
+                            sink.push(
+                                DiagClass::OutOfBounds,
+                                Severity::Error,
+                                block.block_id,
+                                a.phase,
+                                a.expr(),
+                                format!(
+                                    "{space} index range [{mn}, {mx}] escapes region of length {}",
+                                    a.bound
+                                ),
+                            );
+                            break;
+                        }
+                    }
+                }
+                PlanEvent::Barrier { .. } => {}
+            }
+        }
+        pred.shared_bytes_peak = pred
+            .shared_bytes_peak
+            .max((peak_elems * plan.elem_bytes) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{lint, LintConfig};
+    use crate::plan::{AccessKind, AccessPlan};
+
+    #[test]
+    fn in_bounds_plan_is_clean_and_predicts_peak() {
+        let mut plan = AccessPlan::synthetic("b", 32, 8);
+        let b = plan.block_mut(0);
+        b.push_alloc("main", 0, 64);
+        b.push_alloc("main", 64, 32);
+        let idx: Vec<usize> = (0..32).map(|l| l + 64).collect();
+        b.push_access(AccessKind::SharedStore, "main", None, 96, &idx);
+        let r = lint(&plan, &LintConfig::default());
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.prediction.shared_bytes_peak, 96 * 8);
+    }
+
+    #[test]
+    fn escaping_interval_is_flagged() {
+        let mut plan = AccessPlan::synthetic("b", 32, 8);
+        let b = plan.block_mut(0);
+        b.push_alloc("load", 0, 64);
+        let idx: Vec<usize> = (0..32).map(|l| l * 3).collect(); // max 93 ≥ 64
+        b.push_access(AccessKind::SharedLoad, "load", None, 64, &idx);
+        let r = lint(&plan, &LintConfig::default());
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.class == super::DiagClass::OutOfBounds)
+            .expect("oob diagnostic");
+        assert_eq!(d.phase, "load");
+        assert!(d.message.contains("[0, 93]"), "{}", d.message);
+        assert!(d.message.contains("length 64"), "{}", d.message);
+    }
+}

@@ -1,0 +1,358 @@
+//! Race pass: barrier-epoch hazard detection by exact affine overlap.
+//!
+//! Within one barrier epoch, two accesses to shared memory race when
+//! some element is touched by two *distinct lanes* with at least one
+//! write — the same definition the dynamic sanitizer checks word by
+//! word, but proved here for the whole affine family at once.
+//!
+//! Two pieces `base₁ + s₁·x (lane l₁+x)` and `base₂ + s₂·y (lane
+//! l₂+y)` collide when the linear Diophantine equation `s₁·x − s₂·y =
+//! base₂ − base₁` has a solution inside both lane ranges. Solvability
+//! is a GCD test; the solution family is `x = x₀ + (s₂/g)·t`, and
+//! intersecting the two range constraints gives a `t`-interval. The
+//! lane difference along the family is itself affine in `t`, so the
+//! *distinct-lane* requirement (a lane re-touching its own element is
+//! not a race — e.g. a thread reloading the slot it just wrote) is one
+//! more closed-form check, not an enumeration.
+//!
+//! Stores are additionally checked against themselves: duplicate
+//! targets within one block-wide store are a write-after-write race on
+//! real hardware (the simulator's "last lane wins" is a determinism
+//! fiction).
+
+use super::{DiagClass, DiagSink, Severity};
+use crate::plan::{AccessPlan, AffinePiece, PlanEvent, PlannedAccess};
+
+/// Extended GCD: returns `(g, u, v)` with `a·u + b·v = g > 0`.
+/// Requires `a` and `b` not both zero.
+fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        if a < 0 {
+            (-a, -1, 0)
+        } else {
+            (a, 1, 0)
+        }
+    } else {
+        let (g, u, v) = egcd(b, a % b);
+        (g, v, u - (a / b) * v)
+    }
+}
+
+/// The `t`-interval where `0 ≤ x0 + d·t ≤ n−1` (`d ≠ 0`).
+fn t_range(x0: i128, d: i128, n: i128) -> Option<(i128, i128)> {
+    let (lo, hi) = if d > 0 {
+        (super::ceil_div(-x0, d), super::floor_div(n - 1 - x0, d))
+    } else {
+        (super::ceil_div(x0 - (n - 1), -d), super::floor_div(x0, -d))
+    };
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Does any element of `p` coincide with an element of `q` on
+/// *distinct* lanes? Returns a witness `(element, lane_p, lane_q)`.
+fn piece_overlap(p: &AffinePiece, q: &AffinePiece) -> Option<(i64, usize, usize)> {
+    let (b1, s1, n1, l1) = (p.base as i128, p.stride as i128, p.lanes as i128, p.lane0 as i128);
+    let (b2, s2, n2, l2) = (q.base as i128, q.stride as i128, q.lanes as i128, q.lane0 as i128);
+    if n1 == 0 || n2 == 0 {
+        return None;
+    }
+    let witness =
+        |x: i128, y: i128| Some(((b1 + s1 * x) as i64, (l1 + x) as usize, (l2 + y) as usize));
+    match (s1 == 0, s2 == 0) {
+        (true, true) => {
+            if b1 != b2 {
+                return None;
+            }
+            if l1 != l2 {
+                witness(0, 0)
+            } else if n2 > 1 {
+                witness(0, 1)
+            } else if n1 > 1 {
+                witness(1, 0)
+            } else {
+                None
+            }
+        }
+        (true, false) => {
+            let num = b1 - b2;
+            if num % s2 != 0 {
+                return None;
+            }
+            let y = num / s2;
+            if y < 0 || y >= n2 {
+                return None;
+            }
+            if l1 != l2 + y {
+                witness(0, y)
+            } else if n1 > 1 {
+                witness(1, y)
+            } else {
+                None
+            }
+        }
+        (false, true) => {
+            let num = b2 - b1;
+            if num % s1 != 0 {
+                return None;
+            }
+            let x = num / s1;
+            if x < 0 || x >= n1 {
+                return None;
+            }
+            if l1 + x != l2 {
+                witness(x, 0)
+            } else if n2 > 1 {
+                witness(x, 1)
+            } else {
+                None
+            }
+        }
+        (false, false) => {
+            // s1·x − s2·y = b2 − b1; family x = x0 + (−s2/g)t,
+            // y = y0 + (−s1/g)t.
+            let c = b2 - b1;
+            let (g, u, v) = egcd(s1, -s2);
+            if c % g != 0 {
+                return None;
+            }
+            let x0 = u * (c / g);
+            let y0 = v * (c / g);
+            let dx = -s2 / g;
+            let dy = -s1 / g;
+            let (lo1, hi1) = t_range(x0, dx, n1)?;
+            let (lo2, hi2) = t_range(y0, dy, n2)?;
+            let (tlo, thi) = (lo1.max(lo2), hi1.min(hi2));
+            if tlo > thi {
+                return None;
+            }
+            // Lane difference along the family: d0 + dd·t; a race
+            // needs a t where it is nonzero.
+            let d0 = (l1 + x0) - (l2 + y0);
+            let dd = dx - dy;
+            let t = if d0 + dd * tlo != 0 {
+                tlo
+            } else if dd != 0 && tlo < thi {
+                tlo + 1 // dd ≠ 0 ⇒ at most one root ⇒ tlo+1 is nonzero
+            } else {
+                return None; // every in-range collision is same-lane
+            };
+            witness(x0 + dx * t, y0 + dy * t)
+        }
+    }
+}
+
+/// First distinct-lane overlap between two accesses (`same_op` checks
+/// an access against itself without repeating symmetric pairs).
+fn access_overlap(
+    later: &PlannedAccess,
+    earlier: &PlannedAccess,
+    same_op: bool,
+) -> Option<(i64, usize, usize)> {
+    for (i, p) in later.pieces.iter().enumerate() {
+        let start = if same_op { i } else { 0 };
+        for q in &earlier.pieces[start..] {
+            if let Some(w) = piece_overlap(p, q) {
+                return Some(w);
+            }
+        }
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report(
+    sink: &mut DiagSink,
+    block_id: usize,
+    kind: &str,
+    later: &PlannedAccess,
+    earlier: &PlannedAccess,
+    elem: i64,
+    lane_a: usize,
+    lane_b: usize,
+) {
+    sink.push(
+        DiagClass::SharedRace,
+        Severity::Error,
+        block_id,
+        later.phase,
+        later.expr(),
+        format!(
+            "{kind} race: lanes {lane_a} and {lane_b} touch shared word {elem} in the same \
+             barrier epoch (conflicting access in phase `{}`: {})",
+            earlier.phase,
+            earlier.expr()
+        ),
+    );
+}
+
+pub(crate) fn run(plan: &AccessPlan, sink: &mut DiagSink) {
+    for block in &plan.blocks {
+        let mut reads: Vec<&PlannedAccess> = Vec::new();
+        let mut writes: Vec<&PlannedAccess> = Vec::new();
+        for ev in &block.events {
+            match ev {
+                PlanEvent::Barrier { .. } => {
+                    reads.clear();
+                    writes.clear();
+                }
+                PlanEvent::SharedAlloc { .. } => {}
+                PlanEvent::Access(a) if !a.kind.is_global() => {
+                    if a.kind.is_store() {
+                        if let Some((e, la, lb)) = access_overlap(a, a, true) {
+                            report(sink, block.block_id, "write-after-write", a, a, e, la, lb);
+                        }
+                        for w in &writes {
+                            if let Some((e, la, lb)) = access_overlap(a, w, false) {
+                                report(sink, block.block_id, "write-after-write", a, w, e, la, lb);
+                            }
+                        }
+                        for r in &reads {
+                            if let Some((e, la, lb)) = access_overlap(a, r, false) {
+                                report(sink, block.block_id, "write-after-read", a, r, e, la, lb);
+                            }
+                        }
+                        writes.push(a);
+                    } else {
+                        for w in &writes {
+                            if let Some((e, la, lb)) = access_overlap(a, w, false) {
+                                report(sink, block.block_id, "read-after-write", a, w, e, la, lb);
+                            }
+                        }
+                        reads.push(a);
+                    }
+                }
+                PlanEvent::Access(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{lint, DiagClass, LintConfig};
+    use super::*;
+    use crate::plan::{AccessKind, AccessPlan};
+
+    fn piece(lane0: usize, lanes: usize, base: i64, stride: i64) -> AffinePiece {
+        AffinePiece {
+            lane0,
+            lanes,
+            base,
+            stride,
+        }
+    }
+
+    #[test]
+    fn overlap_requires_distinct_lanes() {
+        // Lane l writes element 2l, lane l reads element 2l: collisions
+        // exist but always on the same lane — not a race.
+        assert_eq!(
+            piece_overlap(&piece(0, 32, 0, 2), &piece(0, 32, 0, 2)),
+            None
+        );
+        // Same mapping expressed with an offset lane range still
+        // aligns lane-for-lane.
+        assert_eq!(
+            piece_overlap(&piece(1, 31, 2, 2), &piece(0, 32, 0, 2)),
+            None
+        );
+        // A one-element shift makes writer and reader distinct lanes.
+        let w = piece_overlap(&piece(0, 31, 1, 1), &piece(0, 32, 0, 1)).expect("race");
+        assert_ne!(w.1, w.2);
+    }
+
+    #[test]
+    fn parity_disjoint_strides_never_collide() {
+        // Evens vs odds at stride 2: gcd test refutes instantly.
+        assert_eq!(
+            piece_overlap(&piece(0, 32, 0, 2), &piece(0, 32, 1, 2)),
+            None
+        );
+        // gcd(6,4) = 2 does not divide 1.
+        assert_eq!(
+            piece_overlap(&piece(0, 8, 0, 6), &piece(0, 8, 1, 4)),
+            None
+        );
+    }
+
+    #[test]
+    fn diophantine_family_skips_same_lane_root() {
+        // 6x = 4y + 2: x=y=1 collides on the *same* lane (elem 6), but
+        // the family also contains x=3,y=4 (elem 18) on distinct lanes.
+        let w = piece_overlap(&piece(0, 8, 0, 6), &piece(0, 8, 2, 4)).expect("race");
+        assert_ne!(w.1, w.2);
+        assert_eq!(w.0 % 6, 0);
+        assert_eq!((w.0 - 2) % 4, 0);
+    }
+
+    #[test]
+    fn broadcast_write_is_intra_op_waw() {
+        let mut plan = AccessPlan::synthetic("r", 32, 8);
+        let b = plan.block_mut(0);
+        b.push_alloc("main", 0, 64);
+        b.push_access(AccessKind::SharedStore, "main", None, 64, &[5; 4]);
+        let r = lint(&plan, &LintConfig::default());
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.class == DiagClass::SharedRace
+                && d.message.contains("write-after-write")));
+    }
+
+    #[test]
+    fn barrier_separates_epochs() {
+        let idx: Vec<usize> = (0..32).collect();
+        let shifted: Vec<usize> = (0..32).map(|l| (l + 1) % 32).collect();
+        let build = |with_barrier: bool| {
+            let mut plan = AccessPlan::synthetic("r", 32, 8);
+            let b = plan.block_mut(0);
+            b.push_alloc("main", 0, 32);
+            b.push_access(AccessKind::SharedStore, "store", None, 32, &idx);
+            if with_barrier {
+                b.push_barrier("store", 32, 32);
+            }
+            b.push_access(AccessKind::SharedLoad, "load", None, 32, &shifted);
+            lint(&plan, &LintConfig::default())
+        };
+        let racy = build(false);
+        let diag = racy
+            .diagnostics
+            .iter()
+            .find(|d| d.class == DiagClass::SharedRace)
+            .expect("missing-barrier race");
+        assert!(diag.message.contains("read-after-write"), "{}", diag.message);
+        assert_eq!(diag.phase, "load");
+        assert!(build(true).is_clean());
+    }
+
+    #[test]
+    fn same_lane_reload_is_not_a_race() {
+        // Store then reload your own slot without a barrier: fine.
+        let idx: Vec<usize> = (0..32).map(|l| l * 2).collect();
+        let mut plan = AccessPlan::synthetic("r", 32, 8);
+        let b = plan.block_mut(0);
+        b.push_alloc("main", 0, 64);
+        b.push_access(AccessKind::SharedStore, "main", None, 64, &idx);
+        b.push_access(AccessKind::SharedLoad, "main", None, 64, &idx);
+        assert!(lint(&plan, &LintConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn write_after_read_detected() {
+        let idx: Vec<usize> = (0..32).collect();
+        let shifted: Vec<usize> = (0..32).map(|l| (l + 5) % 32).collect();
+        let mut plan = AccessPlan::synthetic("r", 32, 8);
+        let b = plan.block_mut(0);
+        b.push_alloc("main", 0, 32);
+        b.push_access(AccessKind::SharedLoad, "gather", None, 32, &shifted);
+        b.push_access(AccessKind::SharedStore, "scatter", None, 32, &idx);
+        let r = lint(&plan, &LintConfig::default());
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.class == DiagClass::SharedRace)
+            .expect("WAR race");
+        assert!(d.message.contains("write-after-read"), "{}", d.message);
+        assert_eq!(d.phase, "scatter");
+    }
+}

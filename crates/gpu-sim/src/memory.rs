@@ -204,7 +204,7 @@ mod tests {
 
     #[test]
     fn shared_broadcast_is_free() {
-        let idx = lanes(std::iter::repeat(7).take(32));
+        let idx = lanes(std::iter::repeat_n(7, 32));
         assert_eq!(shared_conflict_cycles(&idx, 4, 32), 1);
     }
 

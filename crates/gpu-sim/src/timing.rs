@@ -229,6 +229,7 @@ mod tests {
             shared_bytes_per_block: shared_bytes,
             config: LaunchConfig::new("fake", blocks, threads),
             violations: Vec::new(),
+            plan: None,
         }
     }
 

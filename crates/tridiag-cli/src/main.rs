@@ -4,11 +4,16 @@
 //! ```text
 //! tridiag solve --m 256 --n 1024 [--engine gpu|cpu|cpu-mt|davidson|zhang]
 //!               [--precision f64|f32] [--device gtx480|gtx280|c2050]
-//!               [--seed 42] [--verbose]
+//!               [--seed 42] [--verbose] [--sanitize] [--lint] [--check]
 //! tridiag compare --m 64 --n 2048        # run every engine, check parity
 //! tridiag tune --n 4096 --m-list 1,16,256,1024 [--k-max 8]
 //! tridiag info [--device gtx480]         # device spec + occupancy sheet
+//! tridiag lint [--verbose]               # static-lint the kernel zoo
 //! ```
+//!
+//! Exit codes: 0 = success, 1 = usage or solve error, 2 = lint or
+//! sanitizer findings (the solve itself succeeded, but a check found
+//! property violations).
 
 mod args;
 
@@ -34,27 +39,60 @@ fn device_by_name(name: &str) -> Result<DeviceSpec, String> {
 
 fn usage() -> &'static str {
     "usage:\n  tridiag solve   --m M --n N [--engine gpu|cpu|cpu-mt|davidson|zhang] \
-     [--precision f64|f32] [--device gtx480|gtx280|c2050] [--seed S] [--verbose] [--sanitize]\n  \
+     [--precision f64|f32] [--device gtx480|gtx280|c2050] [--seed S] [--verbose] \
+     [--sanitize] [--lint] [--check]\n  \
      tridiag compare --m M --n N [--seed S]\n  \
      tridiag tune    --n N [--m-list 1,16,256] [--k-max 8]\n  \
-     tridiag info    [--device gtx480]"
+     tridiag info    [--device gtx480]\n  \
+     tridiag lint    [--verbose]\n\n\
+     checks (gpu engine only):\n  \
+     --sanitize  run every kernel under the dynamic memory/race sanitizer\n  \
+     --lint      record each kernel's affine access plan, run the static lint\n  \
+     \u{20}           passes, and cross-check predicted vs measured counters\n  \
+     --check     umbrella: --sanitize and --lint together\n\n\
+     exit codes: 0 = ok, 1 = usage/solve error, 2 = lint or sanitizer findings"
 }
 
-fn cmd_solve(a: &Args) -> Result<(), String> {
+/// A command failure, split by exit code: plain errors exit 1, check
+/// findings (lint diagnostics, counter mismatches, sanitizer
+/// violations) exit 2.
+enum Failure {
+    Error(String),
+    Findings(String),
+}
+
+impl From<String> for Failure {
+    fn from(e: String) -> Self {
+        Failure::Error(e)
+    }
+}
+
+fn cmd_solve(a: &Args) -> Result<(), Failure> {
     let m: usize = a.get_or("m", 64)?;
     let n: usize = a.get_or("n", 1024)?;
     let seed: u64 = a.get_or("seed", 42u64)?;
     let engine = a.get("engine").unwrap_or("gpu");
     let precision = a.get("precision").unwrap_or("f64");
     let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
-    let sanitize = a.flag("sanitize");
-    if sanitize && engine != "gpu" {
-        return Err(format!("--sanitize only applies to the gpu engine (got {engine:?})"));
+    let check = a.flag("check");
+    let sanitize = a.flag("sanitize") || check;
+    let lint = a.flag("lint") || check;
+    if (sanitize || lint) && engine != "gpu" {
+        let flag = if check {
+            "--check"
+        } else if sanitize {
+            "--sanitize"
+        } else {
+            "--lint"
+        };
+        return Err(Failure::Error(format!(
+            "{flag} only applies to the gpu engine (got {engine:?})"
+        )));
     }
     if precision == "f32" {
-        solve_typed::<f32>(m, n, seed, engine, device, a.flag("verbose"), sanitize)
+        solve_typed::<f32>(m, n, seed, engine, device, a.flag("verbose"), sanitize, lint)
     } else {
-        solve_typed::<f64>(m, n, seed, engine, device, a.flag("verbose"), sanitize)
+        solve_typed::<f64>(m, n, seed, engine, device, a.flag("verbose"), sanitize, lint)
     }
 }
 
@@ -67,17 +105,20 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
     device: DeviceSpec,
     verbose: bool,
     sanitize: bool,
-) -> Result<(), String> {
+    lint: bool,
+) -> Result<(), Failure> {
     let batch: SystemBatch<S> = random_batch(m, n, seed);
     let t0 = std::time::Instant::now();
     let mut sanitizer_line: Option<Result<String, String>> = None;
+    let mut lint_line: Option<Result<String, String>> = None;
     let (x, modeled_us): (Vec<S>, Option<f64>) = match engine {
         "gpu" => {
             let config = GpuSolverConfig {
-                exec: if sanitize {
-                    gpu_sim::ExecConfig::sanitized()
-                } else {
-                    gpu_sim::ExecConfig::default()
+                exec: match (sanitize, lint) {
+                    (true, true) => gpu_sim::ExecConfig::checked(),
+                    (true, false) => gpu_sim::ExecConfig::sanitized(),
+                    (false, true) => gpu_sim::ExecConfig::planned(),
+                    (false, false) => gpu_sim::ExecConfig::default(),
                 },
                 ..Default::default()
             };
@@ -96,6 +137,25 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
                         .map(|v| format!("  - {v}"))
                         .collect::<Vec<_>>()
                         .join("\n"))
+                });
+            }
+            if lint {
+                lint_line = Some(if report.is_lint_clean() {
+                    Ok(format!(
+                        "clean ({} kernel plan(s); static transaction predictions exact)",
+                        report.lints.len()
+                    ))
+                } else {
+                    let mut lines = Vec::new();
+                    for lr in &report.lints {
+                        for d in &lr.diagnostics {
+                            lines.push(format!("  - {d}"));
+                        }
+                    }
+                    for mm in &report.lint_mismatches {
+                        lines.push(format!("  - cross-check {mm}"));
+                    }
+                    Err(lines.join("\n"))
                 });
             }
             (x, Some(report.total_us))
@@ -118,7 +178,7 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
                 zhang::solve_batch(&device, &batch, None).map_err(|e| e.to_string())?;
             (x, Some(report.total_us))
         }
-        other => return Err(format!("unknown engine {other:?}")),
+        other => return Err(Failure::Error(format!("unknown engine {other:?}"))),
     };
     let host = t0.elapsed();
     let resid = batch.max_relative_residual(&x).map_err(|e| e.to_string())?;
@@ -129,16 +189,81 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
     }
     println!("host time   : {host:?} (simulator/solver wall-clock)");
     println!("residual    : {resid:.3e}");
+    let mut findings = Vec::new();
     match sanitizer_line {
         Some(Ok(msg)) => println!("sanitizer   : {msg}"),
         Some(Err(reports)) => {
             println!("sanitizer   : VIOLATIONS");
-            return Err(format!("sanitizer violations:\n{reports}"));
+            findings.push(format!("sanitizer violations:\n{reports}"));
         }
         None => {}
     }
+    match lint_line {
+        Some(Ok(msg)) => println!("lint        : {msg}"),
+        Some(Err(reports)) => {
+            println!("lint        : FINDINGS");
+            findings.push(format!("lint findings:\n{reports}"));
+        }
+        None => {}
+    }
+    if !findings.is_empty() {
+        return Err(Failure::Findings(findings.join("\n")));
+    }
     if resid > tridiag_core::verify::default_tolerance::<S>() * 1e3 {
-        return Err(format!("residual {resid:.3e} exceeds tolerance"));
+        return Err(Failure::Error(format!("residual {resid:.3e} exceeds tolerance")));
+    }
+    Ok(())
+}
+
+/// `tridiag lint` — run the static analyzer over the kernel zoo: every
+/// shipped kernel at several launch geometries, each linted from its
+/// recorded affine access plan and cross-checked against the dynamic
+/// counters the same run measured.
+fn cmd_lint(a: &Args) -> Result<(), Failure> {
+    let verbose = a.flag("verbose");
+    let entries = tridiag_gpu::zoo::run_zoo().map_err(|e| e.to_string())?;
+    let mut bad = 0usize;
+    for e in &entries {
+        let status = if e.is_clean() {
+            "clean, predictions exact".to_string()
+        } else {
+            bad += 1;
+            format!(
+                "{} diagnostic(s), {} counter mismatch(es)",
+                e.report.diagnostics.len(),
+                e.mismatches.len()
+            )
+        };
+        println!("{:<18} {:<28} {status}", e.kernel, e.geometry);
+        if verbose || !e.is_clean() {
+            for d in &e.report.diagnostics {
+                println!("    {d}");
+            }
+            for mm in &e.mismatches {
+                println!("    cross-check {mm}");
+            }
+        }
+        if verbose {
+            println!(
+                "    events={} gld_t={} gst_t={} replays={} barriers={}",
+                e.report.events,
+                e.report.prediction.global_load_transactions,
+                e.report.prediction.global_store_transactions,
+                e.report.prediction.bank_conflict_replays,
+                e.report.prediction.barriers
+            );
+        }
+    }
+    println!(
+        "{} kernel/geometry entries linted, {} with findings",
+        entries.len(),
+        bad
+    );
+    if bad > 0 {
+        return Err(Failure::Findings(format!(
+            "{bad} zoo entr{} with lint findings",
+            if bad == 1 { "y" } else { "ies" }
+        )));
     }
     Ok(())
 }
@@ -250,19 +375,35 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.flag("help") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
     let result = match args.command.as_deref() {
         Some("solve") => cmd_solve(&args),
-        Some("compare") => cmd_compare(&args),
-        Some("tune") => cmd_tune(&args),
-        Some("info") => cmd_info(&args),
-        Some(other) => Err(format!("unknown command {other:?}\n{}", usage())),
-        None => Err(usage().to_string()),
+        Some("compare") => cmd_compare(&args).map_err(Failure::Error),
+        Some("tune") => cmd_tune(&args).map_err(Failure::Error),
+        Some("info") => cmd_info(&args).map_err(Failure::Error),
+        Some("lint") => cmd_lint(&args),
+        Some("help") => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(Failure::Error(format!(
+            "unknown command {other:?}\n{}",
+            usage()
+        ))),
+        None => Err(Failure::Error(usage().to_string())),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(Failure::Error(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+        Err(Failure::Findings(e)) => {
+            eprintln!("findings: {e}");
+            ExitCode::from(2)
         }
     }
 }

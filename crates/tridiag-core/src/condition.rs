@@ -121,7 +121,7 @@ mod tests {
     #[test]
     fn dominance_margin_signs() {
         assert!(dominance_margin(&dominant_random::<f64>(64, 1)) > 0.0);
-        let weak = poisson_1d::<f64>(&vec![1.0; 8]);
+        let weak = poisson_1d::<f64>(&[1.0; 8]);
         // -1,2,-1 interior rows: margin exactly 0.
         assert!(dominance_margin(&weak).abs() < 1e-12);
         let bad = near_singular::<f64>(16, 7, 1e-8, 2);

@@ -216,7 +216,7 @@ mod tests {
             } else {
                 0.0
             };
-            diag.push((a.abs() + c.abs() + corner + rng.gen_range(0.5..1.5)) as f64);
+            diag.push(a.abs() + c.abs() + corner + rng.gen_range(0.5..1.5));
             lower.push(a);
             upper.push(c);
             rhs.push(rng.gen_range(-1.0..1.0));
@@ -281,7 +281,7 @@ mod tests {
     fn engine_plugability() {
         // Any engine works — here: full PCR instead of Thomas.
         let s = random_cyclic(128, 9);
-        let x = s.solve_with(|sys| crate::pcr::solve(sys)).unwrap();
+        let x = s.solve_with(crate::pcr::solve).unwrap();
         assert!(s.relative_residual(&x).unwrap() < 1e-9);
     }
 

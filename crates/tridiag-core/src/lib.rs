@@ -43,6 +43,11 @@
 
 #![warn(missing_docs)]
 
+// Stencil and sweep loops index several parallel arrays by row number;
+// iterator rewrites of those loops hide the row-at-a-time recurrence
+// structure the algorithms are written to exhibit.
+#![allow(clippy::needless_range_loop)]
+
 pub mod batch;
 pub mod condition;
 pub mod cyclic;

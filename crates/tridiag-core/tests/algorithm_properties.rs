@@ -56,7 +56,7 @@ proptest! {
             *bi += if *bi >= 0.0 { 0.6 } else { -0.6 };
         }
         let sys = cyclic::CyclicSystem::new(a, b, c, d, 0.25, -0.25).unwrap();
-        let x = sys.solve_with(|inner| thomas::solve_typed(inner)).unwrap();
+        let x = sys.solve_with(thomas::solve_typed).unwrap();
         prop_assert!(sys.relative_residual(&x).unwrap() < 1e-8);
     }
 

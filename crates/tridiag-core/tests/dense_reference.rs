@@ -10,6 +10,10 @@ use tridiag_core::generators::dominant_random;
 use tridiag_core::{cr, cyclic, pcr, pivoting, rd, thomas, TridiagonalSystem};
 
 /// Dense Gaussian elimination with partial pivoting (textbook, O(n³)).
+// The elimination loop reads row `col` while mutating row `row`; an
+// iterator form would need a split borrow that obscures the textbook
+// shape this reference deliberately keeps.
+#[allow(clippy::needless_range_loop)]
 fn dense_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {

@@ -61,6 +61,7 @@ impl<S: GpuScalar> BlockKernel<S> for CrSharedKernel {
         }
 
         // Load (coalesced from global, padded into shared).
+        ctx.phase("load");
         let g_idx: Vec<usize> = (sys * n..sys * n + n).collect();
         let mut tmp = Vec::new();
         for arr in 0..4 {
@@ -79,6 +80,7 @@ impl<S: GpuScalar> BlockKernel<S> for CrSharedKernel {
         // After level L the surviving rows are the multiples of 2^(L+1),
         // stored in place at their original (padded) indices — the
         // classic in-place CR that generates the stride pattern.
+        ctx.phase("forward");
         for level in 0..levels - 1 {
             let stride = 1usize << level;
             let survivors: Vec<usize> = ((2 * stride - 1)..n).step_by(2 * stride).collect();
@@ -150,6 +152,7 @@ impl<S: GpuScalar> BlockKernel<S> for CrSharedKernel {
         // ---- 2x2 apex + backward substitution ------------------------
         // Read the full final state into registers (accounted), solve
         // the apex, then substitute level by level.
+        ctx.phase("apex_bsub");
         let mut vals: Vec<[S; 4]> = vec![[S::ZERO; 4]; n];
         for arr in 0..4 {
             let si: Vec<usize> = (0..n).map(|i| base[arr] + self.pad(i)).collect();
@@ -199,6 +202,7 @@ impl<S: GpuScalar> BlockKernel<S> for CrSharedKernel {
         }
 
         // Store the solution.
+        ctx.phase("store");
         for (chunk, start) in g_idx.chunks(ctx.threads).zip((0..n).step_by(ctx.threads)) {
             ctx.st(self.x, chunk, &x[start..start + chunk.len()])?;
         }

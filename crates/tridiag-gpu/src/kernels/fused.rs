@@ -83,6 +83,7 @@ impl<S: GpuScalar> BlockKernel<S> for FusedKernel {
 
             // ---- read this sub-tile's reduced rows from shared ------
             // (positions t0 − f .. t0 + st − f, already in the window).
+            ctx.phase("window_read");
             let mut rows: [Vec<S>; 4] = Default::default();
             for arr in 0..4 {
                 sh_idx.clear();
@@ -138,6 +139,7 @@ impl<S: GpuScalar> BlockKernel<S> for FusedKernel {
             // ---- aligned global stores of c'/d' ---------------------
             // Flush pending in st-sized chunks, keeping the tail for
             // alignment (the register tile).
+            ctx.phase("cprime_store");
             while pending.len() >= st {
                 g_idx.clear();
                 cp_vals.clear();
@@ -159,6 +161,7 @@ impl<S: GpuScalar> BlockKernel<S> for FusedKernel {
         }
 
         // Flush the register-tile remainder.
+        ctx.phase("cprime_store");
         if !pending.is_empty() {
             g_idx.clear();
             cp_vals.clear();
@@ -179,6 +182,7 @@ impl<S: GpuScalar> BlockKernel<S> for FusedKernel {
 
         // ---- backward substitution per thread -----------------------
         // Thread j owns rows j, j + 2^k, … (interleaved → coalesced).
+        ctx.phase("backward");
         let max_rows = n.div_ceil(stride);
         let mut x_reg = vec![S::ZERO; stride];
         let mut xv: Vec<S> = Vec::with_capacity(stride);

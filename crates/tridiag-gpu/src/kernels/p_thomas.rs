@@ -136,6 +136,7 @@ impl<S: GpuScalar> BlockKernel<S> for PThomasKernel {
         let mut lane_thread: Vec<usize> = Vec::with_capacity(count);
 
         // ---- forward reduction (Eqs. 2–3) ---------------------------
+        ctx.phase("forward");
         for r in 0..max_rows {
             idx.clear();
             lane_thread.clear();
@@ -184,6 +185,7 @@ impl<S: GpuScalar> BlockKernel<S> for PThomasKernel {
 
         // ---- backward substitution (Eq. 4) --------------------------
         // x registers reuse the recurrence slots.
+        ctx.phase("backward");
         let mut x_reg = vec![S::ZERO; count];
         let mut xv = Vec::with_capacity(count);
         for r in (0..max_rows).rev() {

@@ -69,6 +69,7 @@ impl<S: GpuScalar> BlockKernel<S> for PcrSharedKernel {
         }
 
         // Load the system (coalesced contiguous reads).
+        ctx.phase("load");
         let idx_g: Vec<usize> = (sys * n..sys * n + n).collect();
         let mut tmp = Vec::new();
         for arr in 0..4 {
@@ -81,6 +82,7 @@ impl<S: GpuScalar> BlockKernel<S> for PcrSharedKernel {
         ctx.sync();
 
         // Lockstep PCR steps, ping-ponging between the two halves.
+        ctx.phase("pcr_step");
         let mut cur = 0usize;
         for step in 0..steps {
             let stride = 1usize << step;
@@ -141,6 +143,7 @@ impl<S: GpuScalar> BlockKernel<S> for PcrSharedKernel {
 
         // Finish: either trivial divide (fully reduced) or per-thread
         // Thomas over the 2^steps interleaved subsystems.
+        ctx.phase("finish");
         let stride = 1usize << steps;
         let mut x_host = vec![S::ZERO; n];
         {
@@ -198,6 +201,7 @@ impl<S: GpuScalar> BlockKernel<S> for PcrSharedKernel {
         }
 
         // Store the solution (coalesced).
+        ctx.phase("store");
         for (gi, chunk_start) in idx_g.chunks(ctx.threads).zip((0..n).step_by(ctx.threads)) {
             let xs = &x_host[chunk_start..chunk_start + gi.len()];
             ctx.st(self.x, gi, xs)?;

@@ -146,6 +146,7 @@ impl<S: GpuScalar> BlockKernel<S> for TiledPcrKernel {
             // ---- emit the *aligned* chunk [t0 − st, t0) -------------
             // Fresh level-k rows cover [t0 − f, t0 + st − f); the carry
             // holds [t0 − st, t0 − f) from the previous sub-tile.
+            ctx.phase("emit");
             for arr in 0..4 {
                 sh_idx.clear();
                 g_idx.clear();
@@ -192,6 +193,7 @@ impl<S: GpuScalar> BlockKernel<S> for TiledPcrKernel {
             // barrier that is a write-after-read race (a stream slot's
             // emit could observe the next sub-tile's carry).
             ctx.sync();
+            ctx.phase("carry_roll");
             if st > f {
                 for (arr, vals) in roll_vals.iter().enumerate() {
                     sh_idx.clear();
@@ -211,6 +213,7 @@ impl<S: GpuScalar> BlockKernel<S> for TiledPcrKernel {
 
         // ---- final flush: each slot's carry holds [t0 − st, t0 − f),
         // which covers everything not yet stored.
+        ctx.phase("flush");
         for arr in 0..4 {
             g_idx.clear();
             sh_idx.clear();

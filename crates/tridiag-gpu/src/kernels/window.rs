@@ -128,6 +128,7 @@ impl WindowEngine {
         }
 
         // Identity rows for the positions preceding each stream.
+        ctx.phase("window_init");
         let mut idx: Vec<usize> = Vec::new();
         let mut val: Vec<S> = Vec::new();
         for slot in &slots {
@@ -186,6 +187,7 @@ impl WindowEngine {
         let mut loaded: [Vec<S>; 4] = Default::default();
 
         // ---- 1. coalesced global loads of the fresh sub-tile --------
+        ctx.phase("window_load");
         self.g_idx.clear();
         self.g_lane.clear();
         for (rank, &g) in active.iter().enumerate() {
@@ -234,6 +236,7 @@ impl WindowEngine {
             let cache_off = 2 * (s_half - 1);
 
             // (a) splice cache_{j-1} in front of the fresh region.
+            ctx.phase("splice");
             for arr in 0..4 {
                 self.sh_idx.clear();
                 for &g in &active {
@@ -259,6 +262,7 @@ impl WindowEngine {
             ctx.sync();
 
             // (b) lockstep read of the three dependency rows.
+            ctx.phase("pcr_level");
             for arr in 0..4 {
                 for (d, dist) in [0usize, s_half, two_s].into_iter().enumerate() {
                     let dst = &mut tri[arr * 3 + d];

@@ -19,6 +19,7 @@ pub mod davidson;
 pub mod kernels;
 pub mod solver;
 pub mod zhang;
+pub mod zoo;
 
 pub use buffers::{download_solution, upload, DeviceBatch, GpuScalar};
 pub use solver::{GpuSolveReport, GpuSolverConfig, GpuTridiagSolver, MappingVariant};

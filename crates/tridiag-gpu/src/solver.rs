@@ -22,8 +22,8 @@ use crate::kernels::p_thomas::{AddrMap, PThomasKernel};
 use crate::kernels::tiled_pcr::TiledPcrKernel;
 use gpu_sim::timing::{time_kernel, TrafficSummary};
 use gpu_sim::{
-    launch_with, DeviceSpec, ExecConfig, GpuMemory, KernelTiming, LaunchConfig, Precision, Result,
-    SanitizerViolation,
+    launch_with, DeviceSpec, ExecConfig, GpuMemory, KernelTiming, LaunchConfig, LintConfig,
+    LintReport, Precision, Result, SanitizerViolation,
 };
 use tridiag_core::transition::{choose_k, max_k_for, TransitionPolicy};
 use tridiag_core::{Layout, SystemBatch};
@@ -108,6 +108,12 @@ pub struct GpuSolveReport {
     /// Sanitizer violation reports across every kernel in the pipeline
     /// (empty when the sanitizer is off or the run was clean).
     pub violations: Vec<SanitizerViolation>,
+    /// Static lint reports, one per kernel launch (empty unless
+    /// `exec.record_plan` is set).
+    pub lints: Vec<LintReport>,
+    /// Counters where a kernel's static prediction disagreed with its
+    /// dynamic measurement (empty = exact agreement, or lint off).
+    pub lint_mismatches: Vec<String>,
 }
 
 impl GpuSolveReport {
@@ -115,6 +121,13 @@ impl GpuSolveReport {
     /// with the sanitizer off).
     pub fn is_sanitizer_clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// `true` when static analysis found no diagnostics and every
+    /// predicted counter matched its dynamic measurement (vacuously
+    /// true when plan recording is off).
+    pub fn is_lint_clean(&self) -> bool {
+        self.lints.iter().all(LintReport::is_clean) && self.lint_mismatches.is_empty()
     }
 
     /// Modeled time of the tiled PCR stage alone (0 when `k = 0`).
@@ -189,6 +202,8 @@ impl GpuTridiagSolver {
 
         let mut kernels: Vec<KernelReport> = Vec::new();
         let mut violations: Vec<SanitizerViolation> = Vec::new();
+        let mut lints: Vec<LintReport> = Vec::new();
+        let mut lint_mismatches: Vec<String> = Vec::new();
         let mut mem = GpuMemory::new();
 
         let x = if k == 0 {
@@ -215,6 +230,7 @@ impl GpuTridiagSolver {
             .with_regs(REGS_PTHOMAS);
             let mut res = launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
             violations.append(&mut res.violations);
+            collect_lint(&mut res, &mut lints, &mut lint_mismatches);
             kernels.push(self.report(&res, precision));
             // Convert back to the caller's layout.
             let xi = mem.read(dev.x)?;
@@ -250,6 +266,7 @@ impl GpuTridiagSolver {
                 let mut res =
                     launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
                 violations.append(&mut res.violations);
+                collect_lint(&mut res, &mut lints, &mut lint_mismatches);
                 kernels.push(self.report(&res, precision));
                 mem.read(dev.x)?.to_vec()
             } else {
@@ -287,6 +304,7 @@ impl GpuTridiagSolver {
                 let mut res =
                     launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
                 violations.append(&mut res.violations);
+                collect_lint(&mut res, &mut lints, &mut lint_mismatches);
                 kernels.push(self.report(&res, precision));
 
                 // p-Thomas over the 2^k·M interleaved subsystems.
@@ -318,6 +336,7 @@ impl GpuTridiagSolver {
                 let mut res =
                     launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
                 violations.append(&mut res.violations);
+                collect_lint(&mut res, &mut lints, &mut lint_mismatches);
                 kernels.push(self.report(&res, precision));
                 mem.read(dev.x)?.to_vec()
             };
@@ -337,6 +356,8 @@ impl GpuTridiagSolver {
                 kernels,
                 precision: S::NAME,
                 violations,
+                lints,
+                lint_mismatches,
             };
             return Ok((out, report));
         };
@@ -349,6 +370,8 @@ impl GpuTridiagSolver {
             kernels,
             precision: S::NAME,
             violations,
+            lints,
+            lint_mismatches,
         };
         Ok((x, report))
     }
@@ -400,6 +423,20 @@ impl GpuTridiagSolver {
                 explicit
             }
         }
+    }
+}
+
+/// When the launch recorded an access plan, lint it and cross-check
+/// the static counter predictions against the measured stats.
+fn collect_lint(
+    res: &mut gpu_sim::LaunchResult,
+    lints: &mut Vec<LintReport>,
+    mismatches: &mut Vec<String>,
+) {
+    if let Some(plan) = res.plan.take() {
+        let lr = gpu_sim::lint(&plan, &LintConfig::default());
+        mismatches.extend(lr.cross_check(&res.stats));
+        lints.push(lr);
     }
 }
 
@@ -551,6 +588,39 @@ mod tests {
     }
 
     #[test]
+    fn planned_pipeline_lints_clean_with_exact_predictions() {
+        // Both solver paths under plan recording: every kernel's affine
+        // plan must lint clean and the static counter predictions must
+        // match the dynamic measurements exactly.
+        for fused in [false, true] {
+            let solver = GpuTridiagSolver::new(
+                DeviceSpec::gtx480(),
+                GpuSolverConfig {
+                    policy: TransitionPolicy::Fixed(3),
+                    fused,
+                    mapping: MappingVariant::BlockPerSystem,
+                    exec: ExecConfig::planned(),
+                    ..Default::default()
+                },
+            );
+            let batch = random_batch::<f64>(4, 256, 23);
+            let (x, report) = solver.solve_batch(&batch).unwrap();
+            assert!(batch.max_relative_residual(&x).unwrap() < 1e-9);
+            assert_eq!(report.lints.len(), report.kernels.len());
+            assert!(
+                report.is_lint_clean(),
+                "fused={fused}: diagnostics {:?}, mismatches {:?}",
+                report
+                    .lints
+                    .iter()
+                    .flat_map(|l| &l.diagnostics)
+                    .collect::<Vec<_>>(),
+                report.lint_mismatches
+            );
+        }
+    }
+
+    #[test]
     fn matches_host_hybrid_numerically() {
         use tridiag_core::hybrid::{solve_batch as host_solve, HybridConfig};
         let batch = random_batch::<f64>(4, 777, 19);
@@ -592,6 +662,24 @@ impl std::fmt::Display for GpuSolveReport {
             writeln!(f, "  sanitizer: {} violation(s)", self.violations.len())?;
             for v in &self.violations {
                 writeln!(f, "    - {v}")?;
+            }
+        }
+        if !self.lints.is_empty() {
+            let findings: usize = self.lints.iter().map(|l| l.diagnostics.len()).sum();
+            writeln!(
+                f,
+                "  lint: {} kernel plan(s), {} diagnostic(s), {} counter mismatch(es)",
+                self.lints.len(),
+                findings,
+                self.lint_mismatches.len()
+            )?;
+            for l in &self.lints {
+                for d in &l.diagnostics {
+                    writeln!(f, "    - {d}")?;
+                }
+            }
+            for m in &self.lint_mismatches {
+                writeln!(f, "    - cross-check {m}")?;
             }
         }
         Ok(())

@@ -1,0 +1,273 @@
+//! The kernel zoo: every shipped kernel at several launch geometries,
+//! run under plan recording and statically linted.
+//!
+//! This is the harness behind `tridiag --lint` and the static-vs-
+//! dynamic golden-counter cross-check: each entry launches one kernel
+//! configuration with [`ExecConfig::planned`], records its affine
+//! access plan, runs the five lint passes over it, and compares the
+//! predicted counters field-by-field against the measured
+//! [`KernelStats`]. A shipped kernel must produce **zero diagnostics**
+//! and **zero cross-check mismatches** at every geometry here — the
+//! zoo is the executable statement of that contract.
+
+use crate::buffers::{upload, GpuScalar};
+use crate::kernels::cr_shared::CrSharedKernel;
+use crate::kernels::fused::FusedKernel;
+use crate::kernels::p_thomas::{AddrMap, PThomasKernel};
+use crate::kernels::pcr_shared::PcrSharedKernel;
+use crate::kernels::tiled_pcr::TiledPcrKernel;
+use gpu_sim::{
+    launch_with, BlockKernel, DeviceSpec, ExecConfig, GpuMemory, KernelStats, LaunchConfig,
+    LintConfig, LintReport, Result,
+};
+use tridiag_core::generators::random_batch;
+use tridiag_core::Layout;
+
+/// One zoo run: a kernel at one geometry, with its static lint report,
+/// measured counters, and the static-vs-dynamic mismatch lines.
+#[derive(Debug, Clone)]
+pub struct ZooEntry {
+    /// Kernel name (the launch config's name).
+    pub kernel: &'static str,
+    /// Human-readable geometry description.
+    pub geometry: String,
+    /// Static analysis of the recorded access plan.
+    pub report: LintReport,
+    /// Dynamically measured counters from the same launch.
+    pub stats: KernelStats,
+    /// Counters where the static prediction disagrees with the dynamic
+    /// measurement (empty = exact agreement on all nine counters).
+    pub mismatches: Vec<String>,
+}
+
+impl ZooEntry {
+    /// `true` when the entry has no diagnostics and no counter
+    /// mismatches.
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean() && self.mismatches.is_empty()
+    }
+}
+
+fn run_entry<S: GpuScalar, K: BlockKernel<S>>(
+    geometry: String,
+    cfg: &LaunchConfig,
+    kernel: &K,
+    mem: &mut GpuMemory<S>,
+) -> Result<ZooEntry> {
+    let exec = ExecConfig::planned();
+    let res = launch_with(&DeviceSpec::gtx480(), cfg, &exec, kernel, mem)?;
+    let plan = res.plan.expect("planned exec records a plan");
+    let report = gpu_sim::lint(&plan, &LintConfig::default());
+    let mismatches = report.cross_check(&res.stats);
+    Ok(ZooEntry {
+        kernel: report.kernel,
+        geometry,
+        report,
+        stats: res.stats,
+        mismatches,
+    })
+}
+
+fn pcr_shared_entries(out: &mut Vec<ZooEntry>) -> Result<()> {
+    for (m, n, steps) in [(4usize, 128usize, None), (2, 64, None), (1, 256, Some(2u32))] {
+        let host = random_batch::<f64>(m, n, 41);
+        let mut mem = GpuMemory::new();
+        let dev = upload(&mut mem, &host);
+        let kernel = PcrSharedKernel {
+            input: [dev.a, dev.b, dev.c, dev.d],
+            x: dev.x,
+            n,
+            steps,
+        };
+        let threads = (n as u32).min(256);
+        let cfg = LaunchConfig::new("pcr_shared", m, threads);
+        let steps_txt = steps.map_or("full".into(), |s| s.to_string());
+        out.push(run_entry(
+            format!("m={m} n={n} steps={steps_txt} t={threads} f64"),
+            &cfg,
+            &kernel,
+            &mut mem,
+        )?);
+    }
+    Ok(())
+}
+
+fn cr_shared_entries(out: &mut Vec<ZooEntry>) -> Result<()> {
+    for (m, n) in [(2usize, 256usize), (1, 64), (4, 128)] {
+        let host = random_batch::<f64>(m, n, 43);
+        let mut mem = GpuMemory::new();
+        let dev = upload(&mut mem, &host);
+        let kernel = CrSharedKernel {
+            input: [dev.a, dev.b, dev.c, dev.d],
+            x: dev.x,
+            n,
+            padded: true,
+        };
+        let threads = (n as u32 / 2).clamp(32, 512);
+        let cfg = LaunchConfig::new("cr_shared", m, threads);
+        out.push(run_entry(
+            format!("m={m} n={n} t={threads} padded f64"),
+            &cfg,
+            &kernel,
+            &mut mem,
+        )?);
+    }
+    Ok(())
+}
+
+fn tiled_pcr_entries(out: &mut Vec<ZooEntry>) -> Result<()> {
+    for (m, n, k, c) in [(3usize, 100usize, 3u32, 2usize), (1, 64, 2, 1), (2, 96, 4, 1)] {
+        let host = random_batch::<f64>(m, n, 47);
+        let mut mem = GpuMemory::new();
+        let dev = upload(&mut mem, &host);
+        let outb = [
+            mem.alloc(m * n),
+            mem.alloc(m * n),
+            mem.alloc(m * n),
+            mem.alloc(m * n),
+        ];
+        let assignments = TiledPcrKernel::assign_block_per_system(m, n);
+        let blocks = assignments.len();
+        let kernel = TiledPcrKernel {
+            input: [dev.a, dev.b, dev.c, dev.d],
+            output: outb,
+            n,
+            k,
+            sub_tile: c << k,
+            assignments,
+        };
+        let cfg = LaunchConfig::new("tiled_pcr", blocks, 1 << k);
+        out.push(run_entry(
+            format!("m={m} n={n} k={k} c={c} (11a) f64"),
+            &cfg,
+            &kernel,
+            &mut mem,
+        )?);
+    }
+    Ok(())
+}
+
+fn window_multi_slot_entries(out: &mut Vec<ZooEntry>) -> Result<()> {
+    for (m, n, k, q) in [(6usize, 96usize, 2u32, 3usize), (4, 64, 2, 2), (5, 80, 3, 2)] {
+        let host = random_batch::<f32>(m, n, 61);
+        let mut mem = GpuMemory::new();
+        let dev = upload(&mut mem, &host);
+        let outb = [
+            mem.alloc(m * n),
+            mem.alloc(m * n),
+            mem.alloc(m * n),
+            mem.alloc(m * n),
+        ];
+        let assignments = TiledPcrKernel::assign_multi_system_per_block(m, n, q);
+        let blocks = assignments.len();
+        let kernel = TiledPcrKernel {
+            input: [dev.a, dev.b, dev.c, dev.d],
+            output: outb,
+            n,
+            k,
+            sub_tile: 2 << k,
+            assignments,
+        };
+        let cfg = LaunchConfig::new("window_multi_slot", blocks, (q as u32) << k);
+        out.push(run_entry(
+            format!("m={m} n={n} k={k} q={q} (11c) f32"),
+            &cfg,
+            &kernel,
+            &mut mem,
+        )?);
+    }
+    Ok(())
+}
+
+fn p_thomas_entries(out: &mut Vec<ZooEntry>) -> Result<()> {
+    for (m, n) in [(64usize, 64usize), (37, 50), (128, 32)] {
+        let host = random_batch::<f64>(m, n, 53).to_layout(Layout::Interleaved);
+        let mut mem = GpuMemory::new();
+        let dev = upload(&mut mem, &host);
+        let cp = mem.alloc(dev.total());
+        let dp = mem.alloc(dev.total());
+        let kernel = PThomasKernel {
+            a: dev.a,
+            b: dev.b,
+            c: dev.c,
+            d: dev.d,
+            c_prime: cp,
+            d_prime: dp,
+            x: dev.x,
+            map: AddrMap::Interleaved { m, n },
+        };
+        let cfg = LaunchConfig::new("p_thomas", m.div_ceil(32), 32);
+        out.push(run_entry(
+            format!("m={m} n={n} interleaved f64"),
+            &cfg,
+            &kernel,
+            &mut mem,
+        )?);
+    }
+    Ok(())
+}
+
+fn fused_entries(out: &mut Vec<ZooEntry>) -> Result<()> {
+    for (m, n, k, c) in [(2usize, 200usize, 3u32, 2usize), (1, 64, 2, 1), (3, 128, 4, 1)] {
+        let host = random_batch::<f64>(m, n, 59);
+        let mut mem = GpuMemory::new();
+        let dev = upload(&mut mem, &host);
+        let cp = mem.alloc(m * n);
+        let dp = mem.alloc(m * n);
+        let kernel = FusedKernel {
+            input: [dev.a, dev.b, dev.c, dev.d],
+            c_prime: cp,
+            d_prime: dp,
+            x: dev.x,
+            n,
+            k,
+            sub_tile: c << k,
+            m,
+        };
+        let cfg = LaunchConfig::new("fused", m, 1 << k);
+        out.push(run_entry(
+            format!("m={m} n={n} k={k} c={c} f64"),
+            &cfg,
+            &kernel,
+            &mut mem,
+        )?);
+    }
+    Ok(())
+}
+
+/// Run all six kernels at three geometries each (18 entries).
+pub fn run_zoo() -> Result<Vec<ZooEntry>> {
+    let mut out = Vec::with_capacity(18);
+    pcr_shared_entries(&mut out)?;
+    cr_shared_entries(&mut out)?;
+    tiled_pcr_entries(&mut out)?;
+    window_multi_slot_entries(&mut out)?;
+    p_thomas_entries(&mut out)?;
+    fused_entries(&mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_covers_six_kernels_at_three_geometries() {
+        let entries = run_zoo().unwrap();
+        assert_eq!(entries.len(), 18);
+        for name in [
+            "pcr_shared",
+            "cr_shared",
+            "tiled_pcr",
+            "window_multi_slot",
+            "p_thomas",
+            "fused",
+        ] {
+            assert_eq!(
+                entries.iter().filter(|e| e.kernel == name).count(),
+                3,
+                "{name} geometries"
+            );
+        }
+    }
+}

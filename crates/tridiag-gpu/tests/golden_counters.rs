@@ -10,6 +10,7 @@
 //! into the golden.
 
 use gpu_sim::{launch, BlockStats, DeviceSpec, GpuMemory, LaunchConfig};
+use std::collections::HashMap;
 use tridiag_core::generators::random_batch;
 use tridiag_core::Layout;
 use tridiag_gpu::buffers::upload;
@@ -167,6 +168,43 @@ fn fused_counters() {
         &res.stats.total,
         "flops=21472 gld_t=300 gst_t=150 gld_b=19200 gst_b=9600 rounds=450 sh=4174 replays=6 barriers=288 shmem=1408",
     );
+}
+
+/// The static mirror of the snapshots above: for every kernel in the
+/// zoo, at every geometry, the lint passes' closed-form counter
+/// predictions must equal the dynamically measured [`BlockStats`]
+/// exactly — and the shipped kernels must produce zero diagnostics.
+#[test]
+fn static_predictions_match_dynamic_counters_across_the_zoo() {
+    let entries = tridiag_gpu::zoo::run_zoo().unwrap();
+    let mut per_kernel: HashMap<&str, usize> = HashMap::new();
+    for e in &entries {
+        *per_kernel.entry(e.kernel).or_default() += 1;
+        assert!(
+            e.report.is_clean(),
+            "{} [{}]: unexpected diagnostics {:#?}",
+            e.kernel,
+            e.geometry,
+            e.report.diagnostics
+        );
+        assert!(
+            e.mismatches.is_empty(),
+            "{} [{}]: static/dynamic counter mismatches {:#?}",
+            e.kernel,
+            e.geometry,
+            e.mismatches
+        );
+        // The cross-check is not vacuous: the prediction carries real
+        // traffic for every kernel.
+        assert!(e.report.prediction.global_load_transactions > 0, "{}", e.kernel);
+        assert_eq!(
+            e.report.prediction.global_load_transactions,
+            e.stats.total.global_load_transactions
+        );
+    }
+    for (kernel, count) in per_kernel {
+        assert!(count >= 3, "{kernel}: only {count} geometries in the zoo");
+    }
 }
 
 #[test]

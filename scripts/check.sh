@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # Repo health check: tier-1 (build + root-package tests) plus the
-# sanitizer suites. Run from anywhere; exits non-zero on any failure.
+# sanitizer and static-lint suites. Run from anywhere; exits non-zero
+# on any failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# First-party crates (vendored shims under vendor/ are exempt from the
+# clippy gate).
+FIRST_PARTY=(-p tridiag-core -p gpu-sim -p tridiag-gpu -p cpu-ref -p tridiag-cli)
 
 echo "== tier-1: build =="
 cargo build --release
@@ -10,17 +15,27 @@ cargo build --release
 echo "== tier-1: root-package tests =="
 cargo test -q
 
+echo "== clippy (first-party, warnings are errors) =="
+cargo clippy "${FIRST_PARTY[@]}" --all-targets -- -D warnings
+
 echo "== sanitizer: negative suite (violations must fire) =="
 cargo test -q -p gpu-sim --test sanitizer_negative
+
+echo "== lint: negative suite (every diagnostic class must fire) =="
+cargo test -q -p gpu-sim --test lint_negative
 
 echo "== sanitizer: kernel zoo must run clean =="
 cargo test -q -p tridiag-gpu --test sanitizer_clean
 
-echo "== golden counters =="
+echo "== golden counters (incl. static-vs-dynamic cross-check) =="
 cargo test -q -p tridiag-gpu --test golden_counters
 
-echo "== CLI --sanitize smoke =="
-cargo run --release -q -p tridiag-cli -- solve --m 8 --n 256 --sanitize \
-    | grep -q "sanitizer   : clean"
+echo "== CLI lint over the kernel zoo (exit 0 = no findings) =="
+cargo run --release -q -p tridiag-cli -- lint
+
+echo "== CLI --check smoke (sanitizer + lint on a solve) =="
+out="$(cargo run --release -q -p tridiag-cli -- solve --m 8 --n 256 --check)"
+grep -q "sanitizer   : clean" <<<"$out"
+grep -q "lint        : clean" <<<"$out"
 
 echo "all checks passed"
