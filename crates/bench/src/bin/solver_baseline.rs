@@ -1,0 +1,194 @@
+//! Solver perf baseline: modeled microseconds for a fixed sweep of
+//! (figure, precision, M, N) points spanning the Fig. 12 / Fig. 13
+//! regimes, emitted as deterministic JSON (`BENCH_solver.json`).
+//!
+//! The timing model is deterministic, so a committed baseline acts as a
+//! perf change detector: any edit that shifts a kernel's counters or
+//! the wave model shows up as a non-zero delta.
+//!
+//! ```text
+//! cargo run --release -p bench --bin solver_baseline                 # write BENCH_solver.json
+//! cargo run --release -p bench --bin solver_baseline -- --out F      # write elsewhere
+//! cargo run --release -p bench --bin solver_baseline -- --check F    # diff a fresh run vs F
+//! cargo run --release -p bench --bin solver_baseline -- --check F --report-only
+//! ```
+//!
+//! `--check` exits 1 when any point's total drifts by more than
+//! `TOLERANCE_FRAC`; `--report-only` prints the same table but always
+//! exits 0 (for advisory CI steps). See EXPERIMENTS.md for the schema.
+
+use bench::series;
+use gpu_sim::json::{parse, Json};
+use std::process::ExitCode;
+
+/// Relative drift in a point's `total_us` that `--check` tolerates.
+const TOLERANCE_FRAC: f64 = 0.005;
+
+/// The fixed sweep: a small, fast subset of the Fig. 12 (time vs M at
+/// fixed N) and Fig. 13 (time vs N at fixed M) grids, double precision,
+/// plus two single-precision spot checks.
+const POINTS: &[(&str, &str, usize, usize)] = &[
+    ("fig12", "f64", 64, 512),
+    ("fig12", "f64", 256, 512),
+    ("fig12", "f64", 1024, 512),
+    ("fig12", "f64", 64, 2048),
+    ("fig12", "f64", 256, 2048),
+    ("fig13", "f64", 2048, 64),
+    ("fig13", "f64", 256, 256),
+    ("fig13", "f64", 16, 1024),
+    ("fig13", "f64", 1, 16384),
+    ("fig12", "f32", 256, 512),
+    ("fig13", "f32", 16, 1024),
+];
+
+fn measure_point(figure: &str, precision: &str, m: usize, n: usize) -> Json {
+    let (total_us, report) = if precision == "f32" {
+        series::ours_us::<f32>(m, n)
+    } else {
+        series::ours_us::<f64>(m, n)
+    };
+    let kernels: Vec<Json> = report
+        .kernels
+        .iter()
+        .map(|kr| {
+            Json::Obj(vec![
+                ("name".into(), Json::str(kr.timing.name)),
+                ("us".into(), Json::num(round6(kr.timing.total_us))),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("figure".into(), Json::str(figure)),
+        ("precision".into(), Json::str(precision)),
+        ("m".into(), Json::num(m as f64)),
+        ("n".into(), Json::num(n as f64)),
+        ("k".into(), Json::num(report.k as f64)),
+        ("total_us".into(), Json::num(round6(total_us))),
+        ("kernels".into(), Json::Arr(kernels)),
+    ])
+}
+
+/// Round to 6 decimals so the committed file is stable across
+/// serialization and platforms' float formatting.
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+fn run_sweep() -> Json {
+    let points: Vec<Json> = POINTS
+        .iter()
+        .map(|&(fig, prec, m, n)| {
+            eprintln!("  measuring {fig} {prec} M={m} N={n}…");
+            measure_point(fig, prec, m, n)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema_version".into(), Json::num(1.0)),
+        ("device".into(), Json::str("gtx480-simulated")),
+        ("points".into(), Json::Arr(points)),
+    ])
+}
+
+fn point_key(p: &Json) -> String {
+    format!(
+        "{}/{}/m{}/n{}",
+        p.get("figure").and_then(Json::as_str).unwrap_or("?"),
+        p.get("precision").and_then(Json::as_str).unwrap_or("?"),
+        p.get("m").and_then(Json::as_num).unwrap_or(-1.0),
+        p.get("n").and_then(Json::as_num).unwrap_or(-1.0),
+    )
+}
+
+fn check(baseline_path: &str, report_only: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fresh = run_sweep();
+    let base_points = baseline.get("points").and_then(Json::as_arr).unwrap_or(&[]);
+    let fresh_points = fresh.get("points").and_then(Json::as_arr).unwrap_or(&[]);
+    let mut regressions = 0usize;
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}",
+        "point", "baseline us", "fresh us", "delta"
+    );
+    for fp in fresh_points {
+        let key = point_key(fp);
+        let fresh_us = fp.get("total_us").and_then(Json::as_num).unwrap_or(f64::NAN);
+        let base_us = base_points
+            .iter()
+            .find(|bp| point_key(bp) == key)
+            .and_then(|bp| bp.get("total_us"))
+            .and_then(Json::as_num);
+        match base_us {
+            Some(b) if b > 0.0 => {
+                let delta = (fresh_us - b) / b;
+                let flag = if delta.abs() > TOLERANCE_FRAC {
+                    regressions += 1;
+                    " <-- drift"
+                } else {
+                    ""
+                };
+                println!("{key:<28} {b:>12.3} {fresh_us:>12.3} {:>+8.2}%{flag}", delta * 100.0);
+            }
+            _ => {
+                regressions += 1;
+                println!("{key:<28} {:>12} {fresh_us:>12.3} {:>9}", "missing", "new");
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "{regressions} point(s) drifted beyond {:.1}% (or missing from baseline)",
+            TOLERANCE_FRAC * 100.0
+        );
+        if !report_only {
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report-only mode: not failing");
+    } else {
+        println!("all {} points within {:.1}%", fresh_points.len(), TOLERANCE_FRAC * 100.0);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_solver.json");
+    let mut check_path: Option<String> = None;
+    let mut report_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out = p;
+                }
+            }
+            "--check" => check_path = args.next(),
+            "--report-only" => report_only = true,
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    if let Some(path) = check_path {
+        return check(&path, report_only);
+    }
+    let doc = run_sweep();
+    let mut text = doc.to_string();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("error: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -107,12 +107,38 @@ impl BlockStats {
     }
 }
 
+/// Counters of one named kernel phase, aggregated across blocks.
+///
+/// Phases are declared by [`crate::exec::BlockCtx::phase`]; activity
+/// before the first explicit label lands in the reserved
+/// [`PRELUDE_PHASE`]. The invariant that keeps the breakdown honest:
+/// the summable fields of all phases add up *exactly* to
+/// [`KernelStats::total`] (peaks take the max) — see
+/// [`KernelStats::phase_sum_mismatches`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Phase label (first [`crate::exec::BlockCtx::phase`] argument, or
+    /// [`PRELUDE_PHASE`]).
+    pub label: &'static str,
+    /// Counters accumulated while this phase was current, summed over
+    /// blocks. `sanitizer` tallies are whole-block and stay zero here.
+    pub stats: BlockStats,
+}
+
+/// Reserved label for counters accumulated before the first explicit
+/// [`crate::exec::BlockCtx::phase`] call (shared-memory carving,
+/// address setup, …).
+pub const PRELUDE_PHASE: &str = "prelude";
+
 /// Whole-kernel statistics: aggregate counters plus per-block summaries
 /// the wave scheduler needs.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelStats {
     /// Sum over all blocks.
     pub total: BlockStats,
+    /// Per-phase breakdown of `total`, in first-encounter order across
+    /// the launch (re-entering a label merges into its entry).
+    pub phases: Vec<PhaseStats>,
     /// Per-block dependent-round counts (index = block id).
     pub rounds_per_block: Vec<u64>,
     /// Per-block flop counts.
@@ -123,6 +149,74 @@ pub struct KernelStats {
     pub blocks: usize,
     /// Threads per block.
     pub threads_per_block: u32,
+}
+
+impl KernelStats {
+    /// Merge one block's per-phase counters into the kernel-level
+    /// breakdown (label-keyed, first-encounter order).
+    pub fn merge_block_phases(&mut self, block_phases: &[PhaseStats]) {
+        for ph in block_phases {
+            match self.phases.iter_mut().find(|p| p.label == ph.label) {
+                Some(p) => p.stats.merge(&ph.stats),
+                None => self.phases.push(ph.clone()),
+            }
+        }
+    }
+
+    /// Cross-check the phase attribution invariant: every summable
+    /// counter summed over `phases` must equal its value in `total`
+    /// exactly, and the per-phase shared peaks must max to the total
+    /// peak. Returns one human-readable line per violated counter
+    /// (empty = exact). Sanitizer tallies are whole-block (set after
+    /// the block ran) and are excluded.
+    pub fn phase_sum_mismatches(&self) -> Vec<String> {
+        let mut sum = BlockStats::default();
+        for ph in &self.phases {
+            sum.merge(&ph.stats);
+        }
+        let mut out = Vec::new();
+        let mut chk = |name: &str, got: u64, want: u64| {
+            if got != want {
+                out.push(format!("{name}: phases sum to {got}, total is {want}"));
+            }
+        };
+        chk("flops", sum.flops, self.total.flops);
+        chk(
+            "global_load_transactions",
+            sum.global_load_transactions,
+            self.total.global_load_transactions,
+        );
+        chk(
+            "global_store_transactions",
+            sum.global_store_transactions,
+            self.total.global_store_transactions,
+        );
+        chk("global_load_bytes", sum.global_load_bytes, self.total.global_load_bytes);
+        chk(
+            "global_store_bytes",
+            sum.global_store_bytes,
+            self.total.global_store_bytes,
+        );
+        chk(
+            "global_access_rounds",
+            sum.global_access_rounds,
+            self.total.global_access_rounds,
+        );
+        chk("shared_accesses", sum.shared_accesses, self.total.shared_accesses);
+        chk(
+            "bank_conflict_replays",
+            sum.bank_conflict_replays,
+            self.total.bank_conflict_replays,
+        );
+        chk("barriers", sum.barriers, self.total.barriers);
+        if sum.shared_bytes_peak != self.total.shared_bytes_peak {
+            out.push(format!(
+                "shared_bytes_peak: phases max to {}, total is {}",
+                sum.shared_bytes_peak, self.total.shared_bytes_peak
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +263,54 @@ mod tests {
         a.merge(&a.clone());
         assert_eq!(a.total(), 20);
         assert!(SanitizerCounts::default().is_clean());
+    }
+
+    #[test]
+    fn phase_merge_and_sum_check() {
+        let mut ks = KernelStats {
+            total: BlockStats {
+                flops: 30,
+                barriers: 3,
+                shared_bytes_peak: 512,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let block = [
+            PhaseStats {
+                label: PRELUDE_PHASE,
+                stats: BlockStats {
+                    shared_bytes_peak: 512,
+                    ..Default::default()
+                },
+            },
+            PhaseStats {
+                label: "forward",
+                stats: BlockStats {
+                    flops: 10,
+                    barriers: 1,
+                    shared_bytes_peak: 512,
+                    ..Default::default()
+                },
+            },
+        ];
+        ks.merge_block_phases(&block);
+        ks.merge_block_phases(&[PhaseStats {
+            label: "forward",
+            stats: BlockStats {
+                flops: 20,
+                barriers: 2,
+                shared_bytes_peak: 512,
+                ..Default::default()
+            },
+        }]);
+        assert_eq!(ks.phases.len(), 2);
+        assert_eq!(ks.phases[1].stats.flops, 30);
+        assert_eq!(ks.phase_sum_mismatches(), Vec::<String>::new());
+        ks.total.flops += 1;
+        let bad = ks.phase_sum_mismatches();
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("flops"), "{bad:?}");
     }
 
     #[test]

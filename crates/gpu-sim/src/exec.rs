@@ -14,7 +14,7 @@
 //! communicates across blocks. Determinism is total — every run of a
 //! kernel produces identical results *and* identical counters.
 
-use crate::counters::{BlockStats, KernelStats};
+use crate::counters::{BlockStats, KernelStats, PhaseStats, PRELUDE_PHASE};
 use crate::error::{Result, SimError};
 use crate::memory::{shared_conflict_cycles_dense, warp_transactions_dense, InitMask};
 use crate::occupancy::{occupancy, Occupancy};
@@ -245,11 +245,32 @@ pub struct BlockCtx<'a, S: Elem> {
     banks: u32,
     max_shared_bytes: usize,
     stats: BlockStats,
+    cur_phase: &'static str,
+    phase_stats: Vec<PhaseStats>,
     san: Option<Sanitizer>,
     rec: Option<PlanRecorder>,
 }
 
 impl<'a, S: Elem> BlockCtx<'a, S> {
+    /// Apply one counter update to both the block total and the current
+    /// phase's entry — the mechanism behind the exact per-phase
+    /// breakdown invariant ([`KernelStats::phase_sum_mismatches`]).
+    fn bump(&mut self, f: impl Fn(&mut BlockStats)) {
+        f(&mut self.stats);
+        let cur = self.cur_phase;
+        let idx = match self.phase_stats.iter().position(|p| p.label == cur) {
+            Some(i) => i,
+            None => {
+                self.phase_stats.push(PhaseStats {
+                    label: cur,
+                    stats: BlockStats::default(),
+                });
+                self.phase_stats.len() - 1
+            }
+        };
+        f(&mut self.phase_stats[idx].stats);
+    }
+
     /// Block-wide global load: `idx[t]` is the element index thread `t`
     /// reads. `idx.len()` may be any count up to the block size (tail
     /// threads simply idle). Counts one dependent access round, and one
@@ -329,14 +350,16 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
             transactions += warp_transactions_dense(warp, S::BYTES, self.transaction_bytes);
         }
         let bytes = idx.len() as u64 * S::BYTES as u64;
-        if is_load {
-            self.stats.global_load_transactions += transactions;
-            self.stats.global_load_bytes += bytes;
-        } else {
-            self.stats.global_store_transactions += transactions;
-            self.stats.global_store_bytes += bytes;
-        }
-        self.stats.global_access_rounds += 1;
+        self.bump(|s| {
+            if is_load {
+                s.global_load_transactions += transactions;
+                s.global_load_bytes += bytes;
+            } else {
+                s.global_store_transactions += transactions;
+                s.global_store_bytes += bytes;
+            }
+            s.global_access_rounds += 1;
+        });
         Ok(())
     }
 
@@ -353,7 +376,7 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
             });
         }
         self.shared.resize(base + len, S::default());
-        self.stats.shared_bytes_peak = self.stats.shared_bytes_peak.max(new_bytes as u64);
+        self.bump(|s| s.shared_bytes_peak = s.shared_bytes_peak.max(new_bytes as u64));
         if let Some(san) = self.san.as_mut() {
             san.on_shared_alloc(base + len);
         }
@@ -423,14 +446,16 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
         for warp in idx.chunks(self.warp_size) {
             replays += shared_conflict_cycles_dense(warp, S::BYTES, self.banks) - 1;
         }
-        self.stats.shared_accesses += 1;
-        self.stats.bank_conflict_replays += replays;
+        self.bump(|s| {
+            s.shared_accesses += 1;
+            s.bank_conflict_replays += replays;
+        });
         Ok(())
     }
 
     /// `__syncthreads()` — every lane of the block arrives.
     pub fn sync(&mut self) {
-        self.stats.barriers += 1;
+        self.bump(|s| s.barriers += 1);
         if let Some(rec) = self.rec.as_mut() {
             rec.barrier(self.threads, self.threads);
         }
@@ -445,7 +470,7 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
     /// as [`SanitizerViolation::BarrierDivergence`]; without it this is
     /// identical to [`BlockCtx::sync`] (the simulator cannot hang).
     pub fn sync_arrive(&mut self, arrived: &[usize]) {
-        self.stats.barriers += 1;
+        self.bump(|s| s.barriers += 1);
         if let Some(rec) = self.rec.as_mut() {
             let mut seen = vec![false; self.threads];
             let mut count = 0usize;
@@ -462,10 +487,15 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
         }
     }
 
-    /// Label the phase subsequent accesses belong to — pure metadata
-    /// for plan recording and lint attribution; no counter effect and a
-    /// no-op when [`ExecConfig::record_plan`] is off.
+    /// Label the phase subsequent accesses belong to. Counters bumped
+    /// after this call are attributed to `label` in
+    /// [`KernelStats::phases`] (in addition to the totals); activity
+    /// before the first call lands in
+    /// [`crate::counters::PRELUDE_PHASE`]. The label also tags plan
+    /// recording and lint attribution when
+    /// [`ExecConfig::record_plan`] is on.
     pub fn phase(&mut self, label: &'static str) {
+        self.cur_phase = label;
         if let Some(rec) = self.rec.as_mut() {
             rec.set_phase(label);
         }
@@ -473,7 +503,7 @@ impl<'a, S: Elem> BlockCtx<'a, S> {
 
     /// Account `n` floating-point operations (block-wide total).
     pub fn flops(&mut self, n: u64) {
-        self.stats.flops += n;
+        self.bump(|s| s.flops += n);
     }
 
     /// Counters accumulated so far (final values are returned by
@@ -573,6 +603,8 @@ pub fn launch_with<S: Elem, K: BlockKernel<S>>(
             banks: spec.shared_banks,
             max_shared_bytes: spec.max_shared_per_block,
             stats: BlockStats::default(),
+            cur_phase: PRELUDE_PHASE,
+            phase_stats: Vec::new(),
             san: exec.sanitize.then(|| {
                 Sanitizer::new(
                     cfg.name,
@@ -585,6 +617,7 @@ pub fn launch_with<S: Elem, K: BlockKernel<S>>(
             rec: exec.record_plan.then(|| PlanRecorder::new(block_id)),
         };
         kernel.run_block(&mut ctx)?;
+        stats.merge_block_phases(&ctx.phase_stats);
         let mut b = ctx.stats;
         if let (Some(plan), Some(rec)) = (plan.as_mut(), ctx.rec) {
             plan.blocks.push(rec.finish());
@@ -750,6 +783,66 @@ mod tests {
         assert_eq!(res.shared_bytes_per_block, 64 * 8);
         // f64 stride-1: 2-way conflicts on both store and reversed load.
         assert!(res.stats.total.bank_conflict_replays > 0);
+    }
+
+    /// Kernel with explicit phases around the SharedReverse structure.
+    struct PhasedReverse {
+        buf: BufId,
+    }
+    impl BlockKernel<f64> for PhasedReverse {
+        fn run_block(&self, ctx: &mut BlockCtx<'_, f64>) -> Result<()> {
+            let t = ctx.threads;
+            let sh = ctx.shared_alloc(t)?; // before any phase() → prelude
+            let idx: Vec<usize> = (0..t).collect();
+            let mut vals = Vec::new();
+            ctx.phase("load");
+            ctx.ld(self.buf, &idx, &mut vals)?;
+            let sh_idx: Vec<usize> = idx.iter().map(|i| sh + i).collect();
+            ctx.sh_st(&sh_idx, &vals)?;
+            ctx.sync();
+            ctx.phase("store");
+            let rev: Vec<usize> = (0..t).map(|i| sh + t - 1 - i).collect();
+            ctx.sh_ld(&rev, &mut vals)?;
+            ctx.flops(t as u64);
+            ctx.st(self.buf, &idx, &vals)?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn phase_labels_split_counters_exactly() {
+        let mut mem = GpuMemory::new();
+        let buf = mem.alloc_from((0..64).map(|i| i as f64).collect());
+        let cfg = LaunchConfig::new("phased", 2, 32);
+        let res = launch(&gtx480(), &cfg, &PhasedReverse { buf }, &mut mem).unwrap();
+        let labels: Vec<_> = res.stats.phases.iter().map(|p| p.label).collect();
+        assert_eq!(labels, vec![PRELUDE_PHASE, "load", "store"]);
+        let prelude = &res.stats.phases[0].stats;
+        assert_eq!(prelude.shared_bytes_peak, 32 * 8);
+        assert_eq!(prelude.global_access_rounds, 0);
+        let load = &res.stats.phases[1].stats;
+        assert_eq!(load.global_load_transactions, res.stats.total.global_load_transactions);
+        assert_eq!(load.barriers, res.stats.total.barriers);
+        assert_eq!(load.flops, 0);
+        let store = &res.stats.phases[2].stats;
+        assert_eq!(store.flops, res.stats.total.flops);
+        assert_eq!(store.global_store_bytes, res.stats.total.global_store_bytes);
+        assert_eq!(res.stats.phase_sum_mismatches(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn unphased_kernel_lands_in_prelude() {
+        let mut mem = GpuMemory::new();
+        let n = 256;
+        let input = mem.alloc_from(vec![1.0f64; n]);
+        let output = mem.alloc(n);
+        let cfg = LaunchConfig::new("double", 1, 256);
+        let k = DoubleKernel { input, output, n };
+        let res = launch(&gtx480(), &cfg, &k, &mut mem).unwrap();
+        assert_eq!(res.stats.phases.len(), 1);
+        assert_eq!(res.stats.phases[0].label, PRELUDE_PHASE);
+        assert_eq!(res.stats.phases[0].stats, res.stats.total);
+        assert_eq!(res.stats.phase_sum_mismatches(), Vec::<String>::new());
     }
 
     #[test]

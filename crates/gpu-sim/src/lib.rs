@@ -74,6 +74,7 @@
 pub mod counters;
 pub mod error;
 pub mod exec;
+pub mod json;
 pub mod lint;
 pub mod memory;
 pub mod occupancy;
@@ -81,8 +82,9 @@ pub mod plan;
 pub mod sanitizer;
 pub mod spec;
 pub mod timing;
+pub mod trace;
 
-pub use counters::{BlockStats, KernelStats, SanitizerCounts};
+pub use counters::{BlockStats, KernelStats, PhaseStats, SanitizerCounts, PRELUDE_PHASE};
 pub use error::{Result, SimError};
 pub use exec::{
     launch, launch_with, BlockCtx, BlockKernel, BufId, Elem, ExecConfig, GpuMemory, LaunchConfig,
@@ -93,4 +95,6 @@ pub use plan::{AccessKind, AccessPlan, AffinePiece, BlockPlan, PlanEvent, Planne
 pub use sanitizer::{AccessSite, MemSpace, RaceKind, SanitizerViolation};
 pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use spec::{DeviceSpec, Precision};
-pub use timing::{time_kernel, BoundKind, KernelTiming};
+pub use timing::{time_kernel, BoundKind, KernelTiming, PhaseTiming};
+pub use json::Json;
+pub use trace::{validate_chrome_json, Trace, TraceEvent};

@@ -344,8 +344,10 @@ impl AccessPlan {
 }
 
 /// Phase label in force before any [`crate::exec::BlockCtx::phase`]
-/// call.
-pub const DEFAULT_PHASE: &str = "main";
+/// call — the same reserved label the dynamic counters use
+/// ([`crate::counters::PRELUDE_PHASE`]), so static lint attribution
+/// and the per-phase counter breakdown agree on naming.
+pub const DEFAULT_PHASE: &str = crate::counters::PRELUDE_PHASE;
 
 /// Per-block plan recorder owned by [`crate::exec::BlockCtx`] when
 /// [`crate::exec::ExecConfig::record_plan`] is set.

@@ -23,7 +23,7 @@
 //! targets the paper's *shapes* (crossover locations, flat regions,
 //! who-wins ordering), which depend only on these first-order terms.
 
-use crate::counters::KernelStats;
+use crate::counters::{BlockStats, KernelStats, PhaseStats};
 use crate::exec::LaunchResult;
 use crate::spec::{DeviceSpec, Precision};
 
@@ -38,6 +38,37 @@ pub enum BoundKind {
     Latency,
     /// Fixed launch overhead dominates (tiny kernels).
     Launch,
+}
+
+/// Modeled time attributed to one named kernel phase.
+///
+/// Attribution rule: each of the kernel's three body terms (compute /
+/// bandwidth / latency) is split across phases in proportion to the
+/// phase's share of the counters that drive that term — flops plus
+/// shared/barrier cycles for compute, global transactions for
+/// bandwidth, dependent rounds for latency. The phase's headline `us`
+/// splits the kernel's *body* time (total minus launch overhead) by
+/// the shares of whichever term bounds the kernel, with the last phase
+/// absorbing the floating-point remainder so the phase times sum to
+/// the body time **exactly**. Launch overhead is a per-launch cost and
+/// is deliberately not attributed to any phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Phase label (see [`crate::exec::BlockCtx::phase`]).
+    pub label: &'static str,
+    /// Share of the kernel's body time attributed to this phase (µs);
+    /// sums exactly to `total_us - launch_us` across phases.
+    pub us: f64,
+    /// Compute-term share (µs).
+    pub compute_us: f64,
+    /// Bandwidth-term share (µs).
+    pub bandwidth_us: f64,
+    /// Latency-term share (µs).
+    pub latency_us: f64,
+    /// The phase's own dominating term.
+    pub bound: BoundKind,
+    /// The phase's aggregated counters (summed over blocks).
+    pub stats: BlockStats,
 }
 
 /// Modeled execution time of one kernel launch, with its breakdown.
@@ -61,6 +92,9 @@ pub struct KernelTiming {
     pub bound: BoundKind,
     /// Occupancy fraction achieved.
     pub occupancy_fraction: f64,
+    /// Per-phase attribution of the body time (empty when the launch
+    /// recorded no phase counters, e.g. hand-built stats in tests).
+    pub phases: Vec<PhaseTiming>,
 }
 
 /// Convert a [`LaunchResult`] into modeled time on `spec`.
@@ -153,6 +187,20 @@ pub fn time_kernel(spec: &DeviceSpec, launch: &LaunchResult, precision: Precisio
         BoundKind::Latency
     };
 
+    let phases = attribute_phases(
+        &stats.phases,
+        [compute_us, bandwidth_us, latency_us],
+        body_us,
+        // The partition target is what callers observe: `total − launch`
+        // can differ from `body_us` in the last bit, and the invariant
+        // Σ phase.us == total_us − launch_us must hold exactly.
+        total_us - launch_us,
+        bound,
+        ops_per_cycle,
+        warps_per_block,
+        occ.blocks_per_sm as f64,
+    );
+
     KernelTiming {
         name: launch.name,
         waves,
@@ -163,7 +211,110 @@ pub fn time_kernel(spec: &DeviceSpec, launch: &LaunchResult, precision: Precisio
         total_us,
         bound,
         occupancy_fraction: occ.fraction(spec),
+        phases,
     }
+}
+
+/// Split the kernel's three body terms across its phases (see
+/// [`PhaseTiming`] for the attribution rule).
+#[allow(clippy::too_many_arguments)]
+fn attribute_phases(
+    phases: &[PhaseStats],
+    [compute_us, bandwidth_us, latency_us]: [f64; 3],
+    body_us: f64,
+    body_target: f64,
+    kernel_bound: BoundKind,
+    ops_per_cycle: f64,
+    warps_per_block: f64,
+    blocks_per_sm: f64,
+) -> Vec<PhaseTiming> {
+    if phases.is_empty() {
+        return Vec::new();
+    }
+    // Per-phase proxies in the same cycle units the wave model uses, so
+    // proportional shares reproduce the model's weighting.
+    let compute_w: Vec<f64> = phases
+        .iter()
+        .map(|p| {
+            p.stats.flops as f64 / ops_per_cycle
+                + p.stats.shared_accesses as f64 * warps_per_block
+                + p.stats.bank_conflict_replays as f64
+                + p.stats.barriers as f64 * 20.0 / blocks_per_sm
+        })
+        .collect();
+    let bandwidth_w: Vec<f64> = phases
+        .iter()
+        .map(|p| p.stats.global_transactions() as f64)
+        .collect();
+    let latency_w: Vec<f64> = phases
+        .iter()
+        .map(|p| p.stats.global_access_rounds as f64)
+        .collect();
+    let share = |w: &[f64], i: usize| {
+        let sum: f64 = w.iter().sum();
+        if sum > 0.0 {
+            w[i] / sum
+        } else {
+            1.0 / w.len() as f64
+        }
+    };
+    // body_us was assigned as the max of the three terms, so exact
+    // equality identifies the bounding term's weights.
+    let body_w = if body_us == compute_us {
+        &compute_w
+    } else if body_us == bandwidth_us {
+        &bandwidth_w
+    } else {
+        &latency_w
+    };
+    let mut out = Vec::with_capacity(phases.len());
+    let mut attributed = 0.0f64;
+    for (i, p) in phases.iter().enumerate() {
+        let c = compute_us * share(&compute_w, i);
+        let b = bandwidth_us * share(&bandwidth_w, i);
+        let l = latency_us * share(&latency_w, i);
+        // Last phase absorbs the fp remainder: Σ us == body_target
+        // (i.e. total_us − launch_us) exactly.
+        let us = if i + 1 == phases.len() {
+            body_target - attributed
+        } else {
+            body_target * share(body_w, i)
+        };
+        attributed += us;
+        let bound = if c > 0.0 && c >= b && c >= l {
+            BoundKind::Compute
+        } else if b > 0.0 && b >= l {
+            BoundKind::Bandwidth
+        } else if l > 0.0 {
+            BoundKind::Latency
+        } else {
+            kernel_bound
+        };
+        out.push(PhaseTiming {
+            label: p.label,
+            us,
+            compute_us: c,
+            bandwidth_us: b,
+            latency_us: l,
+            bound,
+            stats: p.stats,
+        });
+    }
+    // When the absorbing phase's true share is ~0, rounding in the
+    // earlier shares can leave it a few ulps negative. Zero it and move
+    // the absorber role one phase earlier (trailing zeros add exactly,
+    // so the left fold still lands on body_target).
+    let mut i = out.len();
+    while i >= 2 && out[i - 1].us < 0.0 {
+        out[i - 1].us = 0.0;
+        let prefix: f64 = out[..i - 2].iter().map(|p| p.us).sum();
+        out[i - 2].us = body_target - prefix;
+        i -= 1;
+    }
+    if let Some(first) = out.first_mut() {
+        first.us = first.us.max(0.0);
+    }
+    out
 }
 
 /// Helper: total modeled time of a sequence of dependent kernel
@@ -365,6 +516,50 @@ mod tests {
         // Two separate launches pay two overheads — fusing into one
         // kernel would save one.
         assert!(seq >= 2.0 * spec.launch_overhead_us);
+    }
+
+    #[test]
+    fn phase_attribution_sums_exactly_to_body_time() {
+        use crate::counters::PhaseStats;
+        let spec = gtx480();
+        let mut lr = fake_launch(&spec, 4096, 256, 0, bandwidth_block(64));
+        // Split the totals 3-way: a load-heavy phase, a compute phase,
+        // and a small store phase.
+        let t = &lr.stats.total;
+        let third = BlockStats {
+            flops: t.flops / 2,
+            global_load_transactions: t.global_load_transactions / 4,
+            global_load_bytes: t.global_load_bytes / 4,
+            global_access_rounds: t.global_access_rounds / 2,
+            ..Default::default()
+        };
+        let mut first = *t;
+        first.flops -= third.flops;
+        first.global_load_transactions -= third.global_load_transactions;
+        first.global_load_bytes -= third.global_load_bytes;
+        first.global_access_rounds -= third.global_access_rounds;
+        lr.stats.phases = vec![
+            PhaseStats { label: "load", stats: first },
+            PhaseStats { label: "mid", stats: BlockStats::default() },
+            PhaseStats { label: "store", stats: third },
+        ];
+        let timing = time_kernel(&spec, &lr, Precision::F64);
+        assert_eq!(timing.phases.len(), 3);
+        let sum: f64 = timing.phases.iter().map(|p| p.us).sum();
+        // Bit-exact by construction (last phase absorbs the remainder).
+        assert_eq!(sum, timing.total_us - timing.launch_us);
+        assert!(timing.phases[0].us > timing.phases[2].us);
+        // The idle middle phase gets no body time to speak of and
+        // inherits the kernel bound.
+        assert_eq!(timing.phases[1].bound, timing.bound);
+        assert_eq!(timing.phases[0].stats.flops, first.flops);
+    }
+
+    #[test]
+    fn phaseless_stats_produce_no_phase_timings() {
+        let spec = gtx480();
+        let lr = fake_launch(&spec, 16, 256, 0, bandwidth_block(4));
+        assert!(time_kernel(&spec, &lr, Precision::F32).phases.is_empty());
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! tridiag solve --m 256 --n 1024 [--engine gpu|cpu|cpu-mt|davidson|zhang]
 //!               [--precision f64|f32] [--device gtx480|gtx280|c2050]
 //!               [--seed 42] [--verbose] [--sanitize] [--lint] [--check]
+//!               [--trace trace.json] [--json]
+//! tridiag profile --m 256 --n 1024       # per-phase profile + Chrome trace
+//! tridiag profile --zoo --out zoo.json   # ...for every shipped kernel
 //! tridiag compare --m 64 --n 2048        # run every engine, check parity
 //! tridiag tune --n 4096 --m-list 1,16,256,1024 [--k-max 8]
 //! tridiag info [--device gtx480]         # device spec + occupancy sheet
@@ -40,7 +43,9 @@ fn device_by_name(name: &str) -> Result<DeviceSpec, String> {
 fn usage() -> &'static str {
     "usage:\n  tridiag solve   --m M --n N [--engine gpu|cpu|cpu-mt|davidson|zhang] \
      [--precision f64|f32] [--device gtx480|gtx280|c2050] [--seed S] [--verbose] \
-     [--sanitize] [--lint] [--check]\n  \
+     [--sanitize] [--lint] [--check] [--trace FILE] [--json]\n  \
+     tridiag profile --m M --n N [--precision f64|f32] [--device D] [--seed S] \
+     [--out FILE] | --zoo [--out FILE]\n  \
      tridiag compare --m M --n N [--seed S]\n  \
      tridiag tune    --n N [--m-list 1,16,256] [--k-max 8]\n  \
      tridiag info    [--device gtx480]\n  \
@@ -50,7 +55,15 @@ fn usage() -> &'static str {
      --lint      record each kernel's affine access plan, run the static lint\n  \
      \u{20}           passes, and cross-check predicted vs measured counters\n  \
      --check     umbrella: --sanitize and --lint together\n\n\
-     exit codes: 0 = ok, 1 = usage/solve error, 2 = lint or sanitizer findings"
+     observability (gpu engine only):\n  \
+     --trace F   write the solve's span/phase trace as Chrome trace-event JSON\n  \
+     --json      print the full solve report (timings, phases, lints, trace)\n  \
+     \u{20}           as one JSON document instead of the human summary\n  \
+     profile     run a solve (or, with --zoo, every zoo kernel), write the\n  \
+     \u{20}           trace to --out (default trace.json) and print the per-phase\n  \
+     \u{20}           profile; exits 2 on phase-sum or trace-schema violations\n\n\
+     exit codes: 0 = ok, 1 = usage/solve error, 2 = lint, sanitizer, phase-sum\n  \
+     \u{20}           or trace-schema findings"
 }
 
 /// A command failure, split by exit code: plain errors exit 1, check
@@ -77,40 +90,71 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
     let check = a.flag("check");
     let sanitize = a.flag("sanitize") || check;
     let lint = a.flag("lint") || check;
-    if (sanitize || lint) && engine != "gpu" {
+    let trace = a.get("trace");
+    let json = a.flag("json");
+    if (sanitize || lint || trace.is_some() || json) && engine != "gpu" {
         let flag = if check {
             "--check"
         } else if sanitize {
             "--sanitize"
-        } else {
+        } else if lint {
             "--lint"
+        } else if trace.is_some() {
+            "--trace"
+        } else {
+            "--json"
         };
         return Err(Failure::Error(format!(
             "{flag} only applies to the gpu engine (got {engine:?})"
         )));
     }
+    let opts = SolveOpts {
+        engine,
+        device,
+        verbose: a.flag("verbose"),
+        sanitize,
+        lint,
+        trace,
+        json,
+    };
     if precision == "f32" {
-        solve_typed::<f32>(m, n, seed, engine, device, a.flag("verbose"), sanitize, lint)
+        solve_typed::<f32>(m, n, seed, &opts)
     } else {
-        solve_typed::<f64>(m, n, seed, engine, device, a.flag("verbose"), sanitize, lint)
+        solve_typed::<f64>(m, n, seed, &opts)
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn solve_typed<S: tridiag_gpu::GpuScalar>(
-    m: usize,
-    n: usize,
-    seed: u64,
-    engine: &str,
+/// Options shared by every `tridiag solve` invocation.
+struct SolveOpts<'a> {
+    engine: &'a str,
     device: DeviceSpec,
     verbose: bool,
     sanitize: bool,
     lint: bool,
+    trace: Option<&'a str>,
+    json: bool,
+}
+
+fn solve_typed<S: tridiag_gpu::GpuScalar>(
+    m: usize,
+    n: usize,
+    seed: u64,
+    opts: &SolveOpts<'_>,
 ) -> Result<(), Failure> {
+    let SolveOpts {
+        engine,
+        ref device,
+        verbose,
+        sanitize,
+        lint,
+        trace,
+        json,
+    } = *opts;
     let batch: SystemBatch<S> = random_batch(m, n, seed);
     let t0 = std::time::Instant::now();
     let mut sanitizer_line: Option<Result<String, String>> = None;
     let mut lint_line: Option<Result<String, String>> = None;
+    let mut gpu_report = None;
     let (x, modeled_us): (Vec<S>, Option<f64>) = match engine {
         "gpu" => {
             let config = GpuSolverConfig {
@@ -122,9 +166,9 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
                 },
                 ..Default::default()
             };
-            let solver = GpuTridiagSolver::new(device, config);
+            let solver = GpuTridiagSolver::new(device.clone(), config);
             let (x, report) = solver.solve_batch(&batch).map_err(|e| e.to_string())?;
-            if verbose {
+            if verbose && !json {
                 print!("{report}");
             }
             if sanitize {
@@ -158,7 +202,9 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
                     Err(lines.join("\n"))
                 });
             }
-            (x, Some(report.total_us))
+            let us = report.total_us;
+            gpu_report = Some(report);
+            (x, Some(us))
         }
         "cpu" => (
             cpu_ref::solve_batch_sequential(&batch).map_err(|e| e.to_string())?,
@@ -170,38 +216,70 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
             None,
         ),
         "davidson" => {
-            let (x, report) = davidson::solve_batch(&device, &batch).map_err(|e| e.to_string())?;
+            let (x, report) = davidson::solve_batch(device, &batch).map_err(|e| e.to_string())?;
             (x, Some(report.total_us))
         }
         "zhang" => {
             let (x, report) =
-                zhang::solve_batch(&device, &batch, None).map_err(|e| e.to_string())?;
+                zhang::solve_batch(device, &batch, None).map_err(|e| e.to_string())?;
             (x, Some(report.total_us))
         }
         other => return Err(Failure::Error(format!("unknown engine {other:?}"))),
     };
     let host = t0.elapsed();
     let resid = batch.max_relative_residual(&x).map_err(|e| e.to_string())?;
-    println!("engine      : {engine}");
-    println!("batch       : M = {m}, N = {n} ({})", S::NAME);
-    if let Some(us) = modeled_us {
-        println!("modeled time: {us:.1} us (simulated device)");
+    if let (Some(path), Some(rep)) = (trace, &gpu_report) {
+        let text = rep.trace.to_chrome_json();
+        gpu_sim::validate_chrome_json(&text)
+            .map_err(|p| Failure::Error(format!("trace schema: {}", p.join("; "))))?;
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
     }
-    println!("host time   : {host:?} (simulator/solver wall-clock)");
-    println!("residual    : {resid:.3e}");
+    if json {
+        let rep = gpu_report.as_ref().expect("--json implies gpu engine");
+        println!("{}", rep.to_json());
+    } else {
+        println!("engine      : {engine}");
+        println!("batch       : M = {m}, N = {n} ({})", S::NAME);
+        if let Some(us) = modeled_us {
+            println!("modeled time: {us:.1} us (simulated device)");
+        }
+        println!("host time   : {host:?} (simulator/solver wall-clock)");
+        println!("residual    : {resid:.3e}");
+        if let Some(path) = trace {
+            println!("trace       : wrote {path}");
+        }
+    }
     let mut findings = Vec::new();
+    if let Some(rep) = &gpu_report {
+        if !rep.is_phase_sum_clean() {
+            findings.push(format!(
+                "phase-sum violations:\n{}",
+                rep.phase_sum_mismatches
+                    .iter()
+                    .map(|l| format!("  - {l}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            ));
+        }
+    }
     match sanitizer_line {
-        Some(Ok(msg)) => println!("sanitizer   : {msg}"),
+        Some(Ok(msg)) if !json => println!("sanitizer   : {msg}"),
+        Some(Ok(_)) => {}
         Some(Err(reports)) => {
-            println!("sanitizer   : VIOLATIONS");
+            if !json {
+                println!("sanitizer   : VIOLATIONS");
+            }
             findings.push(format!("sanitizer violations:\n{reports}"));
         }
         None => {}
     }
     match lint_line {
-        Some(Ok(msg)) => println!("lint        : {msg}"),
+        Some(Ok(msg)) if !json => println!("lint        : {msg}"),
+        Some(Ok(_)) => {}
         Some(Err(reports)) => {
-            println!("lint        : FINDINGS");
+            if !json {
+                println!("lint        : FINDINGS");
+            }
             findings.push(format!("lint findings:\n{reports}"));
         }
         None => {}
@@ -211,6 +289,117 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
     }
     if resid > tridiag_core::verify::default_tolerance::<S>() * 1e3 {
         return Err(Failure::Error(format!("residual {resid:.3e} exceeds tolerance")));
+    }
+    Ok(())
+}
+
+/// Validate and write a Chrome-trace document; schema violations are
+/// findings (exit 2), I/O failures are errors (exit 1).
+fn write_trace(out: &str, text: &str) -> Result<(), Failure> {
+    gpu_sim::validate_chrome_json(text).map_err(|p| {
+        Failure::Findings(format!("trace schema violations:\n  - {}", p.join("\n  - ")))
+    })?;
+    std::fs::write(out, text).map_err(|e| Failure::Error(format!("writing {out}: {e}")))?;
+    Ok(())
+}
+
+/// `tridiag profile` — run one solve (or, with `--zoo`, every shipped
+/// kernel) and emit the observability artifacts: a Chrome trace-event
+/// JSON file plus a per-phase terminal profile. Exits 2 when a phase
+/// breakdown fails to sum to its kernel totals or the exported trace
+/// violates the schema.
+fn cmd_profile(a: &Args) -> Result<(), Failure> {
+    let out = a.get("out").unwrap_or("trace.json");
+    if a.flag("zoo") {
+        return profile_zoo(out);
+    }
+    let m: usize = a.get_or("m", 64)?;
+    let n: usize = a.get_or("n", 1024)?;
+    let seed: u64 = a.get_or("seed", 42u64)?;
+    let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
+    if a.get("precision").unwrap_or("f64") == "f32" {
+        profile_typed::<f32>(m, n, seed, device, out)
+    } else {
+        profile_typed::<f64>(m, n, seed, device, out)
+    }
+}
+
+fn profile_typed<S: tridiag_gpu::GpuScalar>(
+    m: usize,
+    n: usize,
+    seed: u64,
+    device: DeviceSpec,
+    out: &str,
+) -> Result<(), Failure> {
+    let batch: SystemBatch<S> = random_batch(m, n, seed);
+    let solver = GpuTridiagSolver::new(device, GpuSolverConfig::default());
+    let (x, report) = solver.solve_batch(&batch).map_err(|e| e.to_string())?;
+    let resid = batch.max_relative_residual(&x).map_err(|e| e.to_string())?;
+    print!("{}", report.profile_report());
+    write_trace(out, &report.trace.to_chrome_json())?;
+    println!("trace       : wrote {out} (open in chrome://tracing or ui.perfetto.dev)");
+    println!("residual    : {resid:.3e}");
+    if !report.is_phase_sum_clean() {
+        return Err(Failure::Findings(format!(
+            "phase-sum violations:\n  - {}",
+            report.phase_sum_mismatches.join("\n  - ")
+        )));
+    }
+    Ok(())
+}
+
+/// `tridiag profile --zoo` — profile every zoo kernel/geometry: one
+/// span per entry (phase children inside), laid out sequentially on the
+/// modeled-time axis, plus a top-phases table across the whole zoo.
+fn profile_zoo(out: &str) -> Result<(), Failure> {
+    let entries = tridiag_gpu::zoo::run_zoo().map_err(|e| e.to_string())?;
+    let mut trace = gpu_sim::Trace::new("tridiag zoo profile");
+    let mut cursor = 0.0f64;
+    let mut rows: Vec<(String, f64, &'static str)> = Vec::new();
+    let mut phase_sum_bad = Vec::new();
+    for e in &entries {
+        for mm in e.stats.phase_sum_mismatches() {
+            phase_sum_bad.push(format!("{} [{}]: {mm}", e.kernel, e.geometry));
+        }
+        trace.span(
+            format!("kernel:{}", e.kernel),
+            "kernel",
+            0,
+            cursor,
+            e.timing.total_us,
+            vec![
+                ("geometry".into(), gpu_sim::Json::str(e.geometry.clone())),
+                (
+                    "bound".into(),
+                    gpu_sim::Json::str(format!("{:?}", e.timing.bound)),
+                ),
+            ],
+        );
+        let mut t = cursor + e.timing.launch_us;
+        for p in &e.timing.phases {
+            trace.span(format!("phase:{}", p.label), "phase", 0, t, p.us, Vec::new());
+            rows.push((format!("{}/{}", e.kernel, p.label), p.us, p.label));
+            t += p.us;
+        }
+        cursor += e.timing.total_us;
+    }
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!(
+        "zoo profile : {} kernel/geometry entries, {:.1} us modeled total",
+        entries.len(),
+        cursor
+    );
+    println!("{:<34} {:>10}", "top phases (kernel/phase)", "us");
+    for (name, us, _) in rows.iter().take(12) {
+        println!("{name:<34} {us:>10.3}");
+    }
+    write_trace(out, &trace.to_chrome_json())?;
+    println!("trace       : wrote {out} (open in chrome://tracing or ui.perfetto.dev)");
+    if !phase_sum_bad.is_empty() {
+        return Err(Failure::Findings(format!(
+            "phase-sum violations:\n  - {}",
+            phase_sum_bad.join("\n  - ")
+        )));
     }
     Ok(())
 }
@@ -381,6 +570,7 @@ fn main() -> ExitCode {
     }
     let result = match args.command.as_deref() {
         Some("solve") => cmd_solve(&args),
+        Some("profile") => cmd_profile(&args),
         Some("compare") => cmd_compare(&args).map_err(Failure::Error),
         Some("tune") => cmd_tune(&args).map_err(Failure::Error),
         Some("info") => cmd_info(&args).map_err(Failure::Error),

@@ -55,6 +55,7 @@ impl<S: GpuScalar> BlockKernel<S> for CrSharedKernel {
         }
         let sys = ctx.block_id;
         let plen = self.padded_len();
+        ctx.phase("setup");
         let mut base = [0usize; 4];
         for b in base.iter_mut() {
             *b = ctx.shared_alloc(plen)?;

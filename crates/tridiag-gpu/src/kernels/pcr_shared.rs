@@ -60,6 +60,7 @@ impl<S: GpuScalar> BlockKernel<S> for PcrSharedKernel {
         let steps = self.steps.unwrap_or(full).min(full);
 
         // Double-buffered shared arrays.
+        ctx.phase("setup");
         let mut base = [[0usize; 4]; 2];
         for (half, slot) in base.iter_mut().enumerate() {
             let _ = half;

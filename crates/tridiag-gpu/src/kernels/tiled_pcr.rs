@@ -121,6 +121,7 @@ impl<S: GpuScalar> BlockKernel<S> for TiledPcrKernel {
         let sti = st as isize;
 
         // Output-carry buffers for aligned emission.
+        ctx.phase("carry_init");
         let mut carry: Vec<[usize; 4]> = Vec::with_capacity(engine.slots.len());
         for _ in 0..engine.slots.len() {
             let mut c = [0usize; 4];

@@ -101,6 +101,7 @@ impl WindowEngine {
         let two_f = 2 * f;
         let buf_len = two_f + st;
 
+        ctx.phase("window_init");
         let mut slots = Vec::with_capacity(slots_cfg.len());
         for s in slots_cfg {
             if s.emit_lo >= s.emit_hi || s.emit_hi > n {
@@ -128,7 +129,6 @@ impl WindowEngine {
         }
 
         // Identity rows for the positions preceding each stream.
-        ctx.phase("window_init");
         let mut idx: Vec<usize> = Vec::new();
         let mut val: Vec<S> = Vec::new();
         for slot in &slots {

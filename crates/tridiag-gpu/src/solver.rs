@@ -21,9 +21,10 @@ use crate::kernels::fused::FusedKernel;
 use crate::kernels::p_thomas::{AddrMap, PThomasKernel};
 use crate::kernels::tiled_pcr::TiledPcrKernel;
 use gpu_sim::timing::{time_kernel, TrafficSummary};
+use gpu_sim::trace::Trace;
 use gpu_sim::{
-    launch_with, DeviceSpec, ExecConfig, GpuMemory, KernelTiming, LaunchConfig, LintConfig,
-    LintReport, Precision, Result, SanitizerViolation,
+    launch_with, BoundKind, DeviceSpec, ExecConfig, GpuMemory, Json, KernelTiming, LaunchConfig,
+    LintConfig, LintReport, PhaseTiming, Precision, Result, SanitizerViolation,
 };
 use tridiag_core::transition::{choose_k, max_k_for, TransitionPolicy};
 use tridiag_core::{Layout, SystemBatch};
@@ -114,6 +115,15 @@ pub struct GpuSolveReport {
     /// Counters where a kernel's static prediction disagreed with its
     /// dynamic measurement (empty = exact agreement, or lint off).
     pub lint_mismatches: Vec<String>,
+    /// Counters whose per-phase breakdown failed to sum exactly to the
+    /// kernel total, prefixed with the kernel name (always checked;
+    /// empty = the invariant held for every launch).
+    pub phase_sum_mismatches: Vec<String>,
+    /// Span/event trace of the whole solve on the modeled-time axis:
+    /// the transition-rule decision, mapping choice, buffer setup, and
+    /// each kernel launch with its per-phase children. Export with
+    /// [`gpu_sim::trace::Trace::to_chrome_json`].
+    pub trace: Trace,
 }
 
 impl GpuSolveReport {
@@ -137,6 +147,164 @@ impl GpuSolveReport {
         } else {
             self.kernels.first().map(|k| k.timing.total_us).unwrap_or(0.0)
         }
+    }
+
+    /// `true` when every kernel's per-phase counters summed exactly to
+    /// its totals (the attribution invariant).
+    pub fn is_phase_sum_clean(&self) -> bool {
+        self.phase_sum_mismatches.is_empty()
+    }
+
+    /// Terminal profile: top phases by modeled time across the
+    /// pipeline, a bound-kind histogram, and per-phase traffic/compute.
+    pub fn profile_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "profile [{}]: {:.1} us modeled, {} kernel launch(es), k = {}, {:?}{}",
+            self.precision,
+            self.total_us,
+            self.kernels.len(),
+            self.k,
+            self.mapping,
+            if self.fused { ", fused" } else { "" }
+        );
+        let mut rows: Vec<(String, &PhaseTiming)> = Vec::new();
+        for kr in &self.kernels {
+            for ph in &kr.timing.phases {
+                rows.push((format!("{}/{}", kr.timing.name, ph.label), ph));
+            }
+        }
+        rows.sort_by(|a, b| b.1.us.partial_cmp(&a.1.us).unwrap_or(std::cmp::Ordering::Equal));
+        let body_us: f64 = self
+            .kernels
+            .iter()
+            .map(|k| k.timing.total_us - k.timing.launch_us)
+            .sum();
+        let _ = writeln!(out, "top phases by modeled time:");
+        for (i, (name, ph)) in rows.iter().enumerate().take(10) {
+            let _ = writeln!(
+                out,
+                "  {:>2}. {:<28} {:>9.2} us ({:>4.1}%)  {:<9} {:>9.3} MiB {:>9.3} Mflop",
+                i + 1,
+                name,
+                ph.us,
+                if body_us > 0.0 { 100.0 * ph.us / body_us } else { 0.0 },
+                format!("{:?}", ph.bound),
+                ph.stats.global_bytes() as f64 / (1024.0 * 1024.0),
+                ph.stats.flops as f64 / 1e6,
+            );
+        }
+        let mut histo: Vec<(BoundKind, usize)> = Vec::new();
+        for (_, ph) in &rows {
+            match histo.iter_mut().find(|(b, _)| *b == ph.bound) {
+                Some((_, n)) => *n += 1,
+                None => histo.push((ph.bound, 1)),
+            }
+        }
+        histo.sort_by_key(|h| std::cmp::Reverse(h.1));
+        let histo_txt: Vec<String> = histo
+            .iter()
+            .map(|(b, n)| format!("{b:?} x{n}"))
+            .collect();
+        let launch_us: f64 = self.kernels.iter().map(|k| k.timing.launch_us).sum();
+        let _ = writeln!(
+            out,
+            "phase bound kinds: {}; launch overhead {:.1} us across {} launch(es)",
+            if histo_txt.is_empty() { "none".into() } else { histo_txt.join(", ") },
+            launch_us,
+            self.kernels.len()
+        );
+        if !self.phase_sum_mismatches.is_empty() {
+            let _ = writeln!(out, "PHASE-SUM VIOLATIONS:");
+            for m in &self.phase_sum_mismatches {
+                let _ = writeln!(out, "  - {m}");
+            }
+        }
+        out
+    }
+
+    /// Serialize the full report (timings, per-phase breakdowns,
+    /// sanitizer/lint findings, and the trace) as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let phase_json = |ph: &PhaseTiming| {
+            Json::Obj(vec![
+                ("label".into(), Json::str(ph.label)),
+                ("us".into(), Json::num(ph.us)),
+                ("compute_us".into(), Json::num(ph.compute_us)),
+                ("bandwidth_us".into(), Json::num(ph.bandwidth_us)),
+                ("latency_us".into(), Json::num(ph.latency_us)),
+                ("bound".into(), Json::str(format!("{:?}", ph.bound))),
+                ("flops".into(), Json::num(ph.stats.flops as f64)),
+                ("global_bytes".into(), Json::num(ph.stats.global_bytes() as f64)),
+                (
+                    "global_transactions".into(),
+                    Json::num(ph.stats.global_transactions() as f64),
+                ),
+                ("rounds".into(), Json::num(ph.stats.global_access_rounds as f64)),
+                ("shared_accesses".into(), Json::num(ph.stats.shared_accesses as f64)),
+                (
+                    "bank_conflict_replays".into(),
+                    Json::num(ph.stats.bank_conflict_replays as f64),
+                ),
+                ("barriers".into(), Json::num(ph.stats.barriers as f64)),
+            ])
+        };
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|kr| {
+                Json::Obj(vec![
+                    ("name".into(), Json::str(kr.timing.name)),
+                    ("blocks".into(), Json::num(kr.blocks as f64)),
+                    ("shared_bytes".into(), Json::num(kr.shared_bytes as f64)),
+                    ("total_us".into(), Json::num(kr.timing.total_us)),
+                    ("launch_us".into(), Json::num(kr.timing.launch_us)),
+                    ("compute_us".into(), Json::num(kr.timing.compute_us)),
+                    ("bandwidth_us".into(), Json::num(kr.timing.bandwidth_us)),
+                    ("latency_us".into(), Json::num(kr.timing.latency_us)),
+                    ("bound".into(), Json::str(format!("{:?}", kr.timing.bound))),
+                    ("waves".into(), Json::num(kr.timing.waves)),
+                    ("occupancy".into(), Json::num(kr.timing.occupancy_fraction)),
+                    ("traffic_mib".into(), Json::num(kr.traffic.traffic_mib)),
+                    ("coalescing".into(), Json::num(kr.traffic.coalescing)),
+                    ("mflops".into(), Json::num(kr.traffic.mflops)),
+                    (
+                        "phases".into(),
+                        Json::Arr(kr.timing.phases.iter().map(phase_json).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let strings = |v: &[String]| Json::Arr(v.iter().map(Json::str).collect());
+        let trace = gpu_sim::json::parse(&self.trace.to_chrome_json())
+            .expect("exporter emits valid JSON");
+        Json::Obj(vec![
+            ("k".into(), Json::num(self.k)),
+            ("mapping".into(), Json::str(format!("{:?}", self.mapping))),
+            ("fused".into(), Json::Bool(self.fused)),
+            ("precision".into(), Json::str(self.precision)),
+            ("total_us".into(), Json::num(self.total_us)),
+            ("kernels".into(), Json::Arr(kernels)),
+            (
+                "violations".into(),
+                Json::Arr(self.violations.iter().map(|v| Json::str(v.to_string())).collect()),
+            ),
+            (
+                "lint_diagnostics".into(),
+                Json::Arr(
+                    self.lints
+                        .iter()
+                        .flat_map(|l| &l.diagnostics)
+                        .map(|d| Json::str(d.to_string()))
+                        .collect(),
+                ),
+            ),
+            ("lint_mismatches".into(), strings(&self.lint_mismatches)),
+            ("phase_sum_mismatches".into(), strings(&self.phase_sum_mismatches)),
+            ("trace".into(), trace),
+        ])
     }
 }
 
@@ -204,7 +372,11 @@ impl GpuTridiagSolver {
         let mut violations: Vec<SanitizerViolation> = Vec::new();
         let mut lints: Vec<LintReport> = Vec::new();
         let mut lint_mismatches: Vec<String> = Vec::new();
+        let mut phase_sums: Vec<String> = Vec::new();
         let mut mem = GpuMemory::new();
+        // Device footprint for the buffer_setup trace marker: every path
+        // uploads the five coefficient/solution buffers.
+        let mut buffer_elems = 5 * m * n;
 
         let x = if k == 0 {
             // ---- pure p-Thomas on the interleaved batch -------------
@@ -212,6 +384,7 @@ impl GpuTridiagSolver {
             let dev = upload(&mut mem, &inter);
             let cp = mem.alloc(dev.total());
             let dp = mem.alloc(dev.total());
+            buffer_elems += 2 * dev.total();
             let kernel = PThomasKernel {
                 a: dev.a,
                 b: dev.b,
@@ -231,7 +404,7 @@ impl GpuTridiagSolver {
             let mut res = launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
             violations.append(&mut res.violations);
             collect_lint(&mut res, &mut lints, &mut lint_mismatches);
-            kernels.push(self.report(&res, precision));
+            kernels.push(self.report(&res, precision, &mut phase_sums));
             // Convert back to the caller's layout.
             let xi = mem.read(dev.x)?;
             let mut out = vec![S::ZERO; batch.total_len()];
@@ -252,6 +425,7 @@ impl GpuTridiagSolver {
             let xr = if use_fused {
                 let cp = mem.alloc(m * n);
                 let dp = mem.alloc(m * n);
+                buffer_elems += 2 * m * n;
                 let kernel = FusedKernel {
                     input: [dev.a, dev.b, dev.c, dev.d],
                     c_prime: cp,
@@ -267,7 +441,7 @@ impl GpuTridiagSolver {
                     launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
                 violations.append(&mut res.violations);
                 collect_lint(&mut res, &mut lints, &mut lint_mismatches);
-                kernels.push(self.report(&res, precision));
+                kernels.push(self.report(&res, precision, &mut phase_sums));
                 mem.read(dev.x)?.to_vec()
             } else {
                 let (assignments, threads) = match mapping {
@@ -290,6 +464,7 @@ impl GpuTridiagSolver {
                     mem.alloc(m * n),
                     mem.alloc(m * n),
                 ];
+                buffer_elems += 4 * m * n;
                 let blocks = assignments.len();
                 let kernel = TiledPcrKernel {
                     input: [dev.a, dev.b, dev.c, dev.d],
@@ -305,11 +480,12 @@ impl GpuTridiagSolver {
                     launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
                 violations.append(&mut res.violations);
                 collect_lint(&mut res, &mut lints, &mut lint_mismatches);
-                kernels.push(self.report(&res, precision));
+                kernels.push(self.report(&res, precision, &mut phase_sums));
 
                 // p-Thomas over the 2^k·M interleaved subsystems.
                 let cp = mem.alloc(m * n);
                 let dp = mem.alloc(m * n);
+                buffer_elems += 2 * m * n;
                 let map = AddrMap::HybridSubsystems { m, n, k };
                 let total_threads = map.num_threads();
                 let kernel = PThomasKernel {
@@ -337,7 +513,7 @@ impl GpuTridiagSolver {
                     launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
                 violations.append(&mut res.violations);
                 collect_lint(&mut res, &mut lints, &mut lint_mismatches);
-                kernels.push(self.report(&res, precision));
+                kernels.push(self.report(&res, precision, &mut phase_sums));
                 mem.read(dev.x)?.to_vec()
             };
 
@@ -348,6 +524,17 @@ impl GpuTridiagSolver {
                     out[batch.index(sys, row)] = xr[sys * n + row];
                 }
             }
+            let trace = self.build_trace(
+                m,
+                n,
+                k,
+                mapping,
+                use_fused,
+                S::NAME,
+                buffer_elems,
+                <S as gpu_sim::Elem>::BYTES,
+                &kernels,
+            );
             let report = GpuSolveReport {
                 k,
                 mapping,
@@ -358,10 +545,23 @@ impl GpuTridiagSolver {
                 violations,
                 lints,
                 lint_mismatches,
+                phase_sum_mismatches: phase_sums,
+                trace,
             };
             return Ok((out, report));
         };
 
+        let trace = self.build_trace(
+            m,
+            n,
+            k,
+            MappingVariant::BlockPerSystem,
+            false,
+            S::NAME,
+            buffer_elems,
+            <S as gpu_sim::Elem>::BYTES,
+            &kernels,
+        );
         let report = GpuSolveReport {
             k,
             mapping: MappingVariant::BlockPerSystem,
@@ -372,17 +572,133 @@ impl GpuTridiagSolver {
             violations,
             lints,
             lint_mismatches,
+            phase_sum_mismatches: phase_sums,
+            trace,
         };
         Ok((x, report))
     }
 
-    fn report(&self, res: &gpu_sim::LaunchResult, precision: Precision) -> KernelReport {
+    fn report(
+        &self,
+        res: &gpu_sim::LaunchResult,
+        precision: Precision,
+        phase_sums: &mut Vec<String>,
+    ) -> KernelReport {
+        for msg in res.stats.phase_sum_mismatches() {
+            phase_sums.push(format!("{}: {msg}", res.name));
+        }
         KernelReport {
             timing: time_kernel(&self.spec, res, precision),
             traffic: TrafficSummary::from_stats(&self.spec, &res.stats),
             shared_bytes: res.shared_bytes_per_block,
             blocks: res.stats.blocks,
         }
+    }
+
+    /// Build the solve's span/event trace from the finished kernel
+    /// reports: pipeline decisions as instants at t = 0, then each
+    /// launch as a span on a cumulative modeled-time axis with its
+    /// launch overhead and per-phase children nested inside.
+    #[allow(clippy::too_many_arguments)]
+    fn build_trace(
+        &self,
+        m: usize,
+        n: usize,
+        k: u32,
+        mapping: MappingVariant,
+        fused: bool,
+        precision: &'static str,
+        buffer_elems: usize,
+        elem_bytes: usize,
+        kernels: &[KernelReport],
+    ) -> Trace {
+        let mut tr = Trace::new(format!("tridiag solve on {}", self.spec.name));
+        let total: f64 = kernels.iter().map(|kr| kr.timing.total_us).sum();
+        tr.span(
+            "solve",
+            "solver",
+            0,
+            0.0,
+            total,
+            vec![
+                ("m".into(), Json::num(m as f64)),
+                ("n".into(), Json::num(n as f64)),
+                ("precision".into(), Json::str(precision)),
+            ],
+        );
+        tr.instant(
+            "transition_rule",
+            "solver",
+            0,
+            0.0,
+            vec![
+                ("policy".into(), Json::str(format!("{:?}", self.config.policy))),
+                ("m".into(), Json::num(m as f64)),
+                ("n".into(), Json::num(n as f64)),
+                ("parallelism".into(), Json::num(self.spec.parallelism() as f64)),
+                ("k".into(), Json::num(k)),
+            ],
+        );
+        tr.instant(
+            "grid_mapping",
+            "solver",
+            0,
+            0.0,
+            vec![
+                ("mapping".into(), Json::str(format!("{mapping:?}"))),
+                ("fused".into(), Json::Bool(fused)),
+            ],
+        );
+        tr.instant(
+            "buffer_setup",
+            "solver",
+            0,
+            0.0,
+            vec![
+                ("device_elems".into(), Json::num(buffer_elems as f64)),
+                ("device_bytes".into(), Json::num((buffer_elems * elem_bytes) as f64)),
+            ],
+        );
+        let mut cursor = 0.0f64;
+        for kr in kernels {
+            let t = &kr.timing;
+            tr.span(
+                format!("kernel:{}", t.name),
+                "kernel",
+                0,
+                cursor,
+                t.total_us,
+                vec![
+                    ("blocks".into(), Json::num(kr.blocks as f64)),
+                    ("bound".into(), Json::str(format!("{:?}", t.bound))),
+                    ("occupancy".into(), Json::num(t.occupancy_fraction)),
+                    ("waves".into(), Json::num(t.waves)),
+                ],
+            );
+            tr.span("launch_overhead", "kernel", 0, cursor, t.launch_us, Vec::new());
+            let mut at = cursor + t.launch_us;
+            for ph in &t.phases {
+                tr.span(
+                    format!("phase:{}", ph.label),
+                    "phase",
+                    0,
+                    at,
+                    ph.us,
+                    vec![
+                        ("bound".into(), Json::str(format!("{:?}", ph.bound))),
+                        ("flops".into(), Json::num(ph.stats.flops as f64)),
+                        ("global_bytes".into(), Json::num(ph.stats.global_bytes() as f64)),
+                        (
+                            "transactions".into(),
+                            Json::num(ph.stats.global_transactions() as f64),
+                        ),
+                    ],
+                );
+                at += ph.us;
+            }
+            cursor += t.total_us;
+        }
+        tr
     }
 
     /// Resolve [`MappingVariant::Auto`]: partition lone large systems
@@ -680,6 +996,16 @@ impl std::fmt::Display for GpuSolveReport {
             }
             for m in &self.lint_mismatches {
                 writeln!(f, "    - cross-check {m}")?;
+            }
+        }
+        if !self.phase_sum_mismatches.is_empty() {
+            writeln!(
+                f,
+                "  phase sums: {} counter(s) failed to add up",
+                self.phase_sum_mismatches.len()
+            )?;
+            for m in &self.phase_sum_mismatches {
+                writeln!(f, "    - {m}")?;
             }
         }
         Ok(())

@@ -17,8 +17,8 @@ use crate::kernels::p_thomas::{AddrMap, PThomasKernel};
 use crate::kernels::pcr_shared::PcrSharedKernel;
 use crate::kernels::tiled_pcr::TiledPcrKernel;
 use gpu_sim::{
-    launch_with, BlockKernel, DeviceSpec, ExecConfig, GpuMemory, KernelStats, LaunchConfig,
-    LintConfig, LintReport, Result,
+    launch_with, time_kernel, BlockKernel, DeviceSpec, ExecConfig, GpuMemory, KernelStats,
+    KernelTiming, LaunchConfig, LintConfig, LintReport, Precision, Result,
 };
 use tridiag_core::generators::random_batch;
 use tridiag_core::Layout;
@@ -38,6 +38,8 @@ pub struct ZooEntry {
     /// Counters where the static prediction disagrees with the dynamic
     /// measurement (empty = exact agreement on all nine counters).
     pub mismatches: Vec<String>,
+    /// Modeled timing for the launch, including per-phase attribution.
+    pub timing: KernelTiming,
 }
 
 impl ZooEntry {
@@ -55,16 +57,24 @@ fn run_entry<S: GpuScalar, K: BlockKernel<S>>(
     mem: &mut GpuMemory<S>,
 ) -> Result<ZooEntry> {
     let exec = ExecConfig::planned();
-    let res = launch_with(&DeviceSpec::gtx480(), cfg, &exec, kernel, mem)?;
-    let plan = res.plan.expect("planned exec records a plan");
-    let report = gpu_sim::lint(&plan, &LintConfig::default());
+    let spec = DeviceSpec::gtx480();
+    let res = launch_with(&spec, cfg, &exec, kernel, mem)?;
+    let plan = res.plan.as_ref().expect("planned exec records a plan");
+    let report = gpu_sim::lint(plan, &LintConfig::default());
     let mismatches = report.cross_check(&res.stats);
+    let precision = if <S as gpu_sim::Elem>::BYTES == 4 {
+        Precision::F32
+    } else {
+        Precision::F64
+    };
+    let timing = time_kernel(&spec, &res, precision);
     Ok(ZooEntry {
         kernel: report.kernel,
         geometry,
         report,
         stats: res.stats,
         mismatches,
+        timing,
     })
 }
 

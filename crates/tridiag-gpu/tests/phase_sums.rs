@@ -1,0 +1,94 @@
+//! Golden phase-attribution tests: every zoo kernel's per-phase
+//! counters must sum *exactly* to its `KernelStats` totals, every
+//! counter must land in an explicitly labelled phase (never the
+//! `"prelude"` catch-all), and the modeled per-phase microseconds must
+//! sum bit-exactly to the kernel body time.
+//!
+//! These pin the invariant the profiler depends on: phase attribution
+//! is a partition of the existing counters, not an estimate alongside
+//! them.
+
+use gpu_sim::PRELUDE_PHASE;
+use std::collections::BTreeMap;
+use tridiag_gpu::zoo::run_zoo;
+
+/// Expected phase-label vocabulary per kernel. A label showing up that
+/// is not in this set means a kernel grew an unnamed phase (or counters
+/// leaked into `"prelude"`); update the golden when adding phases
+/// intentionally.
+fn golden_labels(kernel: &str) -> &'static [&'static str] {
+    match kernel {
+        "pcr_shared" => &["setup", "load", "pcr_step", "finish", "store"],
+        "cr_shared" => &["setup", "load", "forward", "apex_bsub", "store"],
+        "tiled_pcr" | "window_multi_slot" => &[
+            "window_init",
+            "window_load",
+            "splice",
+            "pcr_level",
+            "carry_init",
+            "emit",
+            "carry_roll",
+            "flush",
+        ],
+        "p_thomas" => &["forward", "backward"],
+        "fused" => &[
+            "window_init",
+            "window_load",
+            "splice",
+            "pcr_level",
+            "window_read",
+            "cprime_store",
+            "backward",
+        ],
+        other => panic!("unexpected zoo kernel {other}"),
+    }
+}
+
+#[test]
+fn zoo_phase_counters_partition_totals_exactly() {
+    let entries = run_zoo().expect("zoo runs");
+    assert_eq!(entries.len(), 18, "six kernels x three geometries");
+
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in &entries {
+        *seen.entry(e.kernel).or_insert(0) += 1;
+        let ctx = format!("{} [{}]", e.kernel, e.geometry);
+
+        // 1. Per-phase counters sum exactly to the kernel totals.
+        let mismatches = e.stats.phase_sum_mismatches();
+        assert!(mismatches.is_empty(), "{ctx}: {mismatches:?}");
+        assert!(!e.stats.phases.is_empty(), "{ctx}: no phases recorded");
+
+        // 2. Complete coverage: nothing fell into the prelude, and
+        //    every observed label is in the kernel's golden vocabulary.
+        let allowed = golden_labels(e.kernel);
+        for p in &e.stats.phases {
+            assert_ne!(
+                p.label, PRELUDE_PHASE,
+                "{ctx}: counters recorded before the first phase label"
+            );
+            assert!(
+                allowed.contains(&p.label),
+                "{ctx}: phase {:?} not in golden label set {allowed:?}",
+                p.label
+            );
+        }
+
+        // 3. Modeled phase times partition the body time bit-exactly
+        //    (launch overhead is deliberately unattributed).
+        let body = e.timing.total_us - e.timing.launch_us;
+        let sum: f64 = e.timing.phases.iter().map(|p| p.us).sum();
+        assert_eq!(sum, body, "{ctx}: phase us sum {sum} != body {body}");
+        assert_eq!(
+            e.timing.phases.len(),
+            e.stats.phases.len(),
+            "{ctx}: one PhaseTiming per PhaseStats"
+        );
+        for p in &e.timing.phases {
+            assert!(p.us >= 0.0, "{ctx}: negative phase time {}", p.us);
+        }
+    }
+    for (kernel, count) in seen {
+        assert_eq!(count, 3, "{kernel}: expected three geometries");
+    }
+}

@@ -1,0 +1,105 @@
+//! Chrome-trace schema and round-trip tests for the solver's tracing
+//! layer: a solve must emit a structurally valid trace-event document
+//! (monotonic timestamps, complete `X` events, known phase letters)
+//! that parses and re-serializes byte-identically, and its JSON report
+//! must embed the same trace.
+
+use gpu_sim::{validate_chrome_json, Json};
+use tridiag_core::generators::random_batch;
+use tridiag_core::transition::TransitionPolicy;
+use tridiag_gpu::solver::solve_batch_gtx480;
+use tridiag_gpu::{GpuSolverConfig, GpuTridiagSolver};
+
+fn event_names(doc: &Json) -> Vec<String> {
+    doc.get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array")
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn solve_trace_validates_and_round_trips() {
+    let batch = random_batch::<f64>(8, 128, 11);
+    let (x, report) = solve_batch_gtx480(&batch).unwrap();
+    let resid = batch.max_relative_residual(&x).unwrap();
+    assert!(resid < 1e-9, "residual {resid}");
+    assert!(
+        report.is_phase_sum_clean(),
+        "{:?}",
+        report.phase_sum_mismatches
+    );
+    assert!(!report.trace.is_empty());
+
+    let text = report.trace.to_chrome_json();
+    validate_chrome_json(&text).unwrap_or_else(|probs| panic!("invalid trace: {probs:#?}"));
+
+    // Round-trip: parse and re-serialize to the identical string, so
+    // committed traces diff cleanly.
+    let doc = gpu_sim::json::parse(&text).unwrap();
+    assert_eq!(doc.to_string(), text, "trace JSON round-trip changed");
+
+    // Span hierarchy: one solve root, the decision instants, and a
+    // kernel span with phase children for every launched kernel.
+    let names = event_names(&doc);
+    assert!(names.iter().any(|n| n == "solve"), "{names:?}");
+    for required in ["transition_rule", "grid_mapping", "buffer_setup"] {
+        assert!(names.iter().any(|n| n == required), "missing {required}");
+    }
+    let kernel_spans = names.iter().filter(|n| n.starts_with("kernel:")).count();
+    assert_eq!(kernel_spans, report.kernels.len());
+    assert!(
+        names.iter().any(|n| n.starts_with("phase:")),
+        "no phase child spans in {names:?}"
+    );
+}
+
+#[test]
+fn k0_trace_covers_the_pthomas_only_pipeline() {
+    // Fixed(0) skips PCR entirely: the trace must still carry the
+    // decision instants and exactly one kernel span.
+    let batch = random_batch::<f64>(32, 64, 13);
+    let config = GpuSolverConfig {
+        policy: TransitionPolicy::Fixed(0),
+        ..Default::default()
+    };
+    let solver = GpuTridiagSolver::new(gpu_sim::DeviceSpec::gtx480(), config);
+    let (x, report) = solver.solve_batch(&batch).unwrap();
+    let resid = batch.max_relative_residual(&x).unwrap();
+    assert!(resid < 1e-9, "residual {resid}");
+    assert_eq!(report.k, 0);
+    assert!(report.is_phase_sum_clean());
+
+    let text = report.trace.to_chrome_json();
+    validate_chrome_json(&text).unwrap_or_else(|probs| panic!("invalid trace: {probs:#?}"));
+    let doc = gpu_sim::json::parse(&text).unwrap();
+    let names = event_names(&doc);
+    assert_eq!(
+        names.iter().filter(|n| n.starts_with("kernel:")).count(),
+        report.kernels.len()
+    );
+}
+
+#[test]
+fn report_json_embeds_trace_and_phase_tables() {
+    let batch = random_batch::<f32>(4, 128, 17);
+    let (_, report) = solve_batch_gtx480(&batch).unwrap();
+    let v = report.to_json();
+    assert_eq!(v.get("precision").and_then(Json::as_str), Some("f32"));
+    let kernels = v.get("kernels").and_then(Json::as_arr).unwrap();
+    assert_eq!(kernels.len(), report.kernels.len());
+    for k in kernels {
+        let phases = k.get("phases").and_then(Json::as_arr).unwrap();
+        assert!(!phases.is_empty(), "kernel without phase table");
+        for p in phases {
+            assert!(p.get("label").and_then(Json::as_str).is_some());
+            assert!(p.get("us").and_then(Json::as_num).is_some());
+            assert!(p.get("bound").and_then(Json::as_str).is_some());
+        }
+    }
+    // The embedded trace is the same document the exporter writes.
+    let embedded = v.get("trace").unwrap().to_string();
+    assert_eq!(embedded, report.trace.to_chrome_json());
+}

@@ -30,6 +30,12 @@ cargo test -q -p tridiag-gpu --test sanitizer_clean
 echo "== golden counters (incl. static-vs-dynamic cross-check) =="
 cargo test -q -p tridiag-gpu --test golden_counters
 
+echo "== phase sums (per-phase counters partition kernel totals) =="
+cargo test -q -p tridiag-gpu --test phase_sums
+
+echo "== trace export (Chrome-trace schema + round-trip) =="
+cargo test -q -p tridiag-gpu --test trace_roundtrip
+
 echo "== CLI lint over the kernel zoo (exit 0 = no findings) =="
 cargo run --release -q -p tridiag-cli -- lint
 
@@ -37,5 +43,13 @@ echo "== CLI --check smoke (sanitizer + lint on a solve) =="
 out="$(cargo run --release -q -p tridiag-cli -- solve --m 8 --n 256 --check)"
 grep -q "sanitizer   : clean" <<<"$out"
 grep -q "lint        : clean" <<<"$out"
+
+echo "== CLI profile smoke (trace schema + phase sums, exit 2 on violation) =="
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+cargo run --release -q -p tridiag-cli -- profile --m 8 --n 256 --out "$tracedir/trace.json"
+test -s "$tracedir/trace.json"
+cargo run --release -q -p tridiag-cli -- profile --zoo --out "$tracedir/zoo.json" > /dev/null
+test -s "$tracedir/zoo.json"
 
 echo "all checks passed"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Perf baseline comparison: re-measures the BENCH_solver sweep on the
+# current tree and diffs it against the committed BENCH_solver.json.
+#
+# Report-only by default (always exits 0 so it can run as an advisory
+# CI step); pass --strict to fail on drift beyond the tolerance baked
+# into the solver_baseline binary. To accept an intentional perf
+# change, regenerate the baseline:
+#   cargo run --release -p bench --bin solver_baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=(--report-only)
+if [[ "${1:-}" == "--strict" ]]; then
+  mode=()
+fi
+
+cargo build --release -q -p bench
+./target/release/solver_baseline --check BENCH_solver.json "${mode[@]}"
