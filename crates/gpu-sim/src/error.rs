@@ -47,6 +47,12 @@ pub enum SimError {
     /// The kernel itself failed (numerical error etc.); carries the
     /// kernel's message.
     KernelFault(String),
+    /// A solve plan that cannot be built or executed: empty geometry,
+    /// a device-memory footprint beyond capacity, a kernel step whose
+    /// buffer bindings point outside the plan's slot table, or a
+    /// plan/batch mismatch at execution time. Raised by the planner
+    /// and the plan executor instead of panicking.
+    InvalidPlan(String),
     /// A sanitizer finding severe enough to abort the launch: every
     /// out-of-bounds access (the functional read would be undefined),
     /// or the first violation of any class under
@@ -79,6 +85,7 @@ impl fmt::Display for SimError {
             ),
             SimError::BadBuffer { buffer } => write!(f, "unknown buffer handle {buffer}"),
             SimError::KernelFault(msg) => write!(f, "kernel fault: {msg}"),
+            SimError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             SimError::Sanitizer(v) => write!(f, "sanitizer: {v}"),
         }
     }

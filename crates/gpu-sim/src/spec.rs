@@ -67,6 +67,9 @@ pub struct DeviceSpec {
     pub launch_overhead_us: f64,
     /// Outstanding global loads a warp can keep in flight (MLP).
     pub loads_in_flight_per_warp: u32,
+    /// Global (DRAM) memory capacity in bytes — the budget a solve
+    /// plan's device buffer footprint is validated against.
+    pub global_mem_bytes: usize,
 }
 
 impl DeviceSpec {
@@ -92,6 +95,7 @@ impl DeviceSpec {
             fp64_ratio: 1.0 / 8.0,
             launch_overhead_us: 5.0,
             loads_in_flight_per_warp: 4,
+            global_mem_bytes: 1536 * 1024 * 1024,
         }
     }
 
@@ -117,6 +121,7 @@ impl DeviceSpec {
             fp64_ratio: 1.0 / 12.0,
             launch_overhead_us: 7.0,
             loads_in_flight_per_warp: 3,
+            global_mem_bytes: 1024 * 1024 * 1024,
         }
     }
 
@@ -142,6 +147,7 @@ impl DeviceSpec {
             fp64_ratio: 0.5,
             launch_overhead_us: 5.0,
             loads_in_flight_per_warp: 4,
+            global_mem_bytes: 3 * 1024 * 1024 * 1024,
         }
     }
 
@@ -188,6 +194,9 @@ impl DeviceSpec {
         }
         if !(self.fp64_ratio > 0.0 && self.fp64_ratio <= 1.0) {
             return Err("fp64 ratio must be in (0, 1]".into());
+        }
+        if self.global_mem_bytes == 0 {
+            return Err("zero global memory capacity".into());
         }
         Ok(())
     }

@@ -5,7 +5,9 @@
 //! tridiag solve --m 256 --n 1024 [--engine gpu|cpu|cpu-mt|davidson|zhang]
 //!               [--precision f64|f32] [--device gtx480|gtx280|c2050]
 //!               [--seed 42] [--verbose] [--sanitize] [--lint] [--check]
-//!               [--trace trace.json] [--json]
+//!               [--trace trace.json] [--json] [--dry-run]
+//! tridiag plan --m 256 --n 1024 [--json] # print the solve plan, no execution
+//! tridiag plan --sweep                   # dry-run + schema-check sweep plans
 //! tridiag profile --m 256 --n 1024       # per-phase profile + Chrome trace
 //! tridiag profile --zoo --out zoo.json   # ...for every shipped kernel
 //! tridiag compare --m 64 --n 2048        # run every engine, check parity
@@ -43,7 +45,9 @@ fn device_by_name(name: &str) -> Result<DeviceSpec, String> {
 fn usage() -> &'static str {
     "usage:\n  tridiag solve   --m M --n N [--engine gpu|cpu|cpu-mt|davidson|zhang] \
      [--precision f64|f32] [--device gtx480|gtx280|c2050] [--seed S] [--verbose] \
-     [--sanitize] [--lint] [--check] [--trace FILE] [--json]\n  \
+     [--sanitize] [--lint] [--check] [--trace FILE] [--json] [--dry-run]\n  \
+     tridiag plan    --m M --n N [--precision f64|f32] [--device D] [--json] \
+     | --sweep [--device D]\n  \
      tridiag profile --m M --n N [--precision f64|f32] [--device D] [--seed S] \
      [--out FILE] | --zoo [--out FILE]\n  \
      tridiag compare --m M --n N [--seed S]\n  \
@@ -57,13 +61,18 @@ fn usage() -> &'static str {
      --check     umbrella: --sanitize and --lint together\n\n\
      observability (gpu engine only):\n  \
      --trace F   write the solve's span/phase trace as Chrome trace-event JSON\n  \
-     --json      print the full solve report (timings, phases, lints, trace)\n  \
-     \u{20}           as one JSON document instead of the human summary\n  \
+     --json      print the full solve report (timings, phases, lints, plan,\n  \
+     \u{20}           trace) as one JSON document instead of the human summary\n  \
+     --dry-run   plan the solve (k, mapping, kernel sequence, buffer footprint)\n  \
+     \u{20}           and print it without launching any kernel\n  \
+     plan        build and print the solve plan for a geometry; --sweep plans\n  \
+     \u{20}           the figure-sweep geometries and validates each plan's JSON\n  \
+     \u{20}           against the schema, exiting 2 on drift (nothing executes)\n  \
      profile     run a solve (or, with --zoo, every zoo kernel), write the\n  \
      \u{20}           trace to --out (default trace.json) and print the per-phase\n  \
      \u{20}           profile; exits 2 on phase-sum or trace-schema violations\n\n\
-     exit codes: 0 = ok, 1 = usage/solve error, 2 = lint, sanitizer, phase-sum\n  \
-     \u{20}           or trace-schema findings"
+     exit codes: 0 = ok, 1 = usage/solve error, 2 = lint, sanitizer, phase-sum,\n  \
+     \u{20}           trace-schema or plan-schema findings"
 }
 
 /// A command failure, split by exit code: plain errors exit 1, check
@@ -92,7 +101,8 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
     let lint = a.flag("lint") || check;
     let trace = a.get("trace");
     let json = a.flag("json");
-    if (sanitize || lint || trace.is_some() || json) && engine != "gpu" {
+    let dry_run = a.flag("dry-run");
+    if (sanitize || lint || trace.is_some() || json || dry_run) && engine != "gpu" {
         let flag = if check {
             "--check"
         } else if sanitize {
@@ -101,8 +111,10 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
             "--lint"
         } else if trace.is_some() {
             "--trace"
-        } else {
+        } else if json {
             "--json"
+        } else {
+            "--dry-run"
         };
         return Err(Failure::Error(format!(
             "{flag} only applies to the gpu engine (got {engine:?})"
@@ -116,6 +128,7 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
         lint,
         trace,
         json,
+        dry_run,
     };
     if precision == "f32" {
         solve_typed::<f32>(m, n, seed, &opts)
@@ -133,6 +146,7 @@ struct SolveOpts<'a> {
     lint: bool,
     trace: Option<&'a str>,
     json: bool,
+    dry_run: bool,
 }
 
 fn solve_typed<S: tridiag_gpu::GpuScalar>(
@@ -149,7 +163,23 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
         lint,
         trace,
         json,
+        dry_run,
     } = *opts;
+    if dry_run {
+        // Plan only: print k, mapping, kernel sequence and buffer
+        // footprint without launching a single kernel.
+        let solver = GpuTridiagSolver::new(device.clone(), GpuSolverConfig::default());
+        let plan = solver
+            .plan_geometry(m, n, <S as gpu_sim::Elem>::BYTES)
+            .map_err(|e| e.to_string())?;
+        if json {
+            println!("{}", plan.to_json());
+        } else {
+            print!("{}", plan.describe());
+            println!("dry run     : no kernels launched");
+        }
+        return Ok(());
+    }
     let batch: SystemBatch<S> = random_batch(m, n, seed);
     let t0 = std::time::Instant::now();
     let mut sanitizer_line: Option<Result<String, String>> = None;
@@ -235,7 +265,9 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
         std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
     }
     if json {
-        let rep = gpu_report.as_ref().expect("--json implies gpu engine");
+        let rep = gpu_report
+            .as_ref()
+            .ok_or_else(|| Failure::Error("--json requires the gpu engine".into()))?;
         println!("{}", rep.to_json());
     } else {
         println!("engine      : {engine}");
@@ -289,6 +321,85 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
     }
     if resid > tridiag_core::verify::default_tolerance::<S>() * 1e3 {
         return Err(Failure::Error(format!("residual {resid:.3e} exceeds tolerance")));
+    }
+    Ok(())
+}
+
+/// `tridiag plan` — build and print the declarative solve plan for a
+/// geometry without launching a single kernel. With `--sweep`, plan the
+/// figure-sweep geometries at both precisions, round-trip each plan
+/// through the strict JSON parser, and validate it against the
+/// `tridiag.solve_plan/v1` schema — exit 2 on any drift.
+fn cmd_plan(a: &Args) -> Result<(), Failure> {
+    let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
+    if a.flag("sweep") {
+        return plan_sweep(&device);
+    }
+    let m: usize = a.get_or("m", 64)?;
+    let n: usize = a.get_or("n", 1024)?;
+    let elem_bytes = if a.get("precision").unwrap_or("f64") == "f32" { 4 } else { 8 };
+    let solver = GpuTridiagSolver::new(device, GpuSolverConfig::default());
+    let plan = solver
+        .plan_geometry(m, n, elem_bytes)
+        .map_err(|e| e.to_string())?;
+    if a.flag("json") {
+        println!("{}", plan.to_json());
+    } else {
+        print!("{}", plan.describe());
+    }
+    Ok(())
+}
+
+/// The `plan --sweep` smoke: the Fig. 12/13 sweep geometries, planned
+/// (never executed) at both scalar widths, each serialized plan
+/// re-parsed and schema-checked.
+fn plan_sweep(device: &DeviceSpec) -> Result<(), Failure> {
+    const GEOMETRIES: &[(usize, usize)] = &[
+        (64, 512),
+        (256, 512),
+        (1024, 512),
+        (64, 2048),
+        (256, 2048),
+        (2048, 64),
+        (256, 256),
+        (16, 1024),
+        (1, 16384),
+    ];
+    let solver = GpuTridiagSolver::new(device.clone(), GpuSolverConfig::default());
+    let mut problems = Vec::new();
+    let mut planned = 0usize;
+    for &(m, n) in GEOMETRIES {
+        for bytes in [8usize, 4] {
+            let prec = if bytes == 4 { "f32" } else { "f64" };
+            let plan = solver.plan_geometry(m, n, bytes).map_err(|e| e.to_string())?;
+            let text = plan.to_json().to_string();
+            match gpu_sim::json::parse(&text) {
+                Ok(doc) => {
+                    for p in tridiag_gpu::validate_plan_json(&doc) {
+                        problems.push(format!("m={m} n={n} {prec}: {p}"));
+                    }
+                }
+                Err(e) => {
+                    problems.push(format!("m={m} n={n} {prec}: JSON reparse failed: {e}"))
+                }
+            }
+            planned += 1;
+            println!(
+                "m={m:<5} n={n:<6} {prec}: k={} mapping={:?} fused={} kernels=[{}] device_bytes={}",
+                plan.k,
+                plan.mapping,
+                plan.fused,
+                plan.launches().map(|l| l.name).collect::<Vec<_>>().join(", "),
+                plan.device_bytes(),
+            );
+        }
+    }
+    println!("{planned} plans built and schema-validated, no kernels launched");
+    if !problems.is_empty() {
+        return Err(Failure::Findings(format!(
+            "plan schema drift:\n  - {}",
+            problems.join("\n  - ")
+        )));
     }
     Ok(())
 }
@@ -570,6 +681,7 @@ fn main() -> ExitCode {
     }
     let result = match args.command.as_deref() {
         Some("solve") => cmd_solve(&args),
+        Some("plan") => cmd_plan(&args),
         Some("profile") => cmd_profile(&args),
         Some("compare") => cmd_compare(&args).map_err(Failure::Error),
         Some("tune") => cmd_tune(&args).map_err(Failure::Error),

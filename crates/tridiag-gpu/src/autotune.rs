@@ -9,7 +9,9 @@
 //! bench binary prints the result next to the paper's values.
 
 use crate::buffers::GpuScalar;
-use crate::solver::{GpuSolverConfig, GpuTridiagSolver, MappingVariant};
+use crate::executor::PlanExecutor;
+use crate::plan::SolvePlan;
+use crate::solver::{GpuSolverConfig, MappingVariant};
 use gpu_sim::{DeviceSpec, Result};
 use tridiag_core::generators::random_batch;
 use tridiag_core::transition::{max_k_for, TransitionPolicy};
@@ -29,6 +31,22 @@ pub struct TunePoint {
     pub k0_us: f64,
 }
 
+/// The candidate plan for probing a fixed `k` on an `(m, n)` batch.
+fn candidate_plan(
+    spec: &DeviceSpec,
+    m: usize,
+    n: usize,
+    k: u32,
+    elem_bytes: usize,
+) -> Result<SolvePlan> {
+    let config = GpuSolverConfig {
+        policy: TransitionPolicy::Fixed(k),
+        mapping: MappingVariant::Auto,
+        ..Default::default()
+    };
+    SolvePlan::build(spec, &config, m, n, elem_bytes)
+}
+
 /// Modeled time of solving an `(m, n)` batch with a fixed `k`.
 pub fn modeled_time_for_k<S: GpuScalar>(
     spec: &DeviceSpec,
@@ -37,20 +55,17 @@ pub fn modeled_time_for_k<S: GpuScalar>(
     k: u32,
     seed: u64,
 ) -> Result<f64> {
-    let solver = GpuTridiagSolver::new(
-        spec.clone(),
-        GpuSolverConfig {
-            policy: TransitionPolicy::Fixed(k),
-            mapping: MappingVariant::Auto,
-            ..Default::default()
-        },
-    );
+    let plan = candidate_plan(spec, m, n, k, <S as gpu_sim::Elem>::BYTES)?;
     let batch = random_batch::<S>(m, n, seed);
-    let (_, report) = solver.solve_batch(&batch)?;
+    let mut executor = PlanExecutor::new(spec.clone(), plan.config.exec);
+    let (_, report) = executor.run(&plan, &batch)?;
     Ok(report.total_us)
 }
 
-/// Search `k ∈ 0..=k_max` for the fastest configuration at each `m`.
+/// Search `k ∈ 0..=k_max` for the fastest configuration at each `m`:
+/// enumerate one candidate plan per feasible `k`, execute them all
+/// uniformly through the plan executor on the same probe batch, and
+/// rank by modeled time (earliest `k` wins ties).
 pub fn tune<S: GpuScalar>(
     spec: &DeviceSpec,
     m_values: &[usize],
@@ -60,17 +75,25 @@ pub fn tune<S: GpuScalar>(
     let mut out = Vec::with_capacity(m_values.len());
     for &m in m_values {
         let cap = max_k_for(n).min(k_max);
+        let candidates: Vec<(u32, SolvePlan)> = (0..=cap)
+            .map(|k| {
+                candidate_plan(spec, m, n, k, <S as gpu_sim::Elem>::BYTES).map(|p| (k, p))
+            })
+            .collect::<Result<_>>()?;
+        let batch = random_batch::<S>(m, n, 42 + m as u64);
         let mut best_k = 0;
         let mut best_us = f64::INFINITY;
         let mut k0_us = 0.0;
-        for k in 0..=cap {
-            let us = modeled_time_for_k::<S>(spec, m, n, k, 42 + m as u64)?;
-            if k == 0 {
+        for (k, plan) in &candidates {
+            let mut executor = PlanExecutor::new(spec.clone(), plan.config.exec);
+            let (_, report) = executor.run(plan, &batch)?;
+            let us = report.total_us;
+            if *k == 0 {
                 k0_us = us;
             }
             if us < best_us {
                 best_us = us;
-                best_k = k;
+                best_k = *k;
             }
         }
         out.push(TunePoint {

@@ -1,0 +1,460 @@
+//! The plan executor: the single place where kernels are launched and
+//! their artifacts collected.
+//!
+//! [`PlanExecutor::run`] walks a [`SolvePlan`] step by step — convert,
+//! upload, allocate, launch, download, convert back — and owns the
+//! per-launch bookkeeping the monolithic solver used to repeat at every
+//! call site: sanitizer-violation collection, access-plan lint plus its
+//! static-vs-dynamic counter cross-check, the phase-sum invariant
+//! check, [`KernelReport`] construction, and finally the solve trace.
+//! The zoo and the autotuner drive the same [`PlanExecutor::launch`]
+//! path, so "how a launch's findings are gathered" is defined exactly
+//! once.
+
+use crate::buffers::GpuScalar;
+use crate::kernels::fused::FusedKernel;
+use crate::kernels::p_thomas::PThomasKernel;
+use crate::kernels::tiled_pcr::TiledPcrKernel;
+use crate::plan::{KernelOp, SolvePlan, Step};
+use crate::solver::{GpuSolveReport, KernelReport};
+use gpu_sim::timing::{time_kernel, TrafficSummary};
+use gpu_sim::trace::Trace;
+use gpu_sim::{
+    launch_with, BlockKernel, BufId, DeviceSpec, ExecConfig, GpuMemory, Json, KernelStats,
+    LaunchConfig, LintConfig, LintReport, Precision, Result, SanitizerViolation, SimError,
+};
+use tridiag_core::SystemBatch;
+
+/// Runs plans (and standalone launches) against one device, collecting
+/// every launch's artifacts in arrival order.
+#[derive(Debug, Clone)]
+pub struct PlanExecutor {
+    spec: DeviceSpec,
+    exec: ExecConfig,
+    /// Per-kernel reports (timing, traffic, occupancy), in launch order.
+    pub kernels: Vec<KernelReport>,
+    /// Measured counters per launch, parallel to `kernels`.
+    pub stats: Vec<KernelStats>,
+    /// Sanitizer findings across every launch.
+    pub violations: Vec<SanitizerViolation>,
+    /// Static lint reports, one per launch that recorded a plan.
+    pub lints: Vec<LintReport>,
+    /// Static-vs-dynamic counter disagreements.
+    pub lint_mismatches: Vec<String>,
+    /// Phase-attribution counters that failed to sum to kernel totals,
+    /// prefixed with the kernel name.
+    pub phase_sum_mismatches: Vec<String>,
+}
+
+impl PlanExecutor {
+    /// An executor for `spec` running launches under `exec`.
+    pub fn new(spec: DeviceSpec, exec: ExecConfig) -> Self {
+        Self {
+            spec,
+            exec,
+            kernels: Vec::new(),
+            stats: Vec::new(),
+            violations: Vec::new(),
+            lints: Vec::new(),
+            lint_mismatches: Vec::new(),
+            phase_sum_mismatches: Vec::new(),
+        }
+    }
+
+    /// The device spec launches run against.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Launch one kernel and collect its artifacts: sanitizer
+    /// violations, the access-plan lint and counter cross-check (when
+    /// the exec config records plans), the phase-sum invariant, and the
+    /// timing/traffic report.
+    pub fn launch<S: GpuScalar, K: BlockKernel<S>>(
+        &mut self,
+        cfg: &LaunchConfig,
+        kernel: &K,
+        mem: &mut GpuMemory<S>,
+    ) -> Result<()> {
+        let precision = if <S as gpu_sim::Elem>::BYTES == 4 {
+            Precision::F32
+        } else {
+            Precision::F64
+        };
+        let mut res = launch_with(&self.spec, cfg, &self.exec, kernel, mem)?;
+        self.violations.append(&mut res.violations);
+        if let Some(plan) = res.plan.take() {
+            let lr = gpu_sim::lint(&plan, &LintConfig::default());
+            self.lint_mismatches.extend(lr.cross_check(&res.stats));
+            self.lints.push(lr);
+        }
+        for msg in res.stats.phase_sum_mismatches() {
+            self.phase_sum_mismatches.push(format!("{}: {msg}", res.name));
+        }
+        self.kernels.push(KernelReport {
+            timing: time_kernel(&self.spec, &res, precision),
+            traffic: TrafficSummary::from_stats(&self.spec, &res.stats),
+            shared_bytes: res.shared_bytes_per_block,
+            blocks: res.stats.blocks,
+        });
+        self.stats.push(res.stats);
+        Ok(())
+    }
+
+    /// Pop the most recent launch's report and measured counters.
+    /// Errors if nothing has been launched (or everything was taken).
+    pub fn take_last_launch(&mut self) -> Result<(KernelReport, KernelStats)> {
+        match (self.kernels.pop(), self.stats.pop()) {
+            (Some(kr), Some(st)) => Ok((kr, st)),
+            _ => Err(SimError::InvalidPlan(
+                "no launch recorded to take".into(),
+            )),
+        }
+    }
+
+    /// Pop the most recent launch's static lint report. Errors when the
+    /// launch ran without plan recording (`exec.record_plan` off), so
+    /// callers get a typed failure instead of a panic.
+    pub fn take_last_lint(&mut self) -> Result<LintReport> {
+        self.lints.pop().ok_or_else(|| {
+            SimError::InvalidPlan(
+                "no lint report recorded: launch ran without plan recording".into(),
+            )
+        })
+    }
+
+    /// Execute `plan` on `batch`: walk the step sequence, launch every
+    /// kernel through [`PlanExecutor::launch`], and assemble the
+    /// [`GpuSolveReport`] (carrying the plan itself) from this run's
+    /// artifacts. The executor's collections keep accumulating across
+    /// runs; the report only covers this one.
+    pub fn run<S: GpuScalar>(
+        &mut self,
+        plan: &SolvePlan,
+        batch: &SystemBatch<S>,
+    ) -> Result<(Vec<S>, GpuSolveReport)> {
+        if <S as gpu_sim::Elem>::BYTES != plan.elem_bytes {
+            return Err(SimError::InvalidPlan(format!(
+                "plan was built for {}-byte scalars but the batch holds {}-byte scalars",
+                plan.elem_bytes,
+                <S as gpu_sim::Elem>::BYTES
+            )));
+        }
+        let (m, n) = (batch.num_systems(), batch.system_len());
+        if m != plan.m || n != plan.n {
+            return Err(SimError::InvalidPlan(format!(
+                "plan was built for m = {}, n = {} but the batch is m = {m}, n = {n}",
+                plan.m, plan.n
+            )));
+        }
+        plan.validate().map_err(SimError::InvalidPlan)?;
+
+        // This run's artifacts start here; earlier runs stay behind.
+        let first_kernel = self.kernels.len();
+        let first_violation = self.violations.len();
+        let first_lint = self.lints.len();
+        let first_lint_mismatch = self.lint_mismatches.len();
+        let first_phase_sum = self.phase_sum_mismatches.len();
+
+        let mut mem: GpuMemory<S> = GpuMemory::new();
+        let mut slots: Vec<BufId> = Vec::with_capacity(plan.buffers.len());
+        let mut host: Option<SystemBatch<S>> = None;
+        let mut downloaded: Option<Vec<S>> = None;
+        let mut out: Option<Vec<S>> = None;
+        for step in &plan.steps {
+            match step {
+                Step::Convert { to } => host = Some(batch.to_layout(*to)),
+                Step::Upload { slot, source } => {
+                    let src = host.as_ref().ok_or_else(|| {
+                        SimError::InvalidPlan(
+                            "upload step before any layout conversion".into(),
+                        )
+                    })?;
+                    let (a, b, c, d) = src.arrays();
+                    let arr = match source {
+                        crate::plan::CoefArray::Lower => a,
+                        crate::plan::CoefArray::Diag => b,
+                        crate::plan::CoefArray::Upper => c,
+                        crate::plan::CoefArray::Rhs => d,
+                    };
+                    debug_assert_eq!(slots.len(), *slot);
+                    slots.push(mem.alloc_from(arr.to_vec()));
+                }
+                Step::Alloc { slot } => {
+                    debug_assert_eq!(slots.len(), *slot);
+                    slots.push(mem.alloc(plan.buffers[*slot].elems));
+                }
+                Step::Launch(ls) => {
+                    let cfg = LaunchConfig::new(ls.name, ls.grid_blocks, ls.threads_per_block)
+                        .with_regs(ls.regs_per_thread);
+                    match &ls.op {
+                        KernelOp::PThomas {
+                            a,
+                            b,
+                            c,
+                            d,
+                            c_prime,
+                            d_prime,
+                            x,
+                            map,
+                        } => {
+                            let kernel = PThomasKernel {
+                                a: slots[*a],
+                                b: slots[*b],
+                                c: slots[*c],
+                                d: slots[*d],
+                                c_prime: slots[*c_prime],
+                                d_prime: slots[*d_prime],
+                                x: slots[*x],
+                                map: *map,
+                            };
+                            self.launch(&cfg, &kernel, &mut mem)?;
+                        }
+                        KernelOp::TiledPcr {
+                            input,
+                            output,
+                            n,
+                            k,
+                            sub_tile,
+                            assignments,
+                        } => {
+                            let kernel = TiledPcrKernel {
+                                input: input.map(|s| slots[s]),
+                                output: output.map(|s| slots[s]),
+                                n: *n,
+                                k: *k,
+                                sub_tile: *sub_tile,
+                                assignments: assignments.clone(),
+                            };
+                            self.launch(&cfg, &kernel, &mut mem)?;
+                        }
+                        KernelOp::Fused {
+                            input,
+                            c_prime,
+                            d_prime,
+                            x,
+                            n,
+                            k,
+                            sub_tile,
+                            m,
+                        } => {
+                            let kernel = FusedKernel {
+                                input: input.map(|s| slots[s]),
+                                c_prime: slots[*c_prime],
+                                d_prime: slots[*d_prime],
+                                x: slots[*x],
+                                n: *n,
+                                k: *k,
+                                sub_tile: *sub_tile,
+                                m: *m,
+                            };
+                            self.launch(&cfg, &kernel, &mut mem)?;
+                        }
+                    }
+                }
+                Step::Download { slot } => {
+                    downloaded = Some(mem.read(slots[*slot])?.to_vec());
+                }
+                Step::ConvertBack { from } => {
+                    let xs = downloaded.as_ref().ok_or_else(|| {
+                        SimError::InvalidPlan(
+                            "convert-back step before the download".into(),
+                        )
+                    })?;
+                    let mut o = vec![S::ZERO; batch.total_len()];
+                    for sys in 0..m {
+                        for row in 0..n {
+                            o[batch.index(sys, row)] = xs[from.index(sys, row, m, n)];
+                        }
+                    }
+                    out = Some(o);
+                }
+            }
+        }
+        let out = out.or(downloaded).ok_or_else(|| {
+            SimError::InvalidPlan("plan produced no solution".into())
+        })?;
+
+        let kernels = self.kernels[first_kernel..].to_vec();
+        let trace = build_trace(&self.spec, plan, &kernels);
+        let report = GpuSolveReport {
+            k: plan.k,
+            mapping: plan.mapping,
+            fused: plan.fused,
+            total_us: kernels.iter().map(|kr| kr.timing.total_us).sum(),
+            kernels,
+            precision: plan.precision,
+            violations: self.violations[first_violation..].to_vec(),
+            lints: self.lints[first_lint..].to_vec(),
+            lint_mismatches: self.lint_mismatches[first_lint_mismatch..].to_vec(),
+            phase_sum_mismatches: self.phase_sum_mismatches[first_phase_sum..].to_vec(),
+            trace,
+            plan: plan.clone(),
+        };
+        Ok((out, report))
+    }
+}
+
+/// Build the solve's span/event trace from the finished kernel
+/// reports: pipeline decisions as instants at t = 0, then each launch
+/// as a span on a cumulative modeled-time axis with its launch overhead
+/// and per-phase children nested inside.
+fn build_trace(spec: &DeviceSpec, plan: &SolvePlan, kernels: &[KernelReport]) -> Trace {
+    let mut tr = Trace::new(format!("tridiag solve on {}", spec.name));
+    let total: f64 = kernels.iter().map(|kr| kr.timing.total_us).sum();
+    tr.span(
+        "solve",
+        "solver",
+        0,
+        0.0,
+        total,
+        vec![
+            ("m".into(), Json::num(plan.m as f64)),
+            ("n".into(), Json::num(plan.n as f64)),
+            ("precision".into(), Json::str(plan.precision)),
+        ],
+    );
+    tr.instant(
+        "transition_rule",
+        "solver",
+        0,
+        0.0,
+        vec![
+            ("policy".into(), Json::str(format!("{:?}", plan.config.policy))),
+            ("m".into(), Json::num(plan.m as f64)),
+            ("n".into(), Json::num(plan.n as f64)),
+            ("parallelism".into(), Json::num(spec.parallelism() as f64)),
+            ("k".into(), Json::num(plan.k)),
+        ],
+    );
+    tr.instant(
+        "grid_mapping",
+        "solver",
+        0,
+        0.0,
+        vec![
+            ("mapping".into(), Json::str(format!("{:?}", plan.mapping))),
+            ("fused".into(), Json::Bool(plan.fused)),
+        ],
+    );
+    tr.instant(
+        "buffer_setup",
+        "solver",
+        0,
+        0.0,
+        vec![
+            ("device_elems".into(), Json::num(plan.device_elems() as f64)),
+            ("device_bytes".into(), Json::num(plan.device_bytes() as f64)),
+        ],
+    );
+    let mut cursor = 0.0f64;
+    for kr in kernels {
+        let t = &kr.timing;
+        tr.span(
+            format!("kernel:{}", t.name),
+            "kernel",
+            0,
+            cursor,
+            t.total_us,
+            vec![
+                ("blocks".into(), Json::num(kr.blocks as f64)),
+                ("bound".into(), Json::str(format!("{:?}", t.bound))),
+                ("occupancy".into(), Json::num(t.occupancy_fraction)),
+                ("waves".into(), Json::num(t.waves)),
+            ],
+        );
+        tr.span("launch_overhead", "kernel", 0, cursor, t.launch_us, Vec::new());
+        let mut at = cursor + t.launch_us;
+        for ph in &t.phases {
+            tr.span(
+                format!("phase:{}", ph.label),
+                "phase",
+                0,
+                at,
+                ph.us,
+                vec![
+                    ("bound".into(), Json::str(format!("{:?}", ph.bound))),
+                    ("flops".into(), Json::num(ph.stats.flops as f64)),
+                    ("global_bytes".into(), Json::num(ph.stats.global_bytes() as f64)),
+                    (
+                        "transactions".into(),
+                        Json::num(ph.stats.global_transactions() as f64),
+                    ),
+                ],
+            );
+            at += ph.us;
+        }
+        cursor += t.total_us;
+    }
+    tr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::GpuSolverConfig;
+    use tridiag_core::generators::random_batch;
+
+    fn plan_for(m: usize, n: usize, bytes: usize) -> SolvePlan {
+        SolvePlan::build(&DeviceSpec::gtx480(), &GpuSolverConfig::default(), m, n, bytes)
+            .unwrap()
+    }
+
+    #[test]
+    fn precision_mismatch_is_a_typed_error() {
+        let plan = plan_for(8, 64, 8);
+        let batch = random_batch::<f32>(8, 64, 1);
+        let mut ex = PlanExecutor::new(DeviceSpec::gtx480(), ExecConfig::default());
+        let err = ex.run(&plan, &batch).unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlan(_)), "{err:?}");
+    }
+
+    #[test]
+    fn geometry_mismatch_is_a_typed_error() {
+        let plan = plan_for(8, 64, 8);
+        let batch = random_batch::<f64>(8, 128, 1);
+        let mut ex = PlanExecutor::new(DeviceSpec::gtx480(), ExecConfig::default());
+        let err = ex.run(&plan, &batch).unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlan(_)), "{err:?}");
+    }
+
+    #[test]
+    fn malformed_plan_is_rejected_before_any_launch() {
+        let mut plan = plan_for(8, 64, 8);
+        plan.steps.retain(|s| !matches!(s, Step::Download { .. }));
+        let batch = random_batch::<f64>(8, 64, 1);
+        let mut ex = PlanExecutor::new(DeviceSpec::gtx480(), ExecConfig::default());
+        let err = ex.run(&plan, &batch).unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlan(_)), "{err:?}");
+        assert!(ex.kernels.is_empty());
+    }
+
+    #[test]
+    fn take_last_lint_without_plan_recording_is_a_typed_error() {
+        let plan = plan_for(32, 64, 8);
+        let batch = random_batch::<f64>(32, 64, 1);
+        let mut ex = PlanExecutor::new(DeviceSpec::gtx480(), ExecConfig::default());
+        ex.run(&plan, &batch).unwrap();
+        let err = ex.take_last_lint().unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlan(_)), "{err:?}");
+        // The launch itself was recorded.
+        assert!(ex.take_last_launch().is_ok());
+        // ... and once drained, taking again is a typed error too.
+        while ex.take_last_launch().is_ok() {}
+        assert!(matches!(
+            ex.take_last_launch().unwrap_err(),
+            SimError::InvalidPlan(_)
+        ));
+    }
+
+    #[test]
+    fn executor_accumulates_across_runs_but_reports_slice_per_run() {
+        let mut ex = PlanExecutor::new(DeviceSpec::gtx480(), ExecConfig::default());
+        let plan = plan_for(32, 64, 8);
+        let batch = random_batch::<f64>(32, 64, 1);
+        let (_, r1) = ex.run(&plan, &batch).unwrap();
+        let (_, r2) = ex.run(&plan, &batch).unwrap();
+        assert_eq!(r1.kernels.len(), r2.kernels.len());
+        assert_eq!(ex.kernels.len(), r1.kernels.len() + r2.kernels.len());
+    }
+}

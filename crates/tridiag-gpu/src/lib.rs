@@ -16,10 +16,14 @@ pub mod autotune;
 pub mod buffers;
 pub mod consts;
 pub mod davidson;
+pub mod executor;
 pub mod kernels;
+pub mod plan;
 pub mod solver;
 pub mod zhang;
 pub mod zoo;
 
 pub use buffers::{download_solution, upload, DeviceBatch, GpuScalar};
+pub use executor::PlanExecutor;
+pub use plan::{validate_plan_json, SolvePlan, Step};
 pub use solver::{GpuSolveReport, GpuSolverConfig, GpuTridiagSolver, MappingVariant};

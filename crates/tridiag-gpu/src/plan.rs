@@ -1,0 +1,1035 @@
+//! Declarative solve plans: the pure planning half of the solver.
+//!
+//! The paper's runtime is really a small pipeline compiler — the
+//! transition rule (Table II/III) and the grid-mapping choice (Fig. 11)
+//! *decide* a sequence of kernel launches; the launches then execute
+//! it. [`SolvePlan::build`] is that deciding half made explicit: a
+//! deterministic function from `(DeviceSpec, GpuSolverConfig, batch
+//! geometry, scalar width)` to an ordered list of typed [`Step`]s —
+//! layout conversions, buffer uploads/allocations, kernel launches with
+//! full grid/block/register configuration and buffer bindings, and the
+//! final download — with **no execution**. The
+//! [`crate::executor::PlanExecutor`] runs any plan; `describe()` and
+//! `to_json()` expose it for inspection (`tridiag plan`,
+//! `solve --dry-run`) without ever touching the simulator.
+//!
+//! Planner invariants (checked by [`SolvePlan::validate`]):
+//! - buffer slots are created (uploaded or allocated) exactly once, in
+//!   slot order — so slot *i* maps to the *i*-th device allocation and
+//!   the executor reproduces the monolithic solver's `BufId`s exactly;
+//! - every launch binding refers to a slot created by an earlier step;
+//! - exactly one download, after the last launch.
+
+use crate::consts::{REGS_FUSED, REGS_PTHOMAS, REGS_TILED_PCR};
+use crate::kernels::p_thomas::AddrMap;
+use crate::kernels::tiled_pcr::{StreamSlot, TiledPcrKernel};
+use crate::solver::{GpuSolverConfig, MappingVariant};
+use gpu_sim::{DeviceSpec, Json, Result, SimError};
+use tridiag_core::transition::{choose_k, max_k_for};
+use tridiag_core::Layout;
+
+/// Index into [`SolvePlan::buffers`] — the plan-level name of a device
+/// buffer (the executor maps each slot to a concrete `BufId`).
+pub type Slot = usize;
+
+/// Which host coefficient array an upload step reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoefArray {
+    /// Sub-diagonal `a`.
+    Lower,
+    /// Main diagonal `b`.
+    Diag,
+    /// Super-diagonal `c`.
+    Upper,
+    /// Right-hand side `d`.
+    Rhs,
+}
+
+impl CoefArray {
+    /// Conventional one-letter name (`a`/`b`/`c`/`d`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CoefArray::Lower => "a",
+            CoefArray::Diag => "b",
+            CoefArray::Upper => "c",
+            CoefArray::Rhs => "d",
+        }
+    }
+}
+
+/// One device buffer the plan creates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferDecl {
+    /// Role of the buffer (for humans and JSON; slots are the identity).
+    pub name: &'static str,
+    /// Elements allocated.
+    pub elems: usize,
+}
+
+/// The kernel a launch step runs, with its buffer bindings as slots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelOp {
+    /// [`crate::kernels::p_thomas::PThomasKernel`].
+    PThomas {
+        /// Sub-diagonal buffer.
+        a: Slot,
+        /// Main-diagonal buffer.
+        b: Slot,
+        /// Super-diagonal buffer.
+        c: Slot,
+        /// Right-hand-side buffer.
+        d: Slot,
+        /// `c'` scratch.
+        c_prime: Slot,
+        /// `d'` scratch.
+        d_prime: Slot,
+        /// Solution buffer.
+        x: Slot,
+        /// Addressing scheme.
+        map: AddrMap,
+    },
+    /// [`TiledPcrKernel`] with precomputed Fig. 11 block assignments.
+    TiledPcr {
+        /// Input coefficient buffers `[a, b, c, d]`.
+        input: [Slot; 4],
+        /// Output coefficient buffers `[a, b, c, d]`.
+        output: [Slot; 4],
+        /// Rows per system.
+        n: usize,
+        /// PCR steps.
+        k: u32,
+        /// Sub-tile rows (`c · 2^k`).
+        sub_tile: usize,
+        /// Per-block stream slots (the resolved grid mapping).
+        assignments: Vec<Vec<StreamSlot>>,
+    },
+    /// [`crate::kernels::fused::FusedKernel`] (Section III-C).
+    Fused {
+        /// Input coefficient buffers `[a, b, c, d]`.
+        input: [Slot; 4],
+        /// `c'` scratch.
+        c_prime: Slot,
+        /// `d'` scratch.
+        d_prime: Slot,
+        /// Solution buffer.
+        x: Slot,
+        /// Rows per system.
+        n: usize,
+        /// PCR steps.
+        k: u32,
+        /// Sub-tile rows.
+        sub_tile: usize,
+        /// Number of systems.
+        m: usize,
+    },
+}
+
+impl KernelOp {
+    /// Every slot the op binds, in field order.
+    pub fn binds(&self) -> Vec<Slot> {
+        match self {
+            KernelOp::PThomas {
+                a,
+                b,
+                c,
+                d,
+                c_prime,
+                d_prime,
+                x,
+                ..
+            } => vec![*a, *b, *c, *d, *c_prime, *d_prime, *x],
+            KernelOp::TiledPcr { input, output, .. } => {
+                input.iter().chain(output.iter()).copied().collect()
+            }
+            KernelOp::Fused {
+                input,
+                c_prime,
+                d_prime,
+                x,
+                ..
+            } => input
+                .iter()
+                .copied()
+                .chain([*c_prime, *d_prime, *x])
+                .collect(),
+        }
+    }
+}
+
+/// One scheduled kernel launch: the full `LaunchConfig` plus bindings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchStep {
+    /// Kernel name (becomes the launch config / report name).
+    pub name: &'static str,
+    /// Grid size in blocks.
+    pub grid_blocks: usize,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Registers per thread (occupancy input).
+    pub regs_per_thread: u32,
+    /// The kernel and its buffer bindings.
+    pub op: KernelOp,
+}
+
+/// One step of a solve plan, in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Convert the host batch to the layout the pipeline addresses.
+    Convert {
+        /// Target layout.
+        to: Layout,
+    },
+    /// Upload one coefficient array ("cudaMemcpy H→D") into a slot.
+    Upload {
+        /// Destination slot.
+        slot: Slot,
+        /// Source array in the (converted) host batch.
+        source: CoefArray,
+    },
+    /// Allocate an uninitialized device buffer (scratch or output).
+    Alloc {
+        /// Slot to create.
+        slot: Slot,
+    },
+    /// Launch a kernel.
+    Launch(LaunchStep),
+    /// Read a buffer back to the host ("cudaMemcpy D→H").
+    Download {
+        /// Source slot (the solution buffer).
+        slot: Slot,
+    },
+    /// Reorder the downloaded solution from the pipeline layout back to
+    /// the caller's batch layout.
+    ConvertBack {
+        /// Layout the downloaded buffer is in.
+        from: Layout,
+    },
+}
+
+/// A complete, inspectable description of one solve: the pipeline
+/// decisions (`k`, mapping, fusion) and the full step sequence, with no
+/// execution state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolvePlan {
+    /// Device the plan was built for.
+    pub device: &'static str,
+    /// Solver configuration the planner ran under.
+    pub config: GpuSolverConfig,
+    /// Number of systems.
+    pub m: usize,
+    /// Rows per system.
+    pub n: usize,
+    /// Scalar width in bytes (4 or 8).
+    pub elem_bytes: usize,
+    /// Precision label (`"f32"` / `"f64"`).
+    pub precision: &'static str,
+    /// PCR steps chosen by the transition policy (after the shared
+    /// memory and block-size clamps).
+    pub k: u32,
+    /// Resolved grid mapping for the PCR stage.
+    pub mapping: MappingVariant,
+    /// Whether the fused single-kernel pipeline runs.
+    pub fused: bool,
+    /// Device-side layout of the coefficient buffers.
+    pub layout: Layout,
+    /// Buffers the plan creates, indexed by slot.
+    pub buffers: Vec<BufferDecl>,
+    /// The step sequence.
+    pub steps: Vec<Step>,
+}
+
+/// Largest `k` whose tiled-PCR window still fits `spec`'s shared memory
+/// at sub-tile scale `c` and element size `bytes`.
+pub fn max_k_for_shared(spec: &DeviceSpec, c: usize, bytes: usize) -> u32 {
+    let mut k = 0u32;
+    while k < 20 {
+        let st = c.max(1) << (k + 1);
+        let elems = TiledPcrKernel::shared_elems_per_slot(k + 1, st);
+        if elems * bytes > spec.max_shared_per_block {
+            break;
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Resolve [`MappingVariant::Auto`]: partition lone large systems
+/// across block groups so more SMs engage; otherwise one block per
+/// system. An explicit multi-system mapping whose shared-memory
+/// footprint does not fit falls back to block-per-system.
+fn resolve_mapping(
+    spec: &DeviceSpec,
+    requested: MappingVariant,
+    m: usize,
+    n: usize,
+    k: u32,
+    st: usize,
+    elem_bytes: usize,
+) -> MappingVariant {
+    match requested {
+        MappingVariant::Auto => {
+            let want_blocks = 2 * spec.num_sms as usize;
+            if m < want_blocks {
+                // Partition each system, but keep partitions at least
+                // 4 sub-tiles long so halo overhead stays negligible.
+                let g_max_useful = (n / (4 * st)).max(1);
+                let g = want_blocks.div_ceil(m).min(g_max_useful);
+                if g > 1 {
+                    return MappingVariant::BlockGroupPerSystem(g);
+                }
+            }
+            MappingVariant::BlockPerSystem
+        }
+        explicit => {
+            if let MappingVariant::MultiSystemPerBlock(q) = explicit {
+                // Validate the footprint fits shared memory.
+                let elems = TiledPcrKernel::shared_elems_per_slot(k, st) * q;
+                if elems * elem_bytes > spec.max_shared_per_block {
+                    return MappingVariant::BlockPerSystem;
+                }
+            }
+            explicit
+        }
+    }
+}
+
+impl SolvePlan {
+    /// Plan a solve of `m` systems of `n` rows at `elem_bytes` scalar
+    /// width on `spec` under `config`. Pure: no device state is touched.
+    ///
+    /// Fails with [`SimError::InvalidPlan`] on an empty geometry, an
+    /// unsupported scalar width, or a device buffer footprint beyond
+    /// the device's global memory.
+    pub fn build(
+        spec: &DeviceSpec,
+        config: &GpuSolverConfig,
+        m: usize,
+        n: usize,
+        elem_bytes: usize,
+    ) -> Result<SolvePlan> {
+        if m == 0 || n == 0 {
+            return Err(SimError::InvalidPlan(format!(
+                "empty batch geometry: m = {m}, n = {n}"
+            )));
+        }
+        let precision = match elem_bytes {
+            4 => "f32",
+            8 => "f64",
+            other => {
+                return Err(SimError::InvalidPlan(format!(
+                    "unsupported scalar width: {other} bytes (expected 4 or 8)"
+                )))
+            }
+        };
+        let c = config.sub_tile_scale.max(1);
+        let mut k = choose_k(config.policy, m, n)
+            .min(max_k_for_shared(spec, c, elem_bytes))
+            .min(max_k_for(n));
+        // 2^k threads per group must fit a block.
+        while k > 0 && (1u32 << k) > spec.max_threads_per_block {
+            k -= 1;
+        }
+
+        let total = m * n;
+        let mut buffers: Vec<BufferDecl> = Vec::new();
+        let mut steps: Vec<Step> = Vec::new();
+        // The five coefficient/solution buffers open every pipeline, in
+        // upload order — slot i is the i-th device allocation.
+        let create = |buffers: &mut Vec<BufferDecl>,
+                          steps: &mut Vec<Step>,
+                          name: &'static str,
+                          source: Option<CoefArray>|
+         -> Slot {
+            let slot = buffers.len();
+            buffers.push(BufferDecl { name, elems: total });
+            steps.push(match source {
+                Some(src) => Step::Upload { slot, source: src },
+                None => Step::Alloc { slot },
+            });
+            slot
+        };
+
+        let (layout, mapping, fused) = if k == 0 {
+            // ---- pure p-Thomas on the interleaved batch -------------
+            steps.push(Step::Convert {
+                to: Layout::Interleaved,
+            });
+            let a = create(&mut buffers, &mut steps, "a", Some(CoefArray::Lower));
+            let b = create(&mut buffers, &mut steps, "b", Some(CoefArray::Diag));
+            let cc = create(&mut buffers, &mut steps, "c", Some(CoefArray::Upper));
+            let d = create(&mut buffers, &mut steps, "d", Some(CoefArray::Rhs));
+            let x = create(&mut buffers, &mut steps, "x", None);
+            let cp = create(&mut buffers, &mut steps, "c_prime", None);
+            let dp = create(&mut buffers, &mut steps, "d_prime", None);
+            steps.push(Step::Launch(LaunchStep {
+                name: "p_thomas",
+                grid_blocks: m.div_ceil(config.pthomas_block as usize),
+                threads_per_block: config.pthomas_block.min(m as u32).max(1),
+                regs_per_thread: REGS_PTHOMAS,
+                op: KernelOp::PThomas {
+                    a,
+                    b,
+                    c: cc,
+                    d,
+                    c_prime: cp,
+                    d_prime: dp,
+                    x,
+                    map: AddrMap::Interleaved { m, n },
+                },
+            }));
+            steps.push(Step::Download { slot: x });
+            steps.push(Step::ConvertBack {
+                from: Layout::Interleaved,
+            });
+            (Layout::Interleaved, MappingVariant::BlockPerSystem, false)
+        } else {
+            steps.push(Step::Convert {
+                to: Layout::Contiguous,
+            });
+            let a = create(&mut buffers, &mut steps, "a", Some(CoefArray::Lower));
+            let b = create(&mut buffers, &mut steps, "b", Some(CoefArray::Diag));
+            let cc = create(&mut buffers, &mut steps, "c", Some(CoefArray::Upper));
+            let d = create(&mut buffers, &mut steps, "d", Some(CoefArray::Rhs));
+            let x = create(&mut buffers, &mut steps, "x", None);
+            let st = c << k;
+            let mapping = resolve_mapping(spec, config.mapping, m, n, k, st, elem_bytes);
+            let use_fused = config.fused && matches!(mapping, MappingVariant::BlockPerSystem);
+            if use_fused {
+                let cp = create(&mut buffers, &mut steps, "c_prime", None);
+                let dp = create(&mut buffers, &mut steps, "d_prime", None);
+                steps.push(Step::Launch(LaunchStep {
+                    name: "fused_pcr_thomas",
+                    grid_blocks: m,
+                    threads_per_block: 1 << k,
+                    regs_per_thread: REGS_FUSED,
+                    op: KernelOp::Fused {
+                        input: [a, b, cc, d],
+                        c_prime: cp,
+                        d_prime: dp,
+                        x,
+                        n,
+                        k,
+                        sub_tile: st,
+                        m,
+                    },
+                }));
+            } else {
+                let (assignments, threads) = match mapping {
+                    MappingVariant::BlockPerSystem => {
+                        (TiledPcrKernel::assign_block_per_system(m, n), 1u32 << k)
+                    }
+                    MappingVariant::BlockGroupPerSystem(g) => (
+                        TiledPcrKernel::assign_block_group_per_system(m, n, g),
+                        1u32 << k,
+                    ),
+                    MappingVariant::MultiSystemPerBlock(q) => (
+                        TiledPcrKernel::assign_multi_system_per_block(m, n, q),
+                        ((q as u32) << k).min(spec.max_threads_per_block),
+                    ),
+                    MappingVariant::Auto => {
+                        return Err(SimError::InvalidPlan(
+                            "grid mapping failed to resolve".into(),
+                        ))
+                    }
+                };
+                let out = [
+                    create(&mut buffers, &mut steps, "out_a", None),
+                    create(&mut buffers, &mut steps, "out_b", None),
+                    create(&mut buffers, &mut steps, "out_c", None),
+                    create(&mut buffers, &mut steps, "out_d", None),
+                ];
+                steps.push(Step::Launch(LaunchStep {
+                    name: "tiled_pcr",
+                    grid_blocks: assignments.len(),
+                    threads_per_block: threads,
+                    regs_per_thread: REGS_TILED_PCR,
+                    op: KernelOp::TiledPcr {
+                        input: [a, b, cc, d],
+                        output: out,
+                        n,
+                        k,
+                        sub_tile: st,
+                        assignments,
+                    },
+                }));
+                // p-Thomas over the 2^k·M interleaved subsystems.
+                let cp = create(&mut buffers, &mut steps, "c_prime", None);
+                let dp = create(&mut buffers, &mut steps, "d_prime", None);
+                let map = AddrMap::HybridSubsystems { m, n, k };
+                let total_threads = map.num_threads();
+                let tpb = config.pthomas_block.min(total_threads as u32).max(1);
+                steps.push(Step::Launch(LaunchStep {
+                    name: "p_thomas",
+                    grid_blocks: total_threads.div_ceil(tpb as usize),
+                    threads_per_block: tpb,
+                    regs_per_thread: REGS_PTHOMAS,
+                    op: KernelOp::PThomas {
+                        a: out[0],
+                        b: out[1],
+                        c: out[2],
+                        d: out[3],
+                        c_prime: cp,
+                        d_prime: dp,
+                        x,
+                        map,
+                    },
+                }));
+            }
+            steps.push(Step::Download { slot: x });
+            steps.push(Step::ConvertBack {
+                from: Layout::Contiguous,
+            });
+            (Layout::Contiguous, mapping, use_fused)
+        };
+
+        let plan = SolvePlan {
+            device: spec.name,
+            config: *config,
+            m,
+            n,
+            elem_bytes,
+            precision,
+            k,
+            mapping,
+            fused,
+            layout,
+            buffers,
+            steps,
+        };
+        let footprint = plan.device_bytes();
+        if footprint > spec.global_mem_bytes {
+            return Err(SimError::InvalidPlan(format!(
+                "device buffer footprint {footprint} bytes exceeds {} global memory \
+                 ({} bytes) for m = {m}, n = {n} at {precision}",
+                spec.name, spec.global_mem_bytes
+            )));
+        }
+        plan.validate().map_err(SimError::InvalidPlan)?;
+        Ok(plan)
+    }
+
+    /// Total device elements across every buffer the plan creates.
+    pub fn device_elems(&self) -> usize {
+        self.buffers.iter().map(|b| b.elems).sum()
+    }
+
+    /// Total device bytes across every buffer the plan creates.
+    pub fn device_bytes(&self) -> usize {
+        self.device_elems() * self.elem_bytes
+    }
+
+    /// The launch steps, in order.
+    pub fn launches(&self) -> impl Iterator<Item = &LaunchStep> {
+        self.steps.iter().filter_map(|s| match s {
+            Step::Launch(ls) => Some(ls),
+            _ => None,
+        })
+    }
+
+    /// Structural validity: slots in range and created exactly once in
+    /// slot order, bindings only to already-created slots, exactly one
+    /// download, non-degenerate launch geometry. Returns the first
+    /// problem found.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.buffers.is_empty() {
+            return Err("plan declares no buffers".into());
+        }
+        if let Some((i, b)) = self.buffers.iter().enumerate().find(|(_, b)| b.elems == 0) {
+            return Err(format!("buffer slot {i} ({}) has zero elements", b.name));
+        }
+        let mut created = vec![false; self.buffers.len()];
+        let mut creations = 0usize;
+        let mut downloads = 0usize;
+        for (i, step) in self.steps.iter().enumerate() {
+            let mut create = |slot: Slot| -> std::result::Result<(), String> {
+                if slot >= created.len() {
+                    return Err(format!(
+                        "step {i} creates slot {slot}, but only {} buffers are declared",
+                        created.len()
+                    ));
+                }
+                if created[slot] {
+                    return Err(format!("step {i} creates slot {slot} twice"));
+                }
+                if slot != creations {
+                    return Err(format!(
+                        "step {i} creates slot {slot} out of order (expected slot {creations})"
+                    ));
+                }
+                created[slot] = true;
+                creations += 1;
+                Ok(())
+            };
+            match step {
+                Step::Convert { .. } | Step::ConvertBack { .. } => {}
+                Step::Upload { slot, .. } | Step::Alloc { slot } => create(*slot)?,
+                Step::Launch(ls) => {
+                    if ls.grid_blocks == 0 || ls.threads_per_block == 0 {
+                        return Err(format!(
+                            "step {i} launches {} with an empty grid ({} blocks x {} threads)",
+                            ls.name, ls.grid_blocks, ls.threads_per_block
+                        ));
+                    }
+                    for slot in ls.op.binds() {
+                        if slot >= created.len() || !created[slot] {
+                            return Err(format!(
+                                "step {i} launches {} binding slot {slot}, which has not \
+                                 been created",
+                                ls.name
+                            ));
+                        }
+                    }
+                }
+                Step::Download { slot } => {
+                    downloads += 1;
+                    if *slot >= created.len() || !created[*slot] {
+                        return Err(format!(
+                            "step {i} downloads slot {slot}, which has not been created"
+                        ));
+                    }
+                }
+            }
+        }
+        if creations != self.buffers.len() {
+            return Err(format!(
+                "{} buffers declared but only {creations} created",
+                self.buffers.len()
+            ));
+        }
+        if downloads != 1 {
+            return Err(format!("expected exactly one download step, found {downloads}"));
+        }
+        Ok(())
+    }
+
+    /// Multi-line human description: decisions, footprint, and the full
+    /// step sequence. Deterministic — pinned by the golden plan
+    /// snapshot suite.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "plan: m={} n={} {} on {}",
+            self.m, self.n, self.precision, self.device
+        );
+        let _ = writeln!(
+            s,
+            "  k={} mapping={:?} fused={} layout={:?}",
+            self.k, self.mapping, self.fused, self.layout
+        );
+        let _ = writeln!(
+            s,
+            "  buffers: {} ({} elems, {} bytes device footprint)",
+            self.buffers.len(),
+            self.device_elems(),
+            self.device_bytes()
+        );
+        let _ = writeln!(
+            s,
+            "  kernels: {}",
+            self.launches()
+                .map(|ls| ls.name)
+                .collect::<Vec<_>>()
+                .join(" -> ")
+        );
+        let _ = writeln!(s, "  steps:");
+        for (i, step) in self.steps.iter().enumerate() {
+            let line = match step {
+                Step::Convert { to } => format!("convert -> {to:?}"),
+                Step::Upload { slot, source } => format!(
+                    "upload {} -> buf[{slot}] {} ({} elems)",
+                    source.label(),
+                    self.buffers[*slot].name,
+                    self.buffers[*slot].elems
+                ),
+                Step::Alloc { slot } => format!(
+                    "alloc buf[{slot}] {} ({} elems)",
+                    self.buffers[*slot].name, self.buffers[*slot].elems
+                ),
+                Step::Launch(ls) => {
+                    let detail = match &ls.op {
+                        KernelOp::PThomas { map, .. } => format!("map={map:?}"),
+                        KernelOp::TiledPcr { k, sub_tile, .. } => {
+                            format!("k={k} sub_tile={sub_tile}")
+                        }
+                        KernelOp::Fused { k, sub_tile, .. } => {
+                            format!("k={k} sub_tile={sub_tile}")
+                        }
+                    };
+                    format!(
+                        "launch {} grid={} threads={} regs={} binds={:?} {detail}",
+                        ls.name,
+                        ls.grid_blocks,
+                        ls.threads_per_block,
+                        ls.regs_per_thread,
+                        ls.op.binds()
+                    )
+                }
+                Step::Download { slot } => {
+                    format!("download buf[{slot}] {}", self.buffers[*slot].name)
+                }
+                Step::ConvertBack { from } => format!("convert-back <- {from:?}"),
+            };
+            let _ = writeln!(s, "    {:>2}. {line}", i + 1);
+        }
+        s
+    }
+
+    /// Serialize the plan as a JSON object (schema
+    /// `tridiag.solve_plan/v1`); [`validate_plan_json`] checks the
+    /// shape.
+    pub fn to_json(&self) -> Json {
+        let buffers = self
+            .buffers
+            .iter()
+            .map(|b| {
+                Json::Obj(vec![
+                    ("name".into(), Json::str(b.name)),
+                    ("elems".into(), Json::num(b.elems as f64)),
+                ])
+            })
+            .collect();
+        let steps = self
+            .steps
+            .iter()
+            .map(|step| match step {
+                Step::Convert { to } => Json::Obj(vec![
+                    ("op".into(), Json::str("convert")),
+                    ("layout".into(), Json::str(format!("{to:?}"))),
+                ]),
+                Step::Upload { slot, source } => Json::Obj(vec![
+                    ("op".into(), Json::str("upload")),
+                    ("source".into(), Json::str(source.label())),
+                    ("slot".into(), Json::num(*slot as f64)),
+                ]),
+                Step::Alloc { slot } => Json::Obj(vec![
+                    ("op".into(), Json::str("alloc")),
+                    ("slot".into(), Json::num(*slot as f64)),
+                ]),
+                Step::Launch(ls) => Json::Obj(vec![
+                    ("op".into(), Json::str("launch")),
+                    ("kernel".into(), Json::str(ls.name)),
+                    ("grid_blocks".into(), Json::num(ls.grid_blocks as f64)),
+                    (
+                        "threads_per_block".into(),
+                        Json::num(ls.threads_per_block as f64),
+                    ),
+                    ("regs_per_thread".into(), Json::num(ls.regs_per_thread as f64)),
+                    (
+                        "binds".into(),
+                        Json::Arr(
+                            ls.op
+                                .binds()
+                                .into_iter()
+                                .map(|s| Json::num(s as f64))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+                Step::Download { slot } => Json::Obj(vec![
+                    ("op".into(), Json::str("download")),
+                    ("slot".into(), Json::num(*slot as f64)),
+                ]),
+                Step::ConvertBack { from } => Json::Obj(vec![
+                    ("op".into(), Json::str("convert_back")),
+                    ("layout".into(), Json::str(format!("{from:?}"))),
+                ]),
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::str(PLAN_SCHEMA)),
+            ("device".into(), Json::str(self.device)),
+            ("precision".into(), Json::str(self.precision)),
+            ("m".into(), Json::num(self.m as f64)),
+            ("n".into(), Json::num(self.n as f64)),
+            ("elem_bytes".into(), Json::num(self.elem_bytes as f64)),
+            ("k".into(), Json::num(self.k)),
+            ("mapping".into(), Json::str(format!("{:?}", self.mapping))),
+            ("fused".into(), Json::Bool(self.fused)),
+            ("layout".into(), Json::str(format!("{:?}", self.layout))),
+            ("device_elems".into(), Json::num(self.device_elems() as f64)),
+            ("device_bytes".into(), Json::num(self.device_bytes() as f64)),
+            ("buffers".into(), Json::Arr(buffers)),
+            ("steps".into(), Json::Arr(steps)),
+        ])
+    }
+}
+
+/// Schema identifier emitted by [`SolvePlan::to_json`].
+pub const PLAN_SCHEMA: &str = "tridiag.solve_plan/v1";
+
+/// Validate a parsed plan document against the
+/// `tridiag.solve_plan/v1` schema. Returns every problem found (empty
+/// = valid). Used by the CLI `plan` smoke to catch schema drift.
+pub fn validate_plan_json(doc: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut problem = |msg: String| problems.push(msg);
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(PLAN_SCHEMA) => {}
+        Some(other) => problem(format!("schema is {other:?}, expected {PLAN_SCHEMA:?}")),
+        None => problem("missing string field \"schema\"".into()),
+    }
+    for key in ["device", "precision", "mapping", "layout"] {
+        if doc.get(key).and_then(Json::as_str).is_none() {
+            problem(format!("missing string field {key:?}"));
+        }
+    }
+    for key in ["m", "n", "elem_bytes", "k", "device_elems", "device_bytes"] {
+        match doc.get(key).and_then(Json::as_num) {
+            Some(v) if v >= 0.0 && v.fract() == 0.0 => {}
+            Some(v) => problem(format!("field {key:?} is not a non-negative integer: {v}")),
+            None => problem(format!("missing numeric field {key:?}")),
+        }
+    }
+    if !matches!(doc.get("fused"), Some(Json::Bool(_))) {
+        problem("missing boolean field \"fused\"".into());
+    }
+    let num_buffers = match doc.get("buffers").and_then(Json::as_arr) {
+        Some(bufs) => {
+            for (i, b) in bufs.iter().enumerate() {
+                if b.get("name").and_then(Json::as_str).is_none() {
+                    problem(format!("buffers[{i}] missing string field \"name\""));
+                }
+                match b.get("elems").and_then(Json::as_num) {
+                    Some(v) if v > 0.0 && v.fract() == 0.0 => {}
+                    _ => problem(format!("buffers[{i}] missing positive integer \"elems\"")),
+                }
+            }
+            bufs.len()
+        }
+        None => {
+            problem("missing array field \"buffers\"".into());
+            0
+        }
+    };
+    let slot_ok = |v: Option<f64>| {
+        matches!(v, Some(s) if s >= 0.0 && s.fract() == 0.0 && (s as usize) < num_buffers)
+    };
+    match doc.get("steps").and_then(Json::as_arr) {
+        Some(steps) => {
+            let mut downloads = 0usize;
+            let mut launches = 0usize;
+            for (i, step) in steps.iter().enumerate() {
+                match step.get("op").and_then(Json::as_str) {
+                    Some("convert") | Some("convert_back") => {
+                        if step.get("layout").and_then(Json::as_str).is_none() {
+                            problem(format!("steps[{i}] missing string field \"layout\""));
+                        }
+                    }
+                    Some("upload") => {
+                        if !slot_ok(step.get("slot").and_then(Json::as_num)) {
+                            problem(format!("steps[{i}] upload slot out of range"));
+                        }
+                        if step.get("source").and_then(Json::as_str).is_none() {
+                            problem(format!("steps[{i}] missing string field \"source\""));
+                        }
+                    }
+                    Some("alloc") => {
+                        if !slot_ok(step.get("slot").and_then(Json::as_num)) {
+                            problem(format!("steps[{i}] alloc slot out of range"));
+                        }
+                    }
+                    Some("launch") => {
+                        launches += 1;
+                        if step.get("kernel").and_then(Json::as_str).is_none() {
+                            problem(format!("steps[{i}] missing string field \"kernel\""));
+                        }
+                        for key in ["grid_blocks", "threads_per_block", "regs_per_thread"] {
+                            match step.get(key).and_then(Json::as_num) {
+                                Some(v) if v > 0.0 && v.fract() == 0.0 => {}
+                                _ => problem(format!(
+                                    "steps[{i}] missing positive integer {key:?}"
+                                )),
+                            }
+                        }
+                        match step.get("binds").and_then(Json::as_arr) {
+                            Some(binds) => {
+                                for (j, b) in binds.iter().enumerate() {
+                                    if !slot_ok(b.as_num()) {
+                                        problem(format!(
+                                            "steps[{i}] binds[{j}] slot out of range"
+                                        ));
+                                    }
+                                }
+                            }
+                            None => problem(format!("steps[{i}] missing array field \"binds\"")),
+                        }
+                    }
+                    Some("download") => {
+                        downloads += 1;
+                        if !slot_ok(step.get("slot").and_then(Json::as_num)) {
+                            problem(format!("steps[{i}] download slot out of range"));
+                        }
+                    }
+                    Some(other) => problem(format!("steps[{i}] has unknown op {other:?}")),
+                    None => problem(format!("steps[{i}] missing string field \"op\"")),
+                }
+            }
+            if downloads != 1 {
+                problem(format!("expected exactly one download step, found {downloads}"));
+            }
+            if launches == 0 {
+                problem("plan schedules no kernel launches".into());
+            }
+        }
+        None => problem("missing array field \"steps\"".into()),
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gtx480_plan(m: usize, n: usize, bytes: usize) -> SolvePlan {
+        SolvePlan::build(
+            &DeviceSpec::gtx480(),
+            &GpuSolverConfig::default(),
+            m,
+            n,
+            bytes,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn k0_plan_is_single_kernel_seven_buffers() {
+        let plan = gtx480_plan(2048, 128, 8);
+        assert_eq!(plan.k, 0);
+        assert_eq!(plan.layout, Layout::Interleaved);
+        assert_eq!(plan.buffers.len(), 7);
+        assert_eq!(plan.launches().count(), 1);
+        assert_eq!(plan.device_elems(), 7 * 2048 * 128);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn split_plan_is_two_kernels_eleven_buffers() {
+        let plan = gtx480_plan(64, 512, 8);
+        assert!(plan.k > 0);
+        assert!(!plan.fused);
+        assert_eq!(plan.buffers.len(), 11);
+        let names: Vec<_> = plan.launches().map(|l| l.name).collect();
+        assert_eq!(names, ["tiled_pcr", "p_thomas"]);
+        assert_eq!(plan.device_elems(), 11 * 64 * 512);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn fused_plan_is_one_kernel_seven_buffers() {
+        let plan = SolvePlan::build(
+            &DeviceSpec::gtx480(),
+            &GpuSolverConfig {
+                fused: true,
+                mapping: MappingVariant::BlockPerSystem,
+                ..Default::default()
+            },
+            64,
+            512,
+            8,
+        )
+        .unwrap();
+        assert!(plan.fused);
+        assert_eq!(plan.buffers.len(), 7);
+        let names: Vec<_> = plan.launches().map(|l| l.name).collect();
+        assert_eq!(names, ["fused_pcr_thomas"]);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_geometry_is_a_typed_error() {
+        for (m, n) in [(0usize, 64usize), (64, 0), (0, 0)] {
+            let err = SolvePlan::build(
+                &DeviceSpec::gtx480(),
+                &GpuSolverConfig::default(),
+                m,
+                n,
+                8,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidPlan(_)),
+                "m={m} n={n}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_scalar_width_is_a_typed_error() {
+        let err =
+            SolvePlan::build(&DeviceSpec::gtx480(), &GpuSolverConfig::default(), 4, 64, 2)
+                .unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlan(_)), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_batch_is_a_typed_oom_error() {
+        // 11 buffers x m x n x 8 bytes must exceed 1.5 GiB.
+        let err = SolvePlan::build(
+            &DeviceSpec::gtx480(),
+            &GpuSolverConfig::default(),
+            64,
+            1 << 20,
+            8,
+        )
+        .unwrap_err();
+        match err {
+            SimError::InvalidPlan(msg) => {
+                assert!(msg.contains("global memory"), "{msg}")
+            }
+            other => panic!("expected InvalidPlan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_catches_malformed_plans() {
+        let mut plan = gtx480_plan(16, 128, 8);
+        // Bind a slot past the table.
+        if let Some(Step::Launch(ls)) = plan
+            .steps
+            .iter_mut()
+            .find(|s| matches!(s, Step::Launch(_)))
+        {
+            if let KernelOp::TiledPcr { input, .. } = &mut ls.op {
+                input[0] = 99;
+            }
+        }
+        assert!(plan.validate().is_err());
+
+        let mut plan = gtx480_plan(16, 128, 8);
+        plan.steps.retain(|s| !matches!(s, Step::Download { .. }));
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn plan_json_round_trips_and_validates() {
+        for (m, n, bytes) in [(2048usize, 128usize, 8usize), (64, 512, 8), (16, 1024, 4)] {
+            let plan = gtx480_plan(m, n, bytes);
+            let text = plan.to_json().to_string();
+            let doc = gpu_sim::json::parse(&text).unwrap();
+            let problems = validate_plan_json(&doc);
+            assert!(problems.is_empty(), "m={m} n={n}: {problems:?}");
+        }
+    }
+
+    #[test]
+    fn json_validator_rejects_drift() {
+        let plan = gtx480_plan(64, 512, 8);
+        let mut doc = plan.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "steps");
+        }
+        assert!(!validate_plan_json(&doc).is_empty());
+
+        let mut doc = plan.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "schema" {
+                    *v = Json::str("tridiag.solve_plan/v999");
+                }
+            }
+        }
+        assert!(!validate_plan_json(&doc).is_empty());
+    }
+}

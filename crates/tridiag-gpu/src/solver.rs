@@ -2,32 +2,34 @@
 //! (Section III).
 //!
 //! [`GpuTridiagSolver::solve_batch`] is the reproduction of the paper's
-//! runtime: pick the PCR step count `k` from `(M, hardware)` via the
-//! transition policy (Section III-D), then
+//! runtime, split into two pure halves:
 //!
-//! - `k = 0` (many systems): run p-Thomas directly on the interleaved
-//!   batch — Table III's `M ≥ 1024` row;
-//! - `k > 0`: run tiled PCR (one of the Fig. 11 grid mappings) followed
-//!   by p-Thomas over the `2^k·M` interleaved subsystems, or the fused
-//!   single-kernel pipeline (Section III-C).
+//! - **plan** ([`crate::plan::SolvePlan::build`]): pick the PCR step
+//!   count `k` from `(M, hardware)` via the transition policy (Section
+//!   III-D), resolve the Fig. 11 grid mapping, and lay out the full
+//!   step sequence — `k = 0` runs p-Thomas directly on the interleaved
+//!   batch (Table III's `M ≥ 1024` row); `k > 0` runs tiled PCR then
+//!   p-Thomas over the `2^k·M` subsystems, or the fused single-kernel
+//!   pipeline (Section III-C);
+//! - **execute** ([`crate::executor::PlanExecutor::run`]): walk the
+//!   plan, launch the kernels, and collect every artifact.
 //!
 //! The returned [`GpuSolveReport`] carries per-kernel modeled timings,
-//! traffic summaries and occupancy — everything the figure harness
-//! prints.
+//! traffic summaries, occupancy, and the plan itself — everything the
+//! figure harness prints.
 
-use crate::buffers::{upload, GpuScalar};
-use crate::consts::{PTHOMAS_BLOCK, REGS_FUSED, REGS_PTHOMAS, REGS_TILED_PCR};
-use crate::kernels::fused::FusedKernel;
-use crate::kernels::p_thomas::{AddrMap, PThomasKernel};
-use crate::kernels::tiled_pcr::TiledPcrKernel;
-use gpu_sim::timing::{time_kernel, TrafficSummary};
+use crate::buffers::GpuScalar;
+use crate::consts::PTHOMAS_BLOCK;
+use crate::executor::PlanExecutor;
+use crate::plan::SolvePlan;
+use gpu_sim::timing::TrafficSummary;
 use gpu_sim::trace::Trace;
 use gpu_sim::{
-    launch_with, BoundKind, DeviceSpec, ExecConfig, GpuMemory, Json, KernelTiming, LaunchConfig,
-    LintConfig, LintReport, PhaseTiming, Precision, Result, SanitizerViolation,
+    BoundKind, DeviceSpec, ExecConfig, Json, KernelTiming, LintReport, PhaseTiming, Result,
+    SanitizerViolation,
 };
-use tridiag_core::transition::{choose_k, max_k_for, TransitionPolicy};
-use tridiag_core::{Layout, SystemBatch};
+use tridiag_core::transition::TransitionPolicy;
+use tridiag_core::SystemBatch;
 
 /// How tiled-PCR work maps onto the grid (Fig. 11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +126,9 @@ pub struct GpuSolveReport {
     /// each kernel launch with its per-phase children. Export with
     /// [`gpu_sim::trace::Trace::to_chrome_json`].
     pub trace: Trace,
+    /// The declarative plan the solve executed — the full step
+    /// sequence with launch geometry and buffer bindings.
+    pub plan: SolvePlan,
 }
 
 impl GpuSolveReport {
@@ -226,7 +231,8 @@ impl GpuSolveReport {
     }
 
     /// Serialize the full report (timings, per-phase breakdowns,
-    /// sanitizer/lint findings, and the trace) as a JSON object.
+    /// sanitizer/lint findings, the plan, and the trace) as a JSON
+    /// object.
     pub fn to_json(&self) -> Json {
         let phase_json = |ph: &PhaseTiming| {
             Json::Obj(vec![
@@ -303,6 +309,7 @@ impl GpuSolveReport {
             ),
             ("lint_mismatches".into(), strings(&self.lint_mismatches)),
             ("phase_sum_mismatches".into(), strings(&self.phase_sum_mismatches)),
+            ("plan".into(), self.plan.to_json()),
             ("trace".into(), trace),
         ])
     }
@@ -334,425 +341,30 @@ impl GpuTridiagSolver {
     /// Largest `k` whose window still fits this device's shared memory
     /// at scale `c` and element size `bytes`.
     pub fn max_k_for_shared(&self, c: usize, bytes: usize) -> u32 {
-        let mut k = 0u32;
-        while k < 20 {
-            let st = c.max(1) << (k + 1);
-            let elems = TiledPcrKernel::shared_elems_per_slot(k + 1, st);
-            if elems * bytes > self.spec.max_shared_per_block {
-                break;
-            }
-            k += 1;
-        }
-        k
+        crate::plan::max_k_for_shared(&self.spec, c, bytes)
     }
 
-    /// Solve every system in `batch` on the simulated device. Returns
-    /// the solutions in the batch's layout plus the solve report.
+    /// Plan (but do not execute) a solve of `m` systems of `n` rows at
+    /// `elem_bytes` scalar width — the dry-run entry point behind
+    /// `tridiag plan` and `solve --dry-run`.
+    pub fn plan_geometry(&self, m: usize, n: usize, elem_bytes: usize) -> Result<SolvePlan> {
+        SolvePlan::build(&self.spec, &self.config, m, n, elem_bytes)
+    }
+
+    /// Solve every system in `batch` on the simulated device: build the
+    /// plan, then run it through the executor. Returns the solutions in
+    /// the batch's layout plus the solve report.
     pub fn solve_batch<S: GpuScalar>(
         &self,
         batch: &SystemBatch<S>,
     ) -> Result<(Vec<S>, GpuSolveReport)> {
-        let m = batch.num_systems();
-        let n = batch.system_len();
-        let precision = if <S as gpu_sim::Elem>::BYTES == 4 {
-            Precision::F32
-        } else {
-            Precision::F64
-        };
-        let c = self.config.sub_tile_scale.max(1);
-        let mut k = choose_k(self.config.policy, m, n)
-            .min(self.max_k_for_shared(c, <S as gpu_sim::Elem>::BYTES))
-            .min(max_k_for(n));
-        // 2^k threads per group must fit a block.
-        while k > 0 && (1u32 << k) > self.spec.max_threads_per_block {
-            k -= 1;
-        }
-
-        let mut kernels: Vec<KernelReport> = Vec::new();
-        let mut violations: Vec<SanitizerViolation> = Vec::new();
-        let mut lints: Vec<LintReport> = Vec::new();
-        let mut lint_mismatches: Vec<String> = Vec::new();
-        let mut phase_sums: Vec<String> = Vec::new();
-        let mut mem = GpuMemory::new();
-        // Device footprint for the buffer_setup trace marker: every path
-        // uploads the five coefficient/solution buffers.
-        let mut buffer_elems = 5 * m * n;
-
-        let x = if k == 0 {
-            // ---- pure p-Thomas on the interleaved batch -------------
-            let inter = batch.to_layout(Layout::Interleaved);
-            let dev = upload(&mut mem, &inter);
-            let cp = mem.alloc(dev.total());
-            let dp = mem.alloc(dev.total());
-            buffer_elems += 2 * dev.total();
-            let kernel = PThomasKernel {
-                a: dev.a,
-                b: dev.b,
-                c: dev.c,
-                d: dev.d,
-                c_prime: cp,
-                d_prime: dp,
-                x: dev.x,
-                map: AddrMap::Interleaved { m, n },
-            };
-            let cfg = LaunchConfig::new(
-                "p_thomas",
-                m.div_ceil(self.config.pthomas_block as usize),
-                self.config.pthomas_block.min(m as u32).max(1),
-            )
-            .with_regs(REGS_PTHOMAS);
-            let mut res = launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
-            violations.append(&mut res.violations);
-            collect_lint(&mut res, &mut lints, &mut lint_mismatches);
-            kernels.push(self.report(&res, precision, &mut phase_sums));
-            // Convert back to the caller's layout.
-            let xi = mem.read(dev.x)?;
-            let mut out = vec![S::ZERO; batch.total_len()];
-            for sys in 0..m {
-                for row in 0..n {
-                    out[batch.index(sys, row)] = xi[row * m + sys];
-                }
-            }
-            out
-        } else {
-            let contig = batch.to_layout(Layout::Contiguous);
-            let dev = upload(&mut mem, &contig);
-            let st = c << k;
-            let mapping = self.resolve_mapping(m, n, k, st, <S as gpu_sim::Elem>::BYTES);
-
-            let use_fused = self.config.fused
-                && matches!(mapping, MappingVariant::BlockPerSystem);
-            let xr = if use_fused {
-                let cp = mem.alloc(m * n);
-                let dp = mem.alloc(m * n);
-                buffer_elems += 2 * m * n;
-                let kernel = FusedKernel {
-                    input: [dev.a, dev.b, dev.c, dev.d],
-                    c_prime: cp,
-                    d_prime: dp,
-                    x: dev.x,
-                    n,
-                    k,
-                    sub_tile: st,
-                    m,
-                };
-                let cfg = LaunchConfig::new("fused_pcr_thomas", m, 1 << k).with_regs(REGS_FUSED);
-                let mut res =
-                    launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
-                violations.append(&mut res.violations);
-                collect_lint(&mut res, &mut lints, &mut lint_mismatches);
-                kernels.push(self.report(&res, precision, &mut phase_sums));
-                mem.read(dev.x)?.to_vec()
-            } else {
-                let (assignments, threads) = match mapping {
-                    MappingVariant::BlockPerSystem => {
-                        (TiledPcrKernel::assign_block_per_system(m, n), 1u32 << k)
-                    }
-                    MappingVariant::BlockGroupPerSystem(g) => (
-                        TiledPcrKernel::assign_block_group_per_system(m, n, g),
-                        1u32 << k,
-                    ),
-                    MappingVariant::MultiSystemPerBlock(q) => (
-                        TiledPcrKernel::assign_multi_system_per_block(m, n, q),
-                        ((q as u32) << k).min(self.spec.max_threads_per_block),
-                    ),
-                    MappingVariant::Auto => unreachable!("resolved above"),
-                };
-                let out = [
-                    mem.alloc(m * n),
-                    mem.alloc(m * n),
-                    mem.alloc(m * n),
-                    mem.alloc(m * n),
-                ];
-                buffer_elems += 4 * m * n;
-                let blocks = assignments.len();
-                let kernel = TiledPcrKernel {
-                    input: [dev.a, dev.b, dev.c, dev.d],
-                    output: out,
-                    n,
-                    k,
-                    sub_tile: st,
-                    assignments,
-                };
-                let cfg =
-                    LaunchConfig::new("tiled_pcr", blocks, threads).with_regs(REGS_TILED_PCR);
-                let mut res =
-                    launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
-                violations.append(&mut res.violations);
-                collect_lint(&mut res, &mut lints, &mut lint_mismatches);
-                kernels.push(self.report(&res, precision, &mut phase_sums));
-
-                // p-Thomas over the 2^k·M interleaved subsystems.
-                let cp = mem.alloc(m * n);
-                let dp = mem.alloc(m * n);
-                buffer_elems += 2 * m * n;
-                let map = AddrMap::HybridSubsystems { m, n, k };
-                let total_threads = map.num_threads();
-                let kernel = PThomasKernel {
-                    a: out[0],
-                    b: out[1],
-                    c: out[2],
-                    d: out[3],
-                    c_prime: cp,
-                    d_prime: dp,
-                    x: dev.x,
-                    map,
-                };
-                let tpb = self
-                    .config
-                    .pthomas_block
-                    .min(total_threads as u32)
-                    .max(1);
-                let cfg = LaunchConfig::new(
-                    "p_thomas",
-                    total_threads.div_ceil(tpb as usize),
-                    tpb,
-                )
-                .with_regs(REGS_PTHOMAS);
-                let mut res =
-                    launch_with(&self.spec, &cfg, &self.config.exec, &kernel, &mut mem)?;
-                violations.append(&mut res.violations);
-                collect_lint(&mut res, &mut lints, &mut lint_mismatches);
-                kernels.push(self.report(&res, precision, &mut phase_sums));
-                mem.read(dev.x)?.to_vec()
-            };
-
-            // Contiguous → caller's layout.
-            let mut out = vec![S::ZERO; batch.total_len()];
-            for sys in 0..m {
-                for row in 0..n {
-                    out[batch.index(sys, row)] = xr[sys * n + row];
-                }
-            }
-            let trace = self.build_trace(
-                m,
-                n,
-                k,
-                mapping,
-                use_fused,
-                S::NAME,
-                buffer_elems,
-                <S as gpu_sim::Elem>::BYTES,
-                &kernels,
-            );
-            let report = GpuSolveReport {
-                k,
-                mapping,
-                fused: use_fused,
-                total_us: kernels.iter().map(|kr| kr.timing.total_us).sum(),
-                kernels,
-                precision: S::NAME,
-                violations,
-                lints,
-                lint_mismatches,
-                phase_sum_mismatches: phase_sums,
-                trace,
-            };
-            return Ok((out, report));
-        };
-
-        let trace = self.build_trace(
-            m,
-            n,
-            k,
-            MappingVariant::BlockPerSystem,
-            false,
-            S::NAME,
-            buffer_elems,
+        let plan = self.plan_geometry(
+            batch.num_systems(),
+            batch.system_len(),
             <S as gpu_sim::Elem>::BYTES,
-            &kernels,
-        );
-        let report = GpuSolveReport {
-            k,
-            mapping: MappingVariant::BlockPerSystem,
-            fused: false,
-            total_us: kernels.iter().map(|kr| kr.timing.total_us).sum(),
-            kernels,
-            precision: S::NAME,
-            violations,
-            lints,
-            lint_mismatches,
-            phase_sum_mismatches: phase_sums,
-            trace,
-        };
-        Ok((x, report))
-    }
-
-    fn report(
-        &self,
-        res: &gpu_sim::LaunchResult,
-        precision: Precision,
-        phase_sums: &mut Vec<String>,
-    ) -> KernelReport {
-        for msg in res.stats.phase_sum_mismatches() {
-            phase_sums.push(format!("{}: {msg}", res.name));
-        }
-        KernelReport {
-            timing: time_kernel(&self.spec, res, precision),
-            traffic: TrafficSummary::from_stats(&self.spec, &res.stats),
-            shared_bytes: res.shared_bytes_per_block,
-            blocks: res.stats.blocks,
-        }
-    }
-
-    /// Build the solve's span/event trace from the finished kernel
-    /// reports: pipeline decisions as instants at t = 0, then each
-    /// launch as a span on a cumulative modeled-time axis with its
-    /// launch overhead and per-phase children nested inside.
-    #[allow(clippy::too_many_arguments)]
-    fn build_trace(
-        &self,
-        m: usize,
-        n: usize,
-        k: u32,
-        mapping: MappingVariant,
-        fused: bool,
-        precision: &'static str,
-        buffer_elems: usize,
-        elem_bytes: usize,
-        kernels: &[KernelReport],
-    ) -> Trace {
-        let mut tr = Trace::new(format!("tridiag solve on {}", self.spec.name));
-        let total: f64 = kernels.iter().map(|kr| kr.timing.total_us).sum();
-        tr.span(
-            "solve",
-            "solver",
-            0,
-            0.0,
-            total,
-            vec![
-                ("m".into(), Json::num(m as f64)),
-                ("n".into(), Json::num(n as f64)),
-                ("precision".into(), Json::str(precision)),
-            ],
-        );
-        tr.instant(
-            "transition_rule",
-            "solver",
-            0,
-            0.0,
-            vec![
-                ("policy".into(), Json::str(format!("{:?}", self.config.policy))),
-                ("m".into(), Json::num(m as f64)),
-                ("n".into(), Json::num(n as f64)),
-                ("parallelism".into(), Json::num(self.spec.parallelism() as f64)),
-                ("k".into(), Json::num(k)),
-            ],
-        );
-        tr.instant(
-            "grid_mapping",
-            "solver",
-            0,
-            0.0,
-            vec![
-                ("mapping".into(), Json::str(format!("{mapping:?}"))),
-                ("fused".into(), Json::Bool(fused)),
-            ],
-        );
-        tr.instant(
-            "buffer_setup",
-            "solver",
-            0,
-            0.0,
-            vec![
-                ("device_elems".into(), Json::num(buffer_elems as f64)),
-                ("device_bytes".into(), Json::num((buffer_elems * elem_bytes) as f64)),
-            ],
-        );
-        let mut cursor = 0.0f64;
-        for kr in kernels {
-            let t = &kr.timing;
-            tr.span(
-                format!("kernel:{}", t.name),
-                "kernel",
-                0,
-                cursor,
-                t.total_us,
-                vec![
-                    ("blocks".into(), Json::num(kr.blocks as f64)),
-                    ("bound".into(), Json::str(format!("{:?}", t.bound))),
-                    ("occupancy".into(), Json::num(t.occupancy_fraction)),
-                    ("waves".into(), Json::num(t.waves)),
-                ],
-            );
-            tr.span("launch_overhead", "kernel", 0, cursor, t.launch_us, Vec::new());
-            let mut at = cursor + t.launch_us;
-            for ph in &t.phases {
-                tr.span(
-                    format!("phase:{}", ph.label),
-                    "phase",
-                    0,
-                    at,
-                    ph.us,
-                    vec![
-                        ("bound".into(), Json::str(format!("{:?}", ph.bound))),
-                        ("flops".into(), Json::num(ph.stats.flops as f64)),
-                        ("global_bytes".into(), Json::num(ph.stats.global_bytes() as f64)),
-                        (
-                            "transactions".into(),
-                            Json::num(ph.stats.global_transactions() as f64),
-                        ),
-                    ],
-                );
-                at += ph.us;
-            }
-            cursor += t.total_us;
-        }
-        tr
-    }
-
-    /// Resolve [`MappingVariant::Auto`]: partition lone large systems
-    /// across block groups so more SMs engage; otherwise one block per
-    /// system.
-    fn resolve_mapping(
-        &self,
-        m: usize,
-        n: usize,
-        k: u32,
-        st: usize,
-        elem_bytes: usize,
-    ) -> MappingVariant {
-        match self.config.mapping {
-            MappingVariant::Auto => {
-                let want_blocks = 2 * self.spec.num_sms as usize;
-                if m < want_blocks {
-                    // Partition each system, but keep partitions at
-                    // least 4 sub-tiles long so halo overhead stays
-                    // negligible.
-                    let g_max_useful = (n / (4 * st)).max(1);
-                    let g = want_blocks.div_ceil(m).min(g_max_useful);
-                    if g > 1 {
-                        return MappingVariant::BlockGroupPerSystem(g);
-                    }
-                }
-                let _ = elem_bytes;
-                MappingVariant::BlockPerSystem
-            }
-            explicit => {
-                if let MappingVariant::MultiSystemPerBlock(q) = explicit {
-                    // Validate the footprint fits shared memory.
-                    let elems = TiledPcrKernel::shared_elems_per_slot(k, st) * q;
-                    if elems * elem_bytes > self.spec.max_shared_per_block {
-                        return MappingVariant::BlockPerSystem;
-                    }
-                }
-                explicit
-            }
-        }
-    }
-}
-
-/// When the launch recorded an access plan, lint it and cross-check
-/// the static counter predictions against the measured stats.
-fn collect_lint(
-    res: &mut gpu_sim::LaunchResult,
-    lints: &mut Vec<LintReport>,
-    mismatches: &mut Vec<String>,
-) {
-    if let Some(plan) = res.plan.take() {
-        let lr = gpu_sim::lint(&plan, &LintConfig::default());
-        mismatches.extend(lr.cross_check(&res.stats));
-        lints.push(lr);
+        )?;
+        let mut executor = PlanExecutor::new(self.spec.clone(), self.config.exec);
+        executor.run(&plan, batch)
     }
 }
 
@@ -801,6 +413,20 @@ mod tests {
         let (_, report) = solve_batch_gtx480(&batch).unwrap();
         assert_eq!(report.k, 0);
         assert_eq!(report.kernels.len(), 1);
+    }
+
+    #[test]
+    fn report_carries_the_executed_plan() {
+        let batch = random_batch::<f64>(32, 512, 5);
+        let solver = GpuTridiagSolver::gtx480();
+        let (_, report) = solver.solve_batch(&batch).unwrap();
+        let planned = solver.plan_geometry(32, 512, 8).unwrap();
+        assert_eq!(report.plan, planned);
+        assert_eq!(
+            report.kernels.len(),
+            report.plan.launches().count(),
+            "one report per planned launch"
+        );
     }
 
     #[test]

@@ -11,14 +11,15 @@
 //! zoo is the executable statement of that contract.
 
 use crate::buffers::{upload, GpuScalar};
+use crate::executor::PlanExecutor;
 use crate::kernels::cr_shared::CrSharedKernel;
 use crate::kernels::fused::FusedKernel;
 use crate::kernels::p_thomas::{AddrMap, PThomasKernel};
 use crate::kernels::pcr_shared::PcrSharedKernel;
 use crate::kernels::tiled_pcr::TiledPcrKernel;
 use gpu_sim::{
-    launch_with, time_kernel, BlockKernel, DeviceSpec, ExecConfig, GpuMemory, KernelStats,
-    KernelTiming, LaunchConfig, LintConfig, LintReport, Precision, Result,
+    BlockKernel, DeviceSpec, ExecConfig, GpuMemory, KernelStats, KernelTiming, LaunchConfig,
+    LintReport, Result,
 };
 use tridiag_core::generators::random_batch;
 use tridiag_core::Layout;
@@ -56,25 +57,20 @@ fn run_entry<S: GpuScalar, K: BlockKernel<S>>(
     kernel: &K,
     mem: &mut GpuMemory<S>,
 ) -> Result<ZooEntry> {
-    let exec = ExecConfig::planned();
-    let spec = DeviceSpec::gtx480();
-    let res = launch_with(&spec, cfg, &exec, kernel, mem)?;
-    let plan = res.plan.as_ref().expect("planned exec records a plan");
-    let report = gpu_sim::lint(plan, &LintConfig::default());
-    let mismatches = report.cross_check(&res.stats);
-    let precision = if <S as gpu_sim::Elem>::BYTES == 4 {
-        Precision::F32
-    } else {
-        Precision::F64
-    };
-    let timing = time_kernel(&spec, &res, precision);
+    // One launch through the shared plan executor: it owns the lint,
+    // cross-check and timing bookkeeping the zoo used to duplicate.
+    let mut ex = PlanExecutor::new(DeviceSpec::gtx480(), ExecConfig::planned());
+    ex.launch(cfg, kernel, mem)?;
+    let report = ex.take_last_lint()?;
+    let (kernel_report, stats) = ex.take_last_launch()?;
+    let mismatches = std::mem::take(&mut ex.lint_mismatches);
     Ok(ZooEntry {
         kernel: report.kernel,
         geometry,
         report,
-        stats: res.stats,
+        stats,
         mismatches,
-        timing,
+        timing: kernel_report.timing,
     })
 }
 

@@ -36,6 +36,9 @@ cargo test -q -p tridiag-gpu --test phase_sums
 echo "== trace export (Chrome-trace schema + round-trip) =="
 cargo test -q -p tridiag-gpu --test trace_roundtrip
 
+echo "== plan snapshots (golden describe() + plan-then-execute bit-identity) =="
+cargo test --release -q -p tridiag-gpu --test plan_snapshots
+
 echo "== CLI lint over the kernel zoo (exit 0 = no findings) =="
 cargo run --release -q -p tridiag-cli -- lint
 
@@ -43,6 +46,13 @@ echo "== CLI --check smoke (sanitizer + lint on a solve) =="
 out="$(cargo run --release -q -p tridiag-cli -- solve --m 8 --n 256 --check)"
 grep -q "sanitizer   : clean" <<<"$out"
 grep -q "lint        : clean" <<<"$out"
+
+echo "== CLI plan smoke (dry-run planning, schema-validated JSON, exit 2 on drift) =="
+cargo run --release -q -p tridiag-cli -- plan --sweep > /dev/null
+out="$(cargo run --release -q -p tridiag-cli -- solve --m 16 --n 1024 --dry-run)"
+grep -q "dry run     : no kernels launched" <<<"$out"
+out="$(cargo run --release -q -p tridiag-cli -- plan --m 64 --n 512 --json)"
+grep -q "tridiag.solve_plan/v1" <<<"$out"
 
 echo "== CLI profile smoke (trace schema + phase sums, exit 2 on violation) =="
 tracedir="$(mktemp -d)"
