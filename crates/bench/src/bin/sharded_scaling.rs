@@ -1,0 +1,84 @@
+//! Multi-device scaling table: the modeled kernel wall-clock of the
+//! sharded solver across homogeneous GTX480 groups of 1, 2, 4 and 8
+//! devices, on the large Fig. 12 geometries.
+//!
+//! Check to make: solutions stay bit-identical at every `D` (the table
+//! prints the FNV-1a solution hash once per geometry — it must not
+//! change with `D`), and the wall-clock scales close to `1/D` while the
+//! summed per-shard kernel time stays flat (work is conserved, only
+//! redistributed). Copies are modeled per device stream but excluded
+//! from the kernel wall-clock column (DESIGN.md §10).
+//!
+//! Run: `cargo run --release -p bench --bin sharded_scaling [-- --fast]`
+
+use bench::table::TextTable;
+use bench::HarnessArgs;
+use gpu_sim::{DeviceGroup, DeviceSpec};
+use tridiag_core::generators::random_batch;
+use tridiag_gpu::solver::GpuTridiagSolver;
+
+fn solution_hash(x: &[f64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in x {
+        for b in format!("{v:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let geometries: &[(usize, usize)] = if args.fast {
+        &[(64, 512)]
+    } else {
+        &[(64, 2048), (256, 2048), (1024, 512)]
+    };
+    let device_counts: &[usize] = if args.fast { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    println!("== multi-device sharding: modeled kernel wall-clock vs device count (GTX480) ==");
+    let solver = GpuTridiagSolver::gtx480();
+    let mut t = TextTable::new([
+        "M",
+        "N",
+        "D",
+        "wall [us]",
+        "speedup",
+        "sum kernel [us]",
+        "solution hash",
+    ]);
+    for &(m, n) in geometries {
+        let batch = random_batch::<f64>(m, n, 42);
+        let mut base_us = 0.0f64;
+        for &d in device_counts {
+            let group = DeviceGroup::homogeneous(DeviceSpec::gtx480(), d).expect("group");
+            let (x, report) = solver
+                .solve_batch_group::<f64>(&group, &batch)
+                .expect("sharded solve");
+            if d == 1 {
+                base_us = report.total_us;
+            }
+            let sum_kernel: f64 = if report.shards.is_empty() {
+                report.total_us
+            } else {
+                report.shards.iter().map(|s| s.kernel_us).sum()
+            };
+            t.row([
+                m.to_string(),
+                n.to_string(),
+                d.to_string(),
+                format!("{:.1}", report.total_us),
+                format!("{:.2}x", base_us / report.total_us),
+                format!("{sum_kernel:.1}"),
+                format!("{:016x}", solution_hash(&x)),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "hash constant down each geometry's column = bit-identity across D; \
+         wall-clock ~1/D while summed kernel time stays flat = work conserved"
+    );
+}

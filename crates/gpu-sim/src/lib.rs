@@ -74,6 +74,7 @@
 pub mod counters;
 pub mod error;
 pub mod exec;
+pub mod group;
 pub mod json;
 pub mod lint;
 pub mod memory;
@@ -90,6 +91,7 @@ pub use exec::{
     launch, launch_with, BlockCtx, BlockKernel, BufId, Elem, ExecConfig, GpuMemory, LaunchConfig,
     LaunchResult,
 };
+pub use group::{DeviceGroup, DeviceStream, GroupTimeline, StreamEvent, StreamOp};
 pub use lint::{lint, Diagnostic, DiagClass, LintConfig, LintReport, Prediction, Severity};
 pub use plan::{AccessKind, AccessPlan, AffinePiece, BlockPlan, PlanEvent, PlannedAccess};
 pub use sanitizer::{AccessSite, MemSpace, RaceKind, SanitizerViolation};

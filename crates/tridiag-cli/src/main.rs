@@ -23,7 +23,7 @@
 mod args;
 
 use args::Args;
-use gpu_sim::DeviceSpec;
+use gpu_sim::{DeviceGroup, DeviceSpec};
 use std::process::ExitCode;
 use tridiag_core::generators::random_batch;
 use tridiag_core::SystemBatch;
@@ -42,18 +42,47 @@ fn device_by_name(name: &str) -> Result<DeviceSpec, String> {
     }
 }
 
+/// Parse `--devices`: either a device count (`--devices 4` — that many
+/// copies of `--device`) or a comma-separated list of device names
+/// (`--devices gtx480,gtx280` — a heterogeneous group). Returns `None`
+/// when the flag is absent (single-device paths unchanged).
+fn device_group(a: &Args, base: &DeviceSpec) -> Result<Option<DeviceGroup>, String> {
+    let Some(value) = a.get("devices") else {
+        return Ok(None);
+    };
+    let group = if let Ok(count) = value.parse::<usize>() {
+        DeviceGroup::homogeneous(base.clone(), count)
+    } else {
+        let specs = value
+            .split(',')
+            .map(device_by_name)
+            .collect::<Result<Vec<_>, _>>()?;
+        DeviceGroup::from_specs(specs)
+    };
+    group
+        .map(Some)
+        .map_err(|e| format!("--devices {value}: {e}"))
+}
+
 fn usage() -> &'static str {
     "usage:\n  tridiag solve   --m M --n N [--engine gpu|cpu|cpu-mt|davidson|zhang] \
-     [--precision f64|f32] [--device gtx480|gtx280|c2050] [--seed S] [--verbose] \
-     [--sanitize] [--lint] [--check] [--trace FILE] [--json] [--dry-run]\n  \
-     tridiag plan    --m M --n N [--precision f64|f32] [--device D] [--json] \
-     | --sweep [--device D]\n  \
+     [--precision f64|f32] [--device gtx480|gtx280|c2050] [--devices G] [--seed S] \
+     [--verbose] [--sanitize] [--lint] [--check] [--trace FILE] [--json] [--dry-run]\n  \
+     tridiag plan    --m M --n N [--precision f64|f32] [--device D] [--devices G] \
+     [--json] | --sweep [--device D]\n  \
      tridiag profile --m M --n N [--precision f64|f32] [--device D] [--seed S] \
      [--out FILE] | --zoo [--out FILE]\n  \
      tridiag compare --m M --n N [--seed S]\n  \
-     tridiag tune    --n N [--m-list 1,16,256] [--k-max 8]\n  \
+     tridiag tune    --n N [--m-list 1,16,256] [--k-max 8] [--devices G]\n  \
      tridiag info    [--device gtx480]\n  \
      tridiag lint    [--verbose]\n\n\
+     multi-device (gpu engine only):\n  \
+     --devices G shard the batch across a device group: a count \
+     (--devices 4 =\n  \
+     \u{20}           four copies of --device) or a comma list of names\n  \
+     \u{20}           (--devices gtx480,gtx280); systems split contiguously \u{b1}1,\n  \
+     \u{20}           one worker thread per device, modeled wall-clock = max over\n  \
+     \u{20}           devices; homogeneous groups are bit-identical to one device\n\n\
      checks (gpu engine only):\n  \
      --sanitize  run every kernel under the dynamic memory/race sanitizer\n  \
      --lint      record each kernel's affine access plan, run the static lint\n  \
@@ -102,6 +131,12 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
     let trace = a.get("trace");
     let json = a.flag("json");
     let dry_run = a.flag("dry-run");
+    let group = device_group(a, &device)?;
+    if group.is_some() && engine != "gpu" {
+        return Err(Failure::Error(format!(
+            "--devices only applies to the gpu engine (got {engine:?})"
+        )));
+    }
     if (sanitize || lint || trace.is_some() || json || dry_run) && engine != "gpu" {
         let flag = if check {
             "--check"
@@ -123,6 +158,7 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
     let opts = SolveOpts {
         engine,
         device,
+        group,
         verbose: a.flag("verbose"),
         sanitize,
         lint,
@@ -141,6 +177,7 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
 struct SolveOpts<'a> {
     engine: &'a str,
     device: DeviceSpec,
+    group: Option<DeviceGroup>,
     verbose: bool,
     sanitize: bool,
     lint: bool,
@@ -158,6 +195,7 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
     let SolveOpts {
         engine,
         ref device,
+        ref group,
         verbose,
         sanitize,
         lint,
@@ -169,6 +207,18 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
         // Plan only: print k, mapping, kernel sequence and buffer
         // footprint without launching a single kernel.
         let solver = GpuTridiagSolver::new(device.clone(), GpuSolverConfig::default());
+        if let Some(group) = group {
+            let plan = solver
+                .plan_geometry_group(group, m, n, <S as gpu_sim::Elem>::BYTES)
+                .map_err(|e| e.to_string())?;
+            if json {
+                println!("{}", plan.to_json());
+            } else {
+                print!("{}", plan.describe());
+                println!("dry run     : no kernels launched");
+            }
+            return Ok(());
+        }
         let plan = solver
             .plan_geometry(m, n, <S as gpu_sim::Elem>::BYTES)
             .map_err(|e| e.to_string())?;
@@ -197,7 +247,12 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
                 ..Default::default()
             };
             let solver = GpuTridiagSolver::new(device.clone(), config);
-            let (x, report) = solver.solve_batch(&batch).map_err(|e| e.to_string())?;
+            let (x, report) = match group {
+                Some(group) => solver
+                    .solve_batch_group(group, &batch)
+                    .map_err(|e| e.to_string())?,
+                None => solver.solve_batch(&batch).map_err(|e| e.to_string())?,
+            };
             if verbose && !json {
                 print!("{report}");
             }
@@ -272,8 +327,15 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
     } else {
         println!("engine      : {engine}");
         println!("batch       : M = {m}, N = {n} ({})", S::NAME);
+        if let Some(group) = group {
+            println!("devices     : {} ({})", group.len(), group.label());
+        }
         if let Some(us) = modeled_us {
-            println!("modeled time: {us:.1} us (simulated device)");
+            if group.is_some() {
+                println!("modeled time: {us:.1} us (kernel wall-clock, max over devices)");
+            } else {
+                println!("modeled time: {us:.1} us (simulated device)");
+            }
         }
         println!("host time   : {host:?} (simulator/solver wall-clock)");
         println!("residual    : {resid:.3e}");
@@ -338,7 +400,18 @@ fn cmd_plan(a: &Args) -> Result<(), Failure> {
     let m: usize = a.get_or("m", 64)?;
     let n: usize = a.get_or("n", 1024)?;
     let elem_bytes = if a.get("precision").unwrap_or("f64") == "f32" { 4 } else { 8 };
-    let solver = GpuTridiagSolver::new(device, GpuSolverConfig::default());
+    let solver = GpuTridiagSolver::new(device.clone(), GpuSolverConfig::default());
+    if let Some(group) = device_group(a, &device)? {
+        let plan = solver
+            .plan_geometry_group(&group, m, n, elem_bytes)
+            .map_err(|e| e.to_string())?;
+        if a.flag("json") {
+            println!("{}", plan.to_json());
+        } else {
+            print!("{}", plan.describe());
+        }
+        return Ok(());
+    }
     let plan = solver
         .plan_geometry(m, n, elem_bytes)
         .map_err(|e| e.to_string())?;
@@ -390,6 +463,41 @@ fn plan_sweep(device: &DeviceSpec) -> Result<(), Failure> {
                 plan.mapping,
                 plan.fused,
                 plan.launches().map(|l| l.name).collect::<Vec<_>>().join(", "),
+                plan.device_bytes(),
+            );
+        }
+    }
+    // Sharded plans: a representative subset of the sweep, partitioned
+    // across homogeneous 2- and 4-device groups, each serialized plan
+    // re-parsed and checked against the sharded-plan schema.
+    const SHARDED: &[(usize, usize)] = &[(64, 512), (256, 2048), (16, 1024), (2048, 64)];
+    for &devices in &[2usize, 4] {
+        let group = DeviceGroup::homogeneous(device.clone(), devices)
+            .map_err(|e| e.to_string())?;
+        for &(m, n) in SHARDED {
+            let plan = solver
+                .plan_geometry_group(&group, m, n, 8)
+                .map_err(|e| e.to_string())?;
+            let text = plan.to_json().to_string();
+            match gpu_sim::json::parse(&text) {
+                Ok(doc) => {
+                    for p in tridiag_gpu::validate_sharded_plan_json(&doc) {
+                        problems.push(format!("m={m} n={n} f64 D={devices}: {p}"));
+                    }
+                }
+                Err(e) => problems.push(format!(
+                    "m={m} n={n} f64 D={devices}: JSON reparse failed: {e}"
+                )),
+            }
+            planned += 1;
+            println!(
+                "m={m:<5} n={n:<6} f64 x{devices}: k={} shards=[{}] device_bytes={}",
+                plan.reference.k,
+                plan.shards
+                    .iter()
+                    .map(|s| s.sys_count.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
                 plan.device_bytes(),
             );
         }
@@ -613,9 +721,17 @@ fn cmd_tune(a: &Args) -> Result<(), String> {
         .get_list("m-list")?
         .unwrap_or_else(|| vec![1, 16, 64, 256, 1024]);
     let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
-    println!("tuning k on simulated {} at N = {n}…", device.name);
-    let points =
-        autotune::tune::<f64>(&device, &m_values, n, k_max).map_err(|e| e.to_string())?;
+    let points = if let Some(group) = device_group(a, &device)? {
+        println!(
+            "tuning k on simulated {} ({} device(s)) at N = {n}…",
+            group.label(),
+            group.len()
+        );
+        autotune::tune_sharded::<f64>(&group, &m_values, n, k_max).map_err(|e| e.to_string())?
+    } else {
+        println!("tuning k on simulated {} at N = {n}…", device.name);
+        autotune::tune::<f64>(&device, &m_values, n, k_max).map_err(|e| e.to_string())?
+    };
     println!("{:>8} {:>8} {:>12} {:>12}", "M", "best k", "best [us]", "k=0 [us]");
     for p in points {
         println!(

@@ -10,9 +10,10 @@
 
 use crate::buffers::GpuScalar;
 use crate::executor::PlanExecutor;
-use crate::plan::SolvePlan;
+use crate::plan::{ShardedPlan, SolvePlan};
+use crate::sharded::ShardedExecutor;
 use crate::solver::{GpuSolverConfig, MappingVariant};
-use gpu_sim::{DeviceSpec, Result};
+use gpu_sim::{DeviceGroup, DeviceSpec, Result};
 use tridiag_core::generators::random_batch;
 use tridiag_core::transition::{max_k_for, TransitionPolicy};
 
@@ -107,9 +108,85 @@ pub fn tune<S: GpuScalar>(
     Ok(out)
 }
 
+/// [`tune`] across a [`DeviceGroup`]: each candidate `k` is planned as
+/// a [`ShardedPlan`] (the fixed `k` pinned into every shard) and
+/// executed through the [`ShardedExecutor`], so the ranking metric is
+/// the group's modeled kernel wall-clock — max over devices, not a sum.
+/// Candidate `k`s that cannot shard (`m <` device count never arises
+/// here since the plan itself rejects it) propagate their typed error.
+pub fn tune_sharded<S: GpuScalar + Send + Sync>(
+    group: &DeviceGroup,
+    m_values: &[usize],
+    n: usize,
+    k_max: u32,
+) -> Result<Vec<TunePoint>> {
+    let mut out = Vec::with_capacity(m_values.len());
+    for &m in m_values {
+        let cap = max_k_for(n).min(k_max);
+        let bytes = <S as gpu_sim::Elem>::BYTES;
+        let candidates: Vec<(u32, ShardedPlan)> = (0..=cap)
+            .map(|k| {
+                let config = GpuSolverConfig {
+                    policy: TransitionPolicy::Fixed(k),
+                    mapping: MappingVariant::Auto,
+                    ..Default::default()
+                };
+                ShardedPlan::build(group, &config, m, n, bytes).map(|p| (k, p))
+            })
+            .collect::<Result<_>>()?;
+        let batch = random_batch::<S>(m, n, 42 + m as u64);
+        let mut best_k = 0;
+        let mut best_us = f64::INFINITY;
+        let mut k0_us = 0.0;
+        for (k, plan) in &candidates {
+            let executor = ShardedExecutor::new(group.clone(), plan.reference.config.exec);
+            let (_, report) = executor.run(plan, &batch)?;
+            let us = report.total_us;
+            if *k == 0 {
+                k0_us = us;
+            }
+            if us < best_us {
+                best_us = us;
+                best_k = *k;
+            }
+        }
+        out.push(TunePoint {
+            m,
+            n,
+            best_k,
+            best_us,
+            k0_us,
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow simulation; run with --release")]
+    fn sharded_tuning_halves_the_wall_clock() {
+        // Two devices, balanced shards: modeled kernel wall-clock is
+        // the max over devices, so it must come in under one device
+        // solving the full batch (same probe batch, same k grid).
+        let spec = DeviceSpec::gtx480();
+        let group = DeviceGroup::homogeneous(spec.clone(), 2).unwrap();
+        let solo = tune::<f64>(&spec, &[64], 2048, 8).unwrap();
+        let duo = tune_sharded::<f64>(&group, &[64], 2048, 8).unwrap();
+        assert!(
+            duo[0].best_us < solo[0].best_us,
+            "sharded best {} us !< single-device best {} us",
+            duo[0].best_us,
+            solo[0].best_us
+        );
+        // D == 1 sharded tuning is the identity.
+        let single = DeviceGroup::single(spec);
+        let same = tune_sharded::<f64>(&single, &[64], 2048, 8).unwrap();
+        assert_eq!(same[0].best_k, solo[0].best_k);
+        assert_eq!(same[0].best_us, solo[0].best_us);
+    }
 
     #[test]
     #[cfg_attr(debug_assertions, ignore = "slow simulation; run with --release")]

@@ -290,6 +290,7 @@ impl PlanExecutor {
             phase_sum_mismatches: self.phase_sum_mismatches[first_phase_sum..].to_vec(),
             trace,
             plan: plan.clone(),
+            shards: Vec::new(),
         };
         Ok((out, report))
     }

@@ -19,11 +19,18 @@ pub mod davidson;
 pub mod executor;
 pub mod kernels;
 pub mod plan;
+pub mod sharded;
 pub mod solver;
 pub mod zhang;
 pub mod zoo;
 
 pub use buffers::{download_solution, upload, DeviceBatch, GpuScalar};
 pub use executor::PlanExecutor;
-pub use plan::{validate_plan_json, SolvePlan, Step};
-pub use solver::{GpuSolveReport, GpuSolverConfig, GpuTridiagSolver, MappingVariant};
+pub use plan::{
+    partition_systems, validate_plan_json, validate_sharded_plan_json, ShardPlan, ShardedPlan,
+    SolvePlan, Step,
+};
+pub use sharded::ShardedExecutor;
+pub use solver::{
+    GpuSolveReport, GpuSolverConfig, GpuTridiagSolver, MappingVariant, ShardSummary,
+};

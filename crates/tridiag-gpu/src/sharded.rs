@@ -1,0 +1,500 @@
+//! Multi-device sharded execution: one [`PlanExecutor`] per device on
+//! real threads, merged into a single [`GpuSolveReport`].
+//!
+//! [`ShardedExecutor::run`] takes a [`ShardedPlan`] (which pinned the
+//! reference plan's pipeline decisions into every shard — see
+//! [`crate::plan::ShardedPlan::build`]) and:
+//!
+//! 1. slices the caller's batch into per-shard sub-batches,
+//! 2. drives each shard's [`SolvePlan`](crate::plan::SolvePlan) on its
+//!    own thread (vendored crossbeam scoped threads) with a private
+//!    [`PlanExecutor`] against that shard's device spec,
+//! 3. surfaces the first shard fault — by device index, so the error is
+//!    deterministic — as one typed [`SimError`], discarding the other
+//!    shards' partial results; a worker panic is converted to
+//!    [`SimError::KernelFault`], never propagated,
+//! 4. scatter-merges the per-shard solutions back into the caller's
+//!    batch layout (bit-identical to the single-device path on a
+//!    homogeneous group),
+//! 5. replays each shard's steps onto its device's in-order stream
+//!    ([`GroupTimeline`]) — modeled H2D copies, kernel launches, the
+//!    D2H download — so the merged report's wall-clock is the **max**
+//!    over devices, and emits a merged Chrome trace with one track
+//!    (tid) per device,
+//! 6. concatenates sanitizer/lint/phase-sum artifacts (mismatch lines
+//!    prefixed `dev{i}: `) and exact per-shard counter totals into
+//!    [`GpuSolveReport::shards`].
+//!
+//! A one-shard plan short-circuits to a plain [`PlanExecutor::run`] on
+//! the primary device: `D == 1` *is* the single-device path, byte for
+//! byte.
+
+use crate::buffers::GpuScalar;
+use crate::executor::PlanExecutor;
+use crate::plan::{ShardedPlan, Step};
+use crate::solver::{GpuSolveReport, ShardSummary};
+use gpu_sim::group::copy_us;
+use gpu_sim::trace::Trace;
+use gpu_sim::{DeviceGroup, ExecConfig, GroupTimeline, Json, Result, SimError, StreamOp};
+use tridiag_core::SystemBatch;
+
+/// Drives a [`ShardedPlan`] across a [`DeviceGroup`], one thread per
+/// shard, and merges the results.
+#[derive(Debug, Clone)]
+pub struct ShardedExecutor {
+    group: DeviceGroup,
+    exec: ExecConfig,
+}
+
+/// What one shard's worker thread hands back.
+struct ShardRun<S> {
+    x: Vec<S>,
+    report: GpuSolveReport,
+    flops: u64,
+    global_transactions: u64,
+    global_bytes: u64,
+}
+
+impl ShardedExecutor {
+    /// An executor for `group` with execution options `exec` (applied
+    /// to every shard's kernels — sanitizer, plan recording, …).
+    pub fn new(group: DeviceGroup, exec: ExecConfig) -> Self {
+        Self { group, exec }
+    }
+
+    /// The device group this executor drives.
+    pub fn group(&self) -> &DeviceGroup {
+        &self.group
+    }
+
+    /// Execute `plan` over `batch` and merge the shards. Returns the
+    /// solutions in the batch's layout plus the merged report.
+    ///
+    /// Fails with [`SimError::InvalidPlan`] when the batch does not
+    /// match the plan's geometry/width or the plan was built for a
+    /// different device count; any shard failure (including a worker
+    /// panic, reported as [`SimError::KernelFault`]) aborts the whole
+    /// solve.
+    pub fn run<S: GpuScalar + Send + Sync>(
+        &self,
+        plan: &ShardedPlan,
+        batch: &SystemBatch<S>,
+    ) -> Result<(Vec<S>, GpuSolveReport)> {
+        if batch.num_systems() != plan.m || batch.system_len() != plan.n {
+            return Err(SimError::InvalidPlan(format!(
+                "batch is {}x{} but the sharded plan was built for {}x{}",
+                batch.num_systems(),
+                batch.system_len(),
+                plan.m,
+                plan.n
+            )));
+        }
+        if <S as gpu_sim::Elem>::BYTES != plan.elem_bytes {
+            return Err(SimError::InvalidPlan(format!(
+                "batch scalar is {} bytes but the sharded plan was built for {}",
+                <S as gpu_sim::Elem>::BYTES,
+                plan.elem_bytes
+            )));
+        }
+        if plan.shards.len() != self.group.len() {
+            return Err(SimError::InvalidPlan(format!(
+                "sharded plan has {} shard(s) but the group has {} device(s)",
+                plan.shards.len(),
+                self.group.len()
+            )));
+        }
+        if plan.shards.len() == 1 {
+            // D == 1 is the identity: the shard plan *is* the reference
+            // plan, and this is exactly the single-device path.
+            let mut ex = PlanExecutor::new(self.group.primary().clone(), self.exec);
+            return ex.run(&plan.shards[0].plan, batch);
+        }
+
+        // Slice the batch into per-shard sub-batches (contiguous
+        // layout; each shard re-converts to its plan's layout itself).
+        let mut subs = Vec::with_capacity(plan.shards.len());
+        for sh in &plan.shards {
+            let mut systems = Vec::with_capacity(sh.sys_count);
+            for sys in sh.sys_start..sh.sys_start + sh.sys_count {
+                systems.push(batch.system(sys).map_err(|e| {
+                    SimError::InvalidPlan(format!("extracting system {sys}: {e}"))
+                })?);
+            }
+            subs.push(SystemBatch::from_systems(systems).map_err(|e| {
+                SimError::InvalidPlan(format!(
+                    "building shard {} sub-batch: {e}",
+                    sh.device_index
+                ))
+            })?);
+        }
+
+        // One worker thread per shard, each with a private executor
+        // against its own device spec. Joining captures panics instead
+        // of propagating them.
+        let exec = self.exec;
+        let group = &self.group;
+        let joined: Vec<Result<ShardRun<S>>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .shards
+                .iter()
+                .zip(&subs)
+                .map(|(sh, sub)| {
+                    let spec = group.devices()[sh.device_index].clone();
+                    scope.spawn(move |_| -> Result<ShardRun<S>> {
+                        let mut ex = PlanExecutor::new(spec, exec);
+                        let (x, report) = ex.run(&sh.plan, sub)?;
+                        Ok(ShardRun {
+                            x,
+                            report,
+                            flops: ex.stats.iter().map(|s| s.total.flops).sum(),
+                            global_transactions: ex
+                                .stats
+                                .iter()
+                                .map(|s| s.total.global_transactions())
+                                .sum(),
+                            global_bytes: ex.stats.iter().map(|s| s.total.global_bytes()).sum(),
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(SimError::KernelFault("shard worker thread panicked".into()))
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|_| {
+            vec![Err(SimError::KernelFault(
+                "shard worker thread panicked".into(),
+            ))]
+        });
+
+        // First fault by device index wins (deterministic); the other
+        // shards' partial solutions are dropped here with `joined`.
+        let mut runs = Vec::with_capacity(joined.len());
+        for (d, r) in joined.into_iter().enumerate() {
+            match r {
+                Ok(run) => runs.push(run),
+                Err(SimError::KernelFault(msg)) => {
+                    return Err(SimError::KernelFault(format!("shard {d}: {msg}")))
+                }
+                Err(other) => return Err(other),
+            }
+        }
+
+        // Scatter-merge the shard solutions into the caller's layout.
+        let mut out = vec![S::ZERO; batch.total_len()];
+        for (sh, (sub, run)) in plan.shards.iter().zip(subs.iter().zip(&runs)) {
+            for local in 0..sh.sys_count {
+                for row in 0..plan.n {
+                    out[batch.index(sh.sys_start + local, row)] = run.x[sub.index(local, row)];
+                }
+            }
+        }
+
+        // Replay each shard's plan onto its device's in-order stream:
+        // uploads, launches (modeled kernel time), the download.
+        let mut timeline = GroupTimeline::new(&self.group);
+        for (sh, run) in plan.shards.iter().zip(&runs) {
+            let stream = timeline.stream_mut(sh.device_index);
+            let mut kernel_idx = 0usize;
+            for step in &sh.plan.steps {
+                match step {
+                    Step::Upload { slot, source } => {
+                        let bytes = sh.plan.buffers[*slot].elems * sh.plan.elem_bytes;
+                        stream.record(
+                            StreamOp::CopyH2D,
+                            format!("h2d:{}", source.label()),
+                            copy_us(bytes),
+                            bytes,
+                        );
+                    }
+                    Step::Launch(ls) => {
+                        let kr = run.report.kernels.get(kernel_idx).ok_or_else(|| {
+                            SimError::InvalidPlan(
+                                "shard report is missing a kernel launch".into(),
+                            )
+                        })?;
+                        stream.record(StreamOp::Launch, ls.name, kr.timing.total_us, 0);
+                        kernel_idx += 1;
+                    }
+                    Step::Download { slot } => {
+                        let bytes = sh.plan.buffers[*slot].elems * sh.plan.elem_bytes;
+                        stream.record(
+                            StreamOp::CopyD2H,
+                            format!("d2h:{}", sh.plan.buffers[*slot].name),
+                            copy_us(bytes),
+                            bytes,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let wall_clock = timeline.wall_clock_us();
+        // Kernel-only wall-clock: comparable with a single-device
+        // report's total_us, which never includes copies either.
+        let kernel_wall = timeline.kernel_wall_clock_us();
+
+        // Merged Chrome trace: one track (tid) per device; phase
+        // children keep their bit-exact durations, offset onto the
+        // device's stream timeline.
+        let mut trace = Trace::new(format!(
+            "tridiag sharded solve on {}",
+            self.group.label()
+        ));
+        trace.span(
+            "sharded_solve",
+            "solver",
+            0,
+            0.0,
+            wall_clock,
+            vec![
+                ("m".into(), Json::num(plan.m as f64)),
+                ("n".into(), Json::num(plan.n as f64)),
+                ("precision".into(), Json::str(plan.precision)),
+                ("devices".into(), Json::num(plan.shards.len() as f64)),
+                ("kernel_wall_us".into(), Json::num(kernel_wall)),
+                ("serialized_us".into(), Json::num(timeline.serialized_us())),
+            ],
+        );
+        trace.instant(
+            "partition",
+            "solver",
+            0,
+            0.0,
+            vec![
+                ("devices".into(), Json::num(plan.shards.len() as f64)),
+                (
+                    "shards".into(),
+                    Json::str(
+                        plan.shards
+                            .iter()
+                            .map(|sh| format!("{}:{}", sh.device_index, sh.sys_count))
+                            .collect::<Vec<_>>()
+                            .join("+"),
+                    ),
+                ),
+            ],
+        );
+        trace.instant(
+            "transition_rule",
+            "solver",
+            0,
+            0.0,
+            vec![
+                ("k".into(), Json::num(plan.reference.k)),
+                ("pinned_from".into(), Json::str(plan.reference.device)),
+            ],
+        );
+        trace.instant(
+            "grid_mapping",
+            "solver",
+            0,
+            0.0,
+            vec![
+                (
+                    "mapping".into(),
+                    Json::str(format!("{:?}", plan.reference.mapping)),
+                ),
+                ("fused".into(), Json::Bool(plan.reference.fused)),
+            ],
+        );
+        for (sh, run) in plan.shards.iter().zip(&runs) {
+            let tid = sh.device_index as u32;
+            let stream = &timeline.streams()[sh.device_index];
+            let mut kernels = run.report.kernels.iter();
+            for ev in &stream.events {
+                match ev.op {
+                    StreamOp::CopyH2D | StreamOp::CopyD2H => {
+                        trace.span(
+                            ev.name.clone(),
+                            "copy",
+                            tid,
+                            ev.start_us,
+                            ev.dur_us,
+                            vec![("bytes".into(), Json::num(ev.bytes as f64))],
+                        );
+                    }
+                    StreamOp::Launch => {
+                        let kr = kernels.next().expect("one report per launch event");
+                        let t = &kr.timing;
+                        trace.span(
+                            format!("kernel:{}", t.name),
+                            "kernel",
+                            tid,
+                            ev.start_us,
+                            t.total_us,
+                            vec![
+                                ("blocks".into(), Json::num(kr.blocks as f64)),
+                                ("bound".into(), Json::str(format!("{:?}", t.bound))),
+                                ("occupancy".into(), Json::num(t.occupancy_fraction)),
+                                ("waves".into(), Json::num(t.waves)),
+                            ],
+                        );
+                        trace.span(
+                            "launch_overhead",
+                            "kernel",
+                            tid,
+                            ev.start_us,
+                            t.launch_us,
+                            Vec::new(),
+                        );
+                        let mut at = ev.start_us + t.launch_us;
+                        for ph in &t.phases {
+                            trace.span(
+                                format!("phase:{}", ph.label),
+                                "phase",
+                                tid,
+                                at,
+                                ph.us,
+                                vec![
+                                    ("bound".into(), Json::str(format!("{:?}", ph.bound))),
+                                    ("flops".into(), Json::num(ph.stats.flops as f64)),
+                                    (
+                                        "global_bytes".into(),
+                                        Json::num(ph.stats.global_bytes() as f64),
+                                    ),
+                                    (
+                                        "transactions".into(),
+                                        Json::num(ph.stats.global_transactions() as f64),
+                                    ),
+                                ],
+                            );
+                            at += ph.us;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Merge the per-shard artifacts into one report.
+        let mut kernels = Vec::new();
+        let mut violations = Vec::new();
+        let mut lints = Vec::new();
+        let mut lint_mismatches = Vec::new();
+        let mut phase_sum_mismatches = Vec::new();
+        let mut summaries = Vec::with_capacity(runs.len());
+        for (sh, run) in plan.shards.iter().zip(&runs) {
+            let d = sh.device_index;
+            summaries.push(ShardSummary {
+                device: sh.plan.device,
+                device_index: d,
+                sys_start: sh.sys_start,
+                sys_count: sh.sys_count,
+                k: sh.plan.k,
+                kernel_us: run.report.total_us,
+                completion_us: timeline.streams()[d].completion_us(),
+                flops: run.flops,
+                global_transactions: run.global_transactions,
+                global_bytes: run.global_bytes,
+            });
+            kernels.extend(run.report.kernels.iter().cloned());
+            violations.extend(run.report.violations.iter().cloned());
+            lints.extend(run.report.lints.iter().cloned());
+            lint_mismatches.extend(
+                run.report
+                    .lint_mismatches
+                    .iter()
+                    .map(|s| format!("dev{d}: {s}")),
+            );
+            phase_sum_mismatches.extend(
+                run.report
+                    .phase_sum_mismatches
+                    .iter()
+                    .map(|s| format!("dev{d}: {s}")),
+            );
+        }
+        let report = GpuSolveReport {
+            k: plan.reference.k,
+            mapping: plan.reference.mapping,
+            fused: plan.reference.fused,
+            kernels,
+            total_us: kernel_wall,
+            precision: plan.reference.precision,
+            violations,
+            lints,
+            lint_mismatches,
+            phase_sum_mismatches,
+            trace,
+            plan: plan.reference.clone(),
+            shards: summaries,
+        };
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{GpuSolverConfig, GpuTridiagSolver};
+    use gpu_sim::DeviceSpec;
+    use tridiag_core::generators::random_batch;
+
+    fn group_of(d: usize) -> DeviceGroup {
+        DeviceGroup::homogeneous(DeviceSpec::gtx480(), d).unwrap()
+    }
+
+    #[test]
+    fn small_sharded_solve_is_bit_identical_to_single_device() {
+        let batch = random_batch::<f64>(8, 64, 21);
+        let solver = GpuTridiagSolver::gtx480();
+        let (x1, r1) = solver.solve_batch(&batch).unwrap();
+        let (x2, r2) = solver.solve_batch_group(&group_of(2), &batch).unwrap();
+        assert_eq!(x1, x2, "sharded solutions must be bit-identical");
+        assert_eq!(r2.shards.len(), 2);
+        assert_eq!(r2.k, r1.k);
+        assert!(r2.total_us <= r1.total_us + 1e-9);
+    }
+
+    #[test]
+    fn single_device_group_is_the_identity_path() {
+        let batch = random_batch::<f64>(8, 64, 22);
+        let solver = GpuTridiagSolver::gtx480();
+        let (x1, r1) = solver.solve_batch(&batch).unwrap();
+        let (x2, r2) = solver
+            .solve_batch_group(&DeviceGroup::single(DeviceSpec::gtx480()), &batch)
+            .unwrap();
+        assert_eq!(x1, x2);
+        assert_eq!(r1, r2, "D == 1 must be byte-identical, report and all");
+        assert!(r2.shards.is_empty());
+    }
+
+    #[test]
+    fn geometry_mismatch_is_a_typed_error() {
+        let group = group_of(2);
+        let plan = ShardedPlan::build(&group, &GpuSolverConfig::default(), 8, 64, 8).unwrap();
+        let wrong = random_batch::<f64>(8, 32, 23);
+        let err = ShardedExecutor::new(group.clone(), ExecConfig::default())
+            .run(&plan, &wrong)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlan(_)), "{err:?}");
+
+        // Plan built for a 2-device group, executor driving 4 devices.
+        let err = ShardedExecutor::new(group_of(4), ExecConfig::default())
+            .run(&plan, &random_batch::<f64>(8, 64, 23))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlan(_)), "{err:?}");
+    }
+
+    #[test]
+    fn shard_summaries_cover_the_batch() {
+        let batch = random_batch::<f64>(10, 64, 24);
+        let solver = GpuTridiagSolver::gtx480();
+        let (_, r) = solver.solve_batch_group(&group_of(4), &batch).unwrap();
+        assert_eq!(r.shards.len(), 4);
+        let total: usize = r.shards.iter().map(|s| s.sys_count).sum();
+        assert_eq!(total, 10);
+        assert_eq!(r.shards[0].sys_start, 0);
+        for w in r.shards.windows(2) {
+            assert_eq!(w[0].sys_start + w[0].sys_count, w[1].sys_start);
+        }
+        for s in &r.shards {
+            assert!(s.flops > 0);
+            assert!(s.completion_us > s.kernel_us, "copies add stream time");
+        }
+    }
+}

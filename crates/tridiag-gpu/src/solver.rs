@@ -91,6 +91,38 @@ pub struct KernelReport {
     pub blocks: usize,
 }
 
+/// One device's contribution to a sharded solve (see
+/// [`GpuSolveReport::shards`]). Counter fields hold the exact dynamic
+/// totals summed over the shard's kernels — the partition-invariant
+/// quantities the differential suite checks against the single-device
+/// run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    /// Device name the shard ran on.
+    pub device: &'static str,
+    /// Index of the device in its group (= Chrome-trace track id).
+    pub device_index: usize,
+    /// First system (in the caller's batch) the shard owned.
+    pub sys_start: usize,
+    /// Number of systems the shard owned.
+    pub sys_count: usize,
+    /// PCR step count the shard's plan used (may be clamped below the
+    /// reference `k` on a heterogeneous group).
+    pub k: u32,
+    /// Modeled kernel time on this device (µs, launch overheads
+    /// included, copies excluded).
+    pub kernel_us: f64,
+    /// When this device's stream drained (µs), including the modeled
+    /// H2D/D2H copies.
+    pub completion_us: f64,
+    /// Exact FLOPs executed by the shard's kernels.
+    pub flops: u64,
+    /// Exact global-memory transactions (loads + stores).
+    pub global_transactions: u64,
+    /// Exact global-memory bytes moved by kernels.
+    pub global_bytes: u64,
+}
+
 /// Everything a solve did and cost.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuSolveReport {
@@ -129,6 +161,12 @@ pub struct GpuSolveReport {
     /// The declarative plan the solve executed — the full step
     /// sequence with launch geometry and buffer bindings.
     pub plan: SolvePlan,
+    /// Per-device summaries when the solve ran sharded across a
+    /// [`gpu_sim::DeviceGroup`] (empty for a single-device solve). For
+    /// sharded runs `total_us` is the **max** over these devices'
+    /// `kernel_us` — devices run concurrently — and `kernels` holds
+    /// every shard's launches in shard order.
+    pub shards: Vec<ShardSummary>,
 }
 
 impl GpuSolveReport {
@@ -286,6 +324,27 @@ impl GpuSolveReport {
         let strings = |v: &[String]| Json::Arr(v.iter().map(Json::str).collect());
         let trace = gpu_sim::json::parse(&self.trace.to_chrome_json())
             .expect("exporter emits valid JSON");
+        let shards = self
+            .shards
+            .iter()
+            .map(|sh| {
+                Json::Obj(vec![
+                    ("device".into(), Json::str(sh.device)),
+                    ("device_index".into(), Json::num(sh.device_index as f64)),
+                    ("sys_start".into(), Json::num(sh.sys_start as f64)),
+                    ("sys_count".into(), Json::num(sh.sys_count as f64)),
+                    ("k".into(), Json::num(sh.k)),
+                    ("kernel_us".into(), Json::num(sh.kernel_us)),
+                    ("completion_us".into(), Json::num(sh.completion_us)),
+                    ("flops".into(), Json::num(sh.flops as f64)),
+                    (
+                        "global_transactions".into(),
+                        Json::num(sh.global_transactions as f64),
+                    ),
+                    ("global_bytes".into(), Json::num(sh.global_bytes as f64)),
+                ])
+            })
+            .collect();
         Json::Obj(vec![
             ("k".into(), Json::num(self.k)),
             ("mapping".into(), Json::str(format!("{:?}", self.mapping))),
@@ -310,6 +369,7 @@ impl GpuSolveReport {
             ("lint_mismatches".into(), strings(&self.lint_mismatches)),
             ("phase_sum_mismatches".into(), strings(&self.phase_sum_mismatches)),
             ("plan".into(), self.plan.to_json()),
+            ("shards".into(), Json::Arr(shards)),
             ("trace".into(), trace),
         ])
     }
@@ -365,6 +425,40 @@ impl GpuTridiagSolver {
         )?;
         let mut executor = PlanExecutor::new(self.spec.clone(), self.config.exec);
         executor.run(&plan, batch)
+    }
+
+    /// Plan (but do not execute) a solve sharded across `group` — the
+    /// dry-run entry point behind `plan --devices` and
+    /// `solve --devices --dry-run`. The group's devices are
+    /// authoritative; the solver's own spec is ignored.
+    pub fn plan_geometry_group(
+        &self,
+        group: &gpu_sim::DeviceGroup,
+        m: usize,
+        n: usize,
+        elem_bytes: usize,
+    ) -> Result<crate::plan::ShardedPlan> {
+        crate::plan::ShardedPlan::build(group, &self.config, m, n, elem_bytes)
+    }
+
+    /// Solve `batch` sharded across `group`: build the sharded plan,
+    /// then run one executor per device on real threads and merge the
+    /// per-shard artifacts (see [`crate::sharded::ShardedExecutor`]).
+    /// On a homogeneous group the solutions are bit-identical to
+    /// [`Self::solve_batch`]; a single-device group *is* the
+    /// single-device path.
+    pub fn solve_batch_group<S: GpuScalar>(
+        &self,
+        group: &gpu_sim::DeviceGroup,
+        batch: &SystemBatch<S>,
+    ) -> Result<(Vec<S>, GpuSolveReport)> {
+        let plan = self.plan_geometry_group(
+            group,
+            batch.num_systems(),
+            batch.system_len(),
+            <S as gpu_sim::Elem>::BYTES,
+        )?;
+        crate::sharded::ShardedExecutor::new(group.clone(), self.config.exec).run(&plan, batch)
     }
 }
 

@@ -39,6 +39,15 @@ cargo test -q -p tridiag-gpu --test trace_roundtrip
 echo "== plan snapshots (golden describe() + plan-then-execute bit-identity) =="
 cargo test --release -q -p tridiag-gpu --test plan_snapshots
 
+echo "== sharded partition properties (coverage, balance, typed degenerate errors) =="
+cargo test -q -p tridiag-gpu --test sharded_partition
+
+echo "== sharded trace merge (Chrome schema, per-device tracks, bit-exact phase sums) =="
+cargo test -q -p tridiag-gpu --test sharded_trace
+
+echo "== sharded differential harness (shard(D) . merge == single device, bit-for-bit) =="
+cargo test --release -q -p tridiag-gpu --test sharded_differential
+
 echo "== CLI lint over the kernel zoo (exit 0 = no findings) =="
 cargo run --release -q -p tridiag-cli -- lint
 
@@ -53,6 +62,12 @@ out="$(cargo run --release -q -p tridiag-cli -- solve --m 16 --n 1024 --dry-run)
 grep -q "dry run     : no kernels launched" <<<"$out"
 out="$(cargo run --release -q -p tridiag-cli -- plan --m 64 --n 512 --json)"
 grep -q "tridiag.solve_plan/v1" <<<"$out"
+
+echo "== CLI multi-device smoke (sharded solve + sharded plan schema) =="
+out="$(cargo run --release -q -p tridiag-cli -- solve --m 8 --n 256 --devices 2)"
+grep -q "devices     : 2" <<<"$out"
+out="$(cargo run --release -q -p tridiag-cli -- plan --m 64 --n 512 --devices 2 --json)"
+grep -q "tridiag.sharded_plan/v1" <<<"$out"
 
 echo "== CLI profile smoke (trace schema + phase sums, exit 2 on violation) =="
 tracedir="$(mktemp -d)"

@@ -166,6 +166,53 @@ impl<S: GpuScalar> BatchSolver<S> for SimulatedGpu {
     }
 }
 
+/// The paper's hybrid solver sharded across a simulated multi-GPU
+/// group: systems split contiguously (±1 balance), one worker thread
+/// per device, results merged bit-identically to the single-device
+/// path on homogeneous groups.
+#[derive(Debug, Clone)]
+pub struct SimulatedGpuSharded {
+    solver: GpuTridiagSolver,
+    group: gpu_sim::DeviceGroup,
+}
+
+impl SimulatedGpuSharded {
+    /// `devices` identical GTX480s with default configuration.
+    pub fn gtx480(devices: usize) -> Result<Self, SolveError> {
+        let group = gpu_sim::DeviceGroup::homogeneous(gpu_sim::DeviceSpec::gtx480(), devices)?;
+        Ok(Self::new(group, GpuSolverConfig::default()))
+    }
+
+    /// A custom (possibly heterogeneous) device group + configuration.
+    /// The group's primary device drives the pinned plan decisions.
+    pub fn new(group: gpu_sim::DeviceGroup, config: GpuSolverConfig) -> Self {
+        Self {
+            solver: GpuTridiagSolver::new(group.primary().clone(), config),
+            group,
+        }
+    }
+
+    /// The device group this engine shards across.
+    pub fn group(&self) -> &gpu_sim::DeviceGroup {
+        &self.group
+    }
+
+    /// Access the inner solver (for reports).
+    pub fn solver(&self) -> &GpuTridiagSolver {
+        &self.solver
+    }
+}
+
+impl<S: GpuScalar + Send + Sync> BatchSolver<S> for SimulatedGpuSharded {
+    fn name(&self) -> &'static str {
+        "simulated-gpu-sharded"
+    }
+    fn solve_batch(&self, batch: &SystemBatch<S>) -> Result<Vec<S>, SolveError> {
+        let (x, _) = self.solver.solve_batch_group(&self.group, batch)?;
+        Ok(x)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +226,7 @@ mod tests {
             Box::new(CpuThreaded::with_workers(4)),
             Box::new(CpuInterleaved),
             Box::new(SimulatedGpu::gtx480()),
+            Box::new(SimulatedGpuSharded::gtx480(2).unwrap()),
         ];
         let reference = engines[0].solve_batch(&batch).unwrap();
         for e in &engines[1..] {

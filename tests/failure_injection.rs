@@ -42,6 +42,34 @@ fn gpu_solver_faults_cleanly_on_singular_input() {
 }
 
 #[test]
+fn sharded_solver_faults_cleanly_on_singular_shard() {
+    // Eight systems across four devices shard as [0,2) [2,4) [4,6) [6,8);
+    // poisoning system 5 puts the singular system in shard 2 alone. The
+    // group solve must surface the same typed kernel fault as the
+    // single-device path — partial results discarded, no panic leaking
+    // out of the worker thread.
+    let n = 64;
+    let mut systems: Vec<_> = (0..8)
+        .map(|i| generators::dominant_random::<f64>(n, i as u64))
+        .collect();
+    systems[5] = zero_head(n);
+    let batch = SystemBatch::from_systems(systems).unwrap();
+    let solver = GpuTridiagSolver::gtx480();
+    let group =
+        gpu_sim::DeviceGroup::homogeneous(gpu_sim::DeviceSpec::gtx480(), 4).unwrap();
+    let err = solver.solve_batch_group::<f64>(&group, &batch).unwrap_err();
+    assert!(matches!(err, gpu_sim::SimError::KernelFault(_)), "{err}");
+    // The fault is attributed to the shard that owns system 5.
+    assert!(err.to_string().contains("shard 2"), "{err}");
+    // A healthy batch on the same group still solves.
+    let good: Vec<_> = (0..8)
+        .map(|i| generators::dominant_random::<f64>(n, 100 + i as u64))
+        .collect();
+    let healthy = SystemBatch::from_systems(good).unwrap();
+    assert!(solver.solve_batch_group::<f64>(&group, &healthy).is_ok());
+}
+
+#[test]
 fn malformed_construction_is_rejected() {
     assert!(matches!(
         TridiagonalSystem::<f64>::new(vec![], vec![], vec![], vec![]).unwrap_err(),
