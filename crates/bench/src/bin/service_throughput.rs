@@ -1,0 +1,227 @@
+//! Solve-service throughput baseline: modeled requests/s and p50/p99
+//! latency versus the coalescing window, emitted as deterministic JSON
+//! (`BENCH_service.json`).
+//!
+//! The workload is the regime the service exists for — many small
+//! requests (low per-request M) arriving close together. window = 0 is
+//! the solo baseline (one launch per request); each non-zero window
+//! amortizes launch overhead and raises occupancy, trading a little
+//! queueing latency for a lot of throughput. The timing model is
+//! deterministic, so the committed file doubles as a perf change
+//! detector for the service path.
+//!
+//! ```text
+//! cargo run --release -p bench --bin service_throughput                 # write BENCH_service.json
+//! cargo run --release -p bench --bin service_throughput -- --out F      # write elsewhere
+//! cargo run --release -p bench --bin service_throughput -- --check F    # diff fresh run vs F
+//! cargo run --release -p bench --bin service_throughput -- --check F --report-only
+//! ```
+//!
+//! `--check` exits 1 when any point's requests/s drifts by more than
+//! `TOLERANCE_FRAC`; `--report-only` always exits 0 (advisory CI).
+//! See EXPERIMENTS.md for the schema.
+
+use gpu_sim::json::{parse, Json};
+use gpu_sim::{DeviceGroup, DeviceSpec};
+use std::process::ExitCode;
+use tridiag_core::generators::random_batch;
+use tridiag_service::{Payload, ServiceConfig, ServiceCore, SolveRequest};
+
+/// Relative drift in a point's `requests_per_s` that `--check`
+/// tolerates.
+const TOLERANCE_FRAC: f64 = 0.005;
+
+/// Window sweep (µs). 0 = coalescing off, the solo baseline.
+const WINDOWS_US: &[usize] = &[0, 2, 4, 8, 16, 64];
+
+/// The workload: R requests, 1 µs apart, each a small f64 batch.
+const REQUESTS: usize = 64;
+const PER_REQUEST_M: usize = 2;
+const SYSTEM_N: usize = 256;
+const SEED: u64 = 42;
+
+fn workload() -> Vec<SolveRequest> {
+    (0..REQUESTS)
+        .map(|i| SolveRequest {
+            id: i as u64,
+            arrival_us: i as f64,
+            payload: Payload::F64(random_batch::<f64>(
+                PER_REQUEST_M,
+                SYSTEM_N,
+                SEED + i as u64,
+            )),
+        })
+        .collect()
+}
+
+fn measure_window(window_us: usize) -> Json {
+    let group = DeviceGroup::single(DeviceSpec::gtx480());
+    let mut core = ServiceCore::new(
+        group,
+        ServiceConfig {
+            window_us: window_us as f64,
+            queue_depth: REQUESTS,
+            ..ServiceConfig::default()
+        },
+    );
+    let report = core.run_workload(workload());
+    let (done, rejected, failed) = report.totals();
+    assert_eq!(
+        done, REQUESTS,
+        "window {window_us}: {rejected} rejected, {failed} failed"
+    );
+    let fused = report
+        .batches
+        .iter()
+        .filter(|b| b.request_ids.len() > 1)
+        .count();
+    Json::Obj(vec![
+        ("window_us".into(), Json::num(window_us as f64)),
+        (
+            "requests_per_s".into(),
+            Json::num(round6(report.requests_per_s)),
+        ),
+        ("p50_us".into(), Json::num(round6(report.p50_us))),
+        ("p99_us".into(), Json::num(round6(report.p99_us))),
+        ("makespan_us".into(), Json::num(round6(report.makespan_us))),
+        ("batches".into(), Json::num(report.batches.len() as f64)),
+        ("fused_batches".into(), Json::num(fused as f64)),
+        ("cache_hits".into(), Json::num(report.cache.hits as f64)),
+        ("cache_misses".into(), Json::num(report.cache.misses as f64)),
+    ])
+}
+
+/// Round to 6 decimals so the committed file is stable across
+/// serialization and platforms' float formatting.
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+fn run_sweep() -> Json {
+    let points: Vec<Json> = WINDOWS_US
+        .iter()
+        .map(|&w| {
+            eprintln!("  measuring window {w} us…");
+            measure_window(w)
+        })
+        .collect();
+    // The claim the service exists for must hold in the committed file.
+    let rps = |p: &Json| p.get("requests_per_s").and_then(Json::as_num).unwrap_or(0.0);
+    assert!(
+        points[1..].iter().all(|p| rps(p) > rps(&points[0])),
+        "every non-zero window must beat window = 0 on requests/s"
+    );
+    Json::Obj(vec![
+        ("schema_version".into(), Json::num(1.0)),
+        ("device".into(), Json::str("gtx480-simulated")),
+        ("requests".into(), Json::num(REQUESTS as f64)),
+        ("per_request_m".into(), Json::num(PER_REQUEST_M as f64)),
+        ("n".into(), Json::num(SYSTEM_N as f64)),
+        ("precision".into(), Json::str("f64")),
+        ("points".into(), Json::Arr(points)),
+    ])
+}
+
+fn check(baseline_path: &str, report_only: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fresh = run_sweep();
+    let base_points = baseline.get("points").and_then(Json::as_arr).unwrap_or(&[]);
+    let fresh_points = fresh.get("points").and_then(Json::as_arr).unwrap_or(&[]);
+    let mut regressions = 0usize;
+    println!(
+        "{:<12} {:>14} {:>14} {:>9}",
+        "window_us", "baseline req/s", "fresh req/s", "delta"
+    );
+    for fp in fresh_points {
+        let w = fp.get("window_us").and_then(Json::as_num).unwrap_or(-1.0);
+        let fresh_rps = fp
+            .get("requests_per_s")
+            .and_then(Json::as_num)
+            .unwrap_or(f64::NAN);
+        let base_rps = base_points
+            .iter()
+            .find(|bp| bp.get("window_us").and_then(Json::as_num) == Some(w))
+            .and_then(|bp| bp.get("requests_per_s"))
+            .and_then(Json::as_num);
+        match base_rps {
+            Some(b) if b > 0.0 => {
+                let delta = (fresh_rps - b) / b;
+                let flag = if delta.abs() > TOLERANCE_FRAC {
+                    regressions += 1;
+                    " <-- drift"
+                } else {
+                    ""
+                };
+                println!(
+                    "{w:<12} {b:>14.0} {fresh_rps:>14.0} {:>+8.2}%{flag}",
+                    delta * 100.0
+                );
+            }
+            _ => {
+                regressions += 1;
+                println!("{w:<12} {:>14} {fresh_rps:>14.0} {:>9}", "missing", "new");
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "{regressions} point(s) drifted beyond {:.1}% (or missing from baseline)",
+            TOLERANCE_FRAC * 100.0
+        );
+        if !report_only {
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report-only mode: not failing");
+    } else {
+        println!(
+            "all {} points within {:.1}%",
+            fresh_points.len(),
+            TOLERANCE_FRAC * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_service.json");
+    let mut check_path: Option<String> = None;
+    let mut report_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out = p;
+                }
+            }
+            "--check" => check_path = args.next(),
+            "--report-only" => report_only = true,
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    if let Some(path) = check_path {
+        return check(&path, report_only);
+    }
+    let doc = run_sweep();
+    let mut text = doc.to_string();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("error: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -100,6 +100,27 @@ impl DeviceGroup {
                 .join("+")
         }
     }
+
+    /// FNV-1a fingerprint of the group's composition: every device
+    /// spec's full debug representation, in slot order. Two groups
+    /// with the same ordered specs fingerprint identically, so plans
+    /// keyed on this value are shareable across group instances; any
+    /// spec difference (clock, SM count, shared-memory size, …) or a
+    /// reordering changes the value.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for d in &self.devices {
+            for b in format!("{d:?}").bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            // Slot separator so concatenation ambiguity cannot alias
+            // two different compositions.
+            h ^= 0x1f;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
 }
 
 /// Kind of one in-order stream operation.

@@ -14,6 +14,9 @@
 //! tridiag tune --n 4096 --m-list 1,16,256,1024 [--k-max 8]
 //! tridiag info [--device gtx480]         # device spec + occupancy sheet
 //! tridiag lint [--verbose]               # static-lint the kernel zoo
+//! tridiag serve --requests 8 --clients 4 # concurrent solves through the
+//!                                        # coalescing service, checked vs solo
+//! tridiag bench-service --n 256 --m 2    # modeled window sweep table
 //! ```
 //!
 //! Exit codes: 0 = success, 1 = usage or solve error, 2 = lint or
@@ -75,7 +78,19 @@ fn usage() -> &'static str {
      tridiag compare --m M --n N [--seed S]\n  \
      tridiag tune    --n N [--m-list 1,16,256] [--k-max 8] [--devices G]\n  \
      tridiag info    [--device gtx480]\n  \
-     tridiag lint    [--verbose]\n\n\
+     tridiag lint    [--verbose]\n  \
+     tridiag serve   [--requests R] [--clients C] [--window US] [--depth Q] \
+     [--m M] [--n N]\n  \
+     \u{20}           [--precision f64|f32|mixed] [--device D] [--devices G] [--seed S]\n  \
+     tridiag bench-service [--requests R] [--windows 0,4,16,64] [--m M] [--n N]\n  \
+     \u{20}           [--precision f64|f32] [--device D] [--devices G] [--seed S]\n\n\
+     solve service:\n  \
+     serve       start the threaded solve service, submit R requests from C\n  \
+     \u{20}           concurrent client threads through the coalescing queue, and\n  \
+     \u{20}           cross-check every answer bit-for-bit against a solo solve;\n  \
+     \u{20}           exits 2 when any answer drifts or a ticket is lost\n  \
+     bench-service sweep the coalescing window on a modeled workload and print\n  \
+     \u{20}           requests/s, p50/p99 latency, batch and cache-hit counts\n\n\
      multi-device (gpu engine only):\n  \
      --devices G shard the batch across a device group: a count \
      (--devices 4 =\n  \
@@ -783,6 +798,210 @@ fn cmd_info(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Build the deterministic request payloads `serve`/`bench-service`
+/// submit: fixed geometry, seeds derived from `--seed`, precision
+/// `f64`, `f32` or `mixed` (alternating).
+fn service_payloads(
+    count: usize,
+    m: usize,
+    n: usize,
+    seed: u64,
+    precision: &str,
+) -> Result<Vec<tridiag_service::Payload>, String> {
+    use tridiag_service::Payload;
+    (0..count)
+        .map(|i| {
+            let s = seed.wrapping_add(i as u64);
+            match precision {
+                "f64" => Ok(Payload::F64(random_batch::<f64>(m, n, s))),
+                "f32" => Ok(Payload::F32(random_batch::<f32>(m, n, s))),
+                "mixed" => Ok(if i % 2 == 0 {
+                    Payload::F64(random_batch::<f64>(m, n, s))
+                } else {
+                    Payload::F32(random_batch::<f32>(m, n, s))
+                }),
+                other => Err(format!(
+                    "--precision {other:?} (expected f64, f32 or mixed)"
+                )),
+            }
+        })
+        .collect()
+}
+
+fn cmd_serve(a: &Args) -> Result<(), Failure> {
+    use std::sync::Arc;
+    use tridiag_service::{solo_solution, ServiceConfig, ServiceError, SolveService};
+
+    let requests: usize = a.get_or("requests", 8)?;
+    let clients: usize = a.get_or("clients", 4)?;
+    let window: f64 = a.get_or("window", 10.0f64)?;
+    let depth: usize = a.get_or("depth", 64)?;
+    let m: usize = a.get_or("m", 2)?;
+    let n: usize = a.get_or("n", 256)?;
+    let seed: u64 = a.get_or("seed", 42u64)?;
+    let precision = a.get("precision").unwrap_or("mixed");
+    if requests == 0 || clients == 0 {
+        return Err(Failure::Error("--requests and --clients must be > 0".into()));
+    }
+    let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
+    let group = device_group(a, &device)?.unwrap_or_else(|| DeviceGroup::single(device));
+    let cfg = ServiceConfig {
+        window_us: window,
+        queue_depth: depth,
+        ..ServiceConfig::default()
+    };
+    let payloads = service_payloads(requests, m, n, seed, precision)?;
+
+    println!(
+        "serve: {requests} requests from {clients} clients on {} \
+         (window {window} us, depth {depth}, {precision})",
+        group.label()
+    );
+
+    let service = Arc::new(SolveService::start(group.clone(), cfg));
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        // Client c owns payloads c, c+clients, c+2*clients, ...
+        let mine: Vec<_> = payloads
+            .iter()
+            .skip(c)
+            .step_by(clients)
+            .cloned()
+            .collect();
+        let service = Arc::clone(&service);
+        let group = group.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut ok = 0usize;
+            let mut problems = Vec::new();
+            for payload in mine {
+                match service.submit(payload.clone()) {
+                    Ok(ticket) => {
+                        let id = ticket.id;
+                        let resp = ticket.wait();
+                        if resp.id != id {
+                            problems.push(format!(
+                                "client {c}: ticket {id} answered as {}",
+                                resp.id
+                            ));
+                            continue;
+                        }
+                        match resp.result {
+                            Ok(sol) => match solo_solution(&group, cfg, &payload) {
+                                Ok(solo) if solo.hash() == sol.hash() => ok += 1,
+                                Ok(solo) => problems.push(format!(
+                                    "client {c} request {id}: coalesced hash \
+                                     {:016x} != solo {:016x}",
+                                    sol.hash(),
+                                    solo.hash()
+                                )),
+                                Err(e) => problems
+                                    .push(format!("client {c} request {id}: solo solve: {e}")),
+                            },
+                            Err(ServiceError::Overloaded { depth }) => problems.push(format!(
+                                "client {c} request {id}: overloaded at depth {depth}"
+                            )),
+                            Err(e) => problems
+                                .push(format!("client {c} request {id}: solve failed: {e}")),
+                        }
+                    }
+                    Err(e) => problems.push(format!("client {c}: admission refused: {e}")),
+                }
+            }
+            (ok, problems)
+        }));
+    }
+
+    let mut ok = 0usize;
+    let mut problems = Vec::new();
+    for h in handles {
+        let (o, p) = h.join().expect("client thread panicked");
+        ok += o;
+        problems.extend(p);
+    }
+    let service = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| panic!("client threads still hold the service"));
+    let stats = service.shutdown();
+
+    println!(
+        "  answered {ok}/{requests} bit-identical to solo; \
+         {} batches, cache {}/{} hits, modeled makespan {:.1} us",
+        stats.batches, stats.cache.hits, stats.cache.lookups, stats.clock_us
+    );
+    if !problems.is_empty() {
+        return Err(Failure::Findings(problems.join("\n")));
+    }
+    if ok != requests {
+        return Err(Failure::Findings(format!(
+            "only {ok}/{requests} requests verified"
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_bench_service(a: &Args) -> Result<(), Failure> {
+    use tridiag_service::{ServiceConfig, ServiceCore, SolveRequest};
+
+    let requests: usize = a.get_or("requests", 48)?;
+    let m: usize = a.get_or("m", 2)?;
+    let n: usize = a.get_or("n", 256)?;
+    let seed: u64 = a.get_or("seed", 42u64)?;
+    let precision = a.get("precision").unwrap_or("f64");
+    let windows = a
+        .get_list("windows")?
+        .unwrap_or_else(|| vec![0, 4, 16, 64]);
+    let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
+    let group = device_group(a, &device)?.unwrap_or_else(|| DeviceGroup::single(device));
+    let payloads = service_payloads(requests, m, n, seed, precision)?;
+
+    println!(
+        "bench-service: {requests} requests of m={m} n={n} {precision} on {}, \
+         arrivals 1 us apart",
+        group.label()
+    );
+    println!(
+        "  {:>9}  {:>7}  {:>7}  {:>10}  {:>9}  {:>9}  {:>11}",
+        "window_us", "batches", "fused", "cache_hits", "p50_us", "p99_us", "requests/s"
+    );
+    for w in windows {
+        let mut core = ServiceCore::new(group.clone(), ServiceConfig {
+            window_us: w as f64,
+            ..ServiceConfig::default()
+        });
+        let workload: Vec<SolveRequest> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| SolveRequest {
+                id: i as u64,
+                arrival_us: i as f64,
+                payload: p.clone(),
+            })
+            .collect();
+        let report = core.run_workload(workload);
+        let (done, rejected, failed) = report.totals();
+        if done != requests {
+            return Err(Failure::Error(format!(
+                "window {w}: {done}/{requests} completed ({rejected} rejected, {failed} failed)"
+            )));
+        }
+        let fused = report
+            .batches
+            .iter()
+            .filter(|b| b.request_ids.len() > 1)
+            .count();
+        println!(
+            "  {:>9}  {:>7}  {:>7}  {:>10}  {:>9.2}  {:>9.2}  {:>11.0}",
+            w,
+            report.batches.len(),
+            fused,
+            report.cache.hits,
+            report.p50_us,
+            report.p99_us,
+            report.requests_per_s
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match Args::from_env() {
         Ok(a) => a,
@@ -803,6 +1022,8 @@ fn main() -> ExitCode {
         Some("tune") => cmd_tune(&args).map_err(Failure::Error),
         Some("info") => cmd_info(&args).map_err(Failure::Error),
         Some("lint") => cmd_lint(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("bench-service") => cmd_bench_service(&args),
         Some("help") => {
             println!("{}", usage());
             return ExitCode::SUCCESS;

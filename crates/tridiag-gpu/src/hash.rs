@@ -1,0 +1,55 @@
+//! Bit-exact fingerprints of solver outputs.
+//!
+//! The differential harnesses (sharded, service) compare solves for
+//! *bit* identity, not closeness: a hash over the shortest round-trip
+//! (`{:?}`) representation of every element distinguishes any two
+//! vectors that differ in even one ULP, while staying stable across
+//! platforms (Rust's float formatting is shortest-round-trip by spec).
+
+/// FNV-1a offset basis (64-bit).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+pub const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Fold `bytes` into a running FNV-1a state.
+pub fn fnv1a_extend(mut h: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over the shortest round-trip (`{:?}`) representation of every
+/// solution element — a bit-exact fingerprint of the output vector.
+pub fn solution_hash<S: std::fmt::Debug>(x: &[S]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for v in x {
+        h = fnv1a_extend(h, format!("{v:?}").bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_ulp_changes_the_hash() {
+        let a = vec![1.0f64, 2.0, 3.0];
+        let mut b = a.clone();
+        b[1] = f64::from_bits(b[1].to_bits() + 1);
+        assert_ne!(solution_hash(&a), solution_hash(&b));
+        assert_eq!(solution_hash(&a), solution_hash(&a.clone()));
+    }
+
+    #[test]
+    fn precision_is_part_of_the_fingerprint() {
+        // f32 and f64 debug-format differently only when the value
+        // round-trips differently, so hash equality across widths is
+        // possible for exact values — the *callers* key on width too.
+        let x32 = vec![0.5f32];
+        let x64 = vec![0.5f64];
+        assert_eq!(solution_hash(&x32), solution_hash(&x64));
+    }
+}

@@ -17,6 +17,7 @@ pub mod buffers;
 pub mod consts;
 pub mod davidson;
 pub mod executor;
+pub mod hash;
 pub mod kernels;
 pub mod plan;
 pub mod sharded;
@@ -26,6 +27,7 @@ pub mod zoo;
 
 pub use buffers::{download_solution, upload, DeviceBatch, GpuScalar};
 pub use executor::PlanExecutor;
+pub use hash::solution_hash;
 pub use plan::{
     partition_systems, validate_plan_json, validate_sharded_plan_json, ShardPlan, ShardedPlan,
     SolvePlan, Step,

@@ -18,7 +18,7 @@
 use gpu_sim::{DeviceGroup, DeviceSpec, ExecConfig, SimError};
 use tridiag_core::generators::random_batch;
 use tridiag_gpu::solver::GpuTridiagSolver;
-use tridiag_gpu::{GpuScalar, PlanExecutor};
+use tridiag_gpu::{solution_hash, GpuScalar, PlanExecutor};
 
 /// The Fig. 12/13 sweep — the same 11 points the golden plan snapshots
 /// and the committed perf baseline cover.
@@ -38,19 +38,6 @@ const SWEEP: &[(&str, &str, usize, usize)] = &[
 
 const SEED: u64 = 42;
 const DEVICE_COUNTS: [usize; 3] = [1, 2, 4];
-
-/// FNV-1a over the shortest round-trip (`{:?}`) representation of every
-/// solution element — a bit-exact fingerprint of the output vector.
-fn solution_hash<S: GpuScalar>(x: &[S]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for v in x {
-        for b in format!("{v:?}").bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    }
-    h
-}
 
 /// Single-device ground truth: solution, modeled time, and the exact
 /// dynamic counter totals straight off the executor's `KernelStats`.

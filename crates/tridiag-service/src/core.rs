@@ -1,0 +1,547 @@
+//! The deterministic solve engine behind the service: decision
+//! pinning, the tick loop, admission control and latency attribution,
+//! all on the modeled-time axis (no wall clocks anywhere).
+//!
+//! **Decision pinning.** A request's answer must not depend on its
+//! co-tenants. The planner's transition rule chooses `(k, mapping,
+//! fused)` from the batch size `M`, and a coalesced batch's `M` varies
+//! with traffic — so the service never lets the rule see the fused
+//! `M`. Instead, per `(n, precision)` it plans once for a canonical
+//! batch of [`ServiceConfig::pin_m`] systems and pins that plan's
+//! decisions (`TransitionPolicy::Fixed(k)`, resolved mapping, fusion)
+//! into every solve at that geometry — fused *and* solo. Per-system
+//! arithmetic depends only on the pinned decisions (the property the
+//! sharded differential harness proves), so coalescing is bit-neutral
+//! by construction.
+//!
+//! **The tick.** When the device frees and the queue is non-empty, a
+//! coalescing window opens; it closes `window_us` later. Requests
+//! arriving by the close join the queue (bounced with
+//! [`ServiceError::Overloaded`] beyond `queue_depth`); at the close
+//! the whole queue drains, coalesces by `(n, precision)`, and the
+//! batches run back-to-back. `window_us == 0` disables coalescing:
+//! exactly one request per tick, the solo baseline.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gpu_sim::group::copy_us;
+use gpu_sim::{DeviceGroup, ExecConfig, Result, SimError};
+use tridiag_core::transition::TransitionPolicy;
+use tridiag_core::SystemBatch;
+use tridiag_gpu::buffers::GpuScalar;
+use tridiag_gpu::solver::{GpuSolverConfig, MappingVariant};
+use tridiag_gpu::{ShardedExecutor, ShardedPlan, SolvePlan};
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::coalesce::{coalesce, CoalescedBatch};
+use crate::report::{BatchSummary, ServiceReport};
+use crate::request::{Payload, RequestSpans, Response, ServiceError, Solution, SolveRequest};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Coalescing window (µs of modeled time a tick stays open after
+    /// it starts). `0.0` disables coalescing — one request per tick.
+    pub window_us: f64,
+    /// Bounded queue depth; submissions beyond it are rejected with
+    /// [`ServiceError::Overloaded`].
+    pub queue_depth: usize,
+    /// Plan-cache capacity (plans, not bytes).
+    pub cache_capacity: usize,
+    /// Canonical batch size the per-geometry decisions are pinned
+    /// from (see the module docs).
+    pub pin_m: usize,
+    /// Base solver config; its `policy`/`mapping`/`fused` are
+    /// overridden by the pinned decisions per geometry.
+    pub solver: GpuSolverConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            window_us: 10.0,
+            queue_depth: 64,
+            cache_capacity: 32,
+            pin_m: 256,
+            solver: GpuSolverConfig::default(),
+        }
+    }
+}
+
+/// Decisions pinned for one `(n, elem_bytes)` geometry.
+#[derive(Debug, Clone, Copy)]
+struct Pin {
+    k: u32,
+    mapping: MappingVariant,
+    fused: bool,
+}
+
+/// The deterministic engine: device group, plan cache, pinned
+/// decisions, and the tick machinery. The threaded
+/// [`crate::service::SolveService`] and the modeled
+/// [`ServiceCore::run_workload`] both drive this.
+#[derive(Debug)]
+pub struct ServiceCore {
+    group: DeviceGroup,
+    cfg: ServiceConfig,
+    cache: PlanCache,
+    pins: BTreeMap<(usize, usize), Pin>,
+}
+
+/// One solved fused batch plus everything needed for attribution.
+struct BatchRun {
+    batch: CoalescedBatch,
+    cache_hit: bool,
+    isolated: bool,
+    /// `(kernel_us, scatter_us, cache_hit, result)` per member, in
+    /// member order. For non-isolated runs `kernel_us` repeats the
+    /// fused kernel time.
+    outcomes: Vec<(f64, f64, bool, Result<Solution>)>,
+    kernel_us: f64,
+}
+
+impl ServiceCore {
+    /// An engine over `group` with tuning `cfg`.
+    pub fn new(group: DeviceGroup, cfg: ServiceConfig) -> Self {
+        Self {
+            group,
+            cache: PlanCache::new(cfg.cache_capacity),
+            cfg,
+            pins: BTreeMap::new(),
+        }
+    }
+
+    /// The device group solves run on.
+    pub fn group(&self) -> &DeviceGroup {
+        &self.group
+    }
+
+    /// The tuning knobs.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Plan-cache counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The pinned solver config for `(n, elem_bytes)`: plan once at
+    /// the canonical `pin_m` geometry, then fix `(k, mapping, fused)`
+    /// for every solve at that geometry regardless of batch size.
+    pub fn pinned_config(&mut self, n: usize, elem_bytes: usize) -> Result<GpuSolverConfig> {
+        let base = self.cfg.solver;
+        let pin = match self.pins.get(&(n, elem_bytes)) {
+            Some(p) => *p,
+            None => {
+                let reference = SolvePlan::build(
+                    self.group.primary(),
+                    &base,
+                    self.cfg.pin_m.max(1),
+                    n,
+                    elem_bytes,
+                )?;
+                let pin = Pin {
+                    k: reference.k,
+                    mapping: reference.mapping,
+                    fused: reference.fused,
+                };
+                self.pins.insert((n, elem_bytes), pin);
+                pin
+            }
+        };
+        Ok(GpuSolverConfig {
+            policy: TransitionPolicy::Fixed(pin.k),
+            mapping: pin.mapping,
+            fused: pin.fused,
+            ..base
+        })
+    }
+
+    /// The group a batch of `m` systems actually shards over: the full
+    /// group, or — when `m` is too small to give every device a shard —
+    /// just the primary device.
+    fn effective_group(&self, m: usize) -> DeviceGroup {
+        if m >= self.group.len() {
+            self.group.clone()
+        } else {
+            DeviceGroup::single(self.group.primary().clone())
+        }
+    }
+
+    /// Solve one payload under the pinned config for its geometry.
+    /// Returns the solution, the modeled kernel time, and whether the
+    /// plan came from the cache.
+    pub fn solve_payload(&mut self, payload: &Payload) -> Result<(Solution, f64, bool)> {
+        let n = payload.system_len();
+        let bytes = payload.elem_bytes();
+        let config = self.pinned_config(n, bytes)?;
+        let m = payload.num_systems();
+        let group = self.effective_group(m);
+        let (plan, hit) = self.cache.lookup(&group, &config, m, n, bytes)?;
+        let exec = config.exec;
+        match payload {
+            Payload::F32(b) => run_plan::<f32>(&group, exec, &plan, b)
+                .map(|(x, us)| (Solution::F32(x), us, hit)),
+            Payload::F64(b) => run_plan::<f64>(&group, exec, &plan, b)
+                .map(|(x, us)| (Solution::F64(x), us, hit)),
+        }
+    }
+
+    /// Slice a fused solution back into per-member solutions, in
+    /// member order.
+    fn scatter(batch: &CoalescedBatch, solution: &Solution) -> Vec<Solution> {
+        match (&batch.payload, solution) {
+            (Payload::F32(merged), Solution::F32(x)) => {
+                split_members(batch, merged, x, Solution::F32)
+            }
+            (Payload::F64(merged), Solution::F64(x)) => {
+                split_members(batch, merged, x, Solution::F64)
+            }
+            _ => unreachable!("solution width always matches its payload"),
+        }
+    }
+
+    /// Solve one coalesced batch. On a solver fault the batch is
+    /// *isolated*: every member re-solves alone under the same pinned
+    /// config, so the fault lands only on the member(s) that carry the
+    /// bad system and healthy co-tenants still complete.
+    fn run_batch(&mut self, batch: CoalescedBatch) -> BatchRun {
+        match self.solve_payload(&batch.payload) {
+            Ok((solution, kernel_us, cache_hit)) => {
+                let pieces = Self::scatter(&batch, &solution);
+                let outcomes = batch
+                    .members
+                    .iter()
+                    .zip(pieces)
+                    .map(|(mem, piece)| {
+                        (kernel_us, copy_us(mem.solution_bytes), cache_hit, Ok(piece))
+                    })
+                    .collect();
+                BatchRun {
+                    batch,
+                    cache_hit,
+                    isolated: false,
+                    outcomes,
+                    kernel_us,
+                }
+            }
+            Err(fused_err) => self.isolate(batch, fused_err),
+        }
+    }
+
+    fn isolate(&mut self, batch: CoalescedBatch, fused_err: SimError) -> BatchRun {
+        let mut outcomes = Vec::with_capacity(batch.members.len());
+        let mut kernel_total = 0.0;
+        // Re-extract each member's systems from the fused payload so
+        // isolation needs no access to the original requests.
+        for mem in &batch.members {
+            let solo = member_payload(&batch, mem);
+            match solo.and_then(|p| self.solve_payload(&p)) {
+                Ok((x, us, hit)) => {
+                    kernel_total += us;
+                    outcomes.push((us, copy_us(mem.solution_bytes), hit, Ok(x)));
+                }
+                Err(e) => outcomes.push((0.0, 0.0, false, Err(e))),
+            }
+        }
+        // If *no* member faults alone, the fused failure was not a
+        // data fault (e.g. a plan error) — attribute it to everyone.
+        if outcomes.iter().all(|(_, _, _, r)| r.is_ok()) {
+            for o in &mut outcomes {
+                o.3 = Err(SimError::InvalidPlan(format!(
+                    "fused batch failed but every member solves alone: {fused_err}"
+                )));
+                o.0 = 0.0;
+                o.1 = 0.0;
+            }
+            kernel_total = 0.0;
+        }
+        BatchRun {
+            batch,
+            cache_hit: false,
+            isolated: true,
+            outcomes,
+            kernel_us: kernel_total,
+        }
+    }
+
+    /// Run one tick: coalesce `working` (admitted requests, arrival
+    /// order), solve the batches back-to-back starting at `close`, and
+    /// attribute spans. `open`/`close` bound the coalescing window on
+    /// the modeled axis. Returns the responses (in working-set order),
+    /// the batch summaries, and the time the device frees.
+    pub fn solve_tick(
+        &mut self,
+        open_us: f64,
+        close_us: f64,
+        working: &[SolveRequest],
+        batch_base: usize,
+    ) -> (Vec<Response>, Vec<BatchSummary>, f64) {
+        let mut responses: Vec<Option<Response>> = vec![None; working.len()];
+        let mut summaries = Vec::new();
+        let batches = match coalesce(working) {
+            Ok(b) => b,
+            Err(e) => {
+                // Coalescing itself cannot fail on well-formed
+                // requests; if it does, fail the whole tick typed.
+                let msg = e.to_string();
+                for (slot, req) in working.iter().enumerate() {
+                    responses[slot] = Some(Response {
+                        id: req.id,
+                        result: Err(ServiceError::InvalidRequest(msg.clone())),
+                        spans: RequestSpans::default(),
+                        batch: None,
+                        coalesced_with: 0,
+                        cache_hit: false,
+                        completed_us: req.arrival_us,
+                    });
+                }
+                return (
+                    responses.into_iter().map(|r| r.expect("filled")).collect(),
+                    summaries,
+                    close_us,
+                );
+            }
+        };
+
+        let mut device_free = close_us;
+        for (bi, batch) in batches.into_iter().enumerate() {
+            let start = device_free;
+            let run = self.run_batch(batch);
+            let coalesced_with = run.batch.members.len();
+            let mut elapsed = 0.0; // time into the batch, past `start`
+            for (mem, (kernel_us, scatter_us, hit, result)) in
+                run.batch.members.iter().zip(run.outcomes)
+            {
+                // Time queued before the window opened, plus the wait
+                // for batches scheduled ahead in the same tick.
+                let pre_queue = (open_us - mem.arrival_us).max(0.0) + (start - close_us);
+                // Time inside the open window waiting for the close.
+                let in_window = close_us - mem.arrival_us.max(open_us);
+                let spans;
+                let completed;
+                let service_result = match result {
+                    Ok(x) if run.isolated => {
+                        // Members run back-to-back after `start`.
+                        spans = RequestSpans {
+                            queue_us: pre_queue + elapsed,
+                            coalesce_us: in_window,
+                            kernel_us,
+                            scatter_us,
+                        };
+                        elapsed += kernel_us + scatter_us;
+                        completed = start + elapsed;
+                        Ok(x)
+                    }
+                    Ok(x) => {
+                        // One fused kernel, then serialized scatters.
+                        let scatter_end = elapsed.max(kernel_us) + scatter_us;
+                        spans = RequestSpans {
+                            queue_us: pre_queue,
+                            coalesce_us: in_window,
+                            kernel_us,
+                            scatter_us: scatter_end - kernel_us,
+                        };
+                        elapsed = scatter_end;
+                        completed = start + elapsed;
+                        Ok(x)
+                    }
+                    Err(e) => {
+                        spans = RequestSpans {
+                            queue_us: pre_queue + elapsed,
+                            coalesce_us: in_window,
+                            kernel_us: 0.0,
+                            scatter_us: 0.0,
+                        };
+                        completed = start + elapsed;
+                        Err(map_solver_error(e))
+                    }
+                };
+                responses[mem.slot] = Some(Response {
+                    id: mem.id,
+                    result: service_result,
+                    spans,
+                    batch: Some(batch_base + bi),
+                    coalesced_with,
+                    cache_hit: hit,
+                    completed_us: completed,
+                });
+            }
+            device_free = device_free.max(start + elapsed);
+            summaries.push(BatchSummary {
+                index: batch_base + bi,
+                n: run.batch.key.n,
+                precision: if run.batch.key.elem_bytes == 4 { "f32" } else { "f64" },
+                m_total: run.batch.payload.num_systems(),
+                request_ids: run.batch.members.iter().map(|m| m.id).collect(),
+                cache_hit: run.cache_hit,
+                isolated: run.isolated,
+                kernel_us: run.kernel_us,
+                start_us: start,
+            });
+        }
+        (
+            responses.into_iter().map(|r| r.expect("filled")).collect(),
+            summaries,
+            device_free,
+        )
+    }
+
+    /// Run a whole workload on the modeled clock: requests sorted by
+    /// arrival feed the bounded queue, ticks open whenever the device
+    /// frees with work queued, and every request gets a [`Response`] —
+    /// solved or typed-rejected. Fully deterministic.
+    pub fn run_workload(&mut self, mut requests: Vec<SolveRequest>) -> ServiceReport {
+        requests.sort_by(|a, b| {
+            a.arrival_us
+                .partial_cmp(&b.arrival_us)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        let window = self.cfg.window_us.max(0.0);
+        let depth = self.cfg.queue_depth.max(1);
+
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut summaries = Vec::new();
+        let mut queue: Vec<SolveRequest> = Vec::new();
+        let mut device_free = 0.0f64;
+        let mut next = 0usize;
+        while next < requests.len() || !queue.is_empty() {
+            if queue.is_empty() {
+                // Idle: jump to the next arrival.
+                let req = requests[next].clone();
+                next += 1;
+                if let Err(e) = validate(&req) {
+                    responses.push(reject(&req, e));
+                    continue;
+                }
+                queue.push(req);
+            }
+            let open = device_free.max(queue[0].arrival_us);
+            let close = open + window;
+            // Admit (or bounce) everything arriving by the close.
+            while next < requests.len() && requests[next].arrival_us <= close {
+                let req = requests[next].clone();
+                next += 1;
+                if let Err(e) = validate(&req) {
+                    responses.push(reject(&req, e));
+                } else if queue.len() >= depth {
+                    responses.push(reject(&req, ServiceError::Overloaded { depth }));
+                } else {
+                    queue.push(req);
+                }
+            }
+            // Drain: the whole queue with a window, one request without.
+            let working: Vec<SolveRequest> = if window == 0.0 {
+                vec![queue.remove(0)]
+            } else {
+                std::mem::take(&mut queue)
+            };
+            let (mut ticked, mut batches, free) =
+                self.solve_tick(open, close, &working, summaries.len());
+            responses.append(&mut ticked);
+            summaries.append(&mut batches);
+            device_free = free;
+        }
+        ServiceReport::build(
+            self.group.label(),
+            self.cfg.window_us,
+            depth,
+            responses,
+            summaries,
+            self.cache.stats(),
+        )
+    }
+}
+
+/// Reject a request at admission time (no spans, no modeled work).
+fn reject(req: &SolveRequest, err: ServiceError) -> Response {
+    Response {
+        id: req.id,
+        result: Err(err),
+        spans: RequestSpans::default(),
+        batch: None,
+        coalesced_with: 0,
+        cache_hit: false,
+        completed_us: req.arrival_us,
+    }
+}
+
+fn validate(req: &SolveRequest) -> std::result::Result<(), ServiceError> {
+    if req.payload.num_systems() == 0 || req.payload.system_len() == 0 {
+        return Err(ServiceError::InvalidRequest(format!(
+            "empty geometry: m = {}, n = {}",
+            req.payload.num_systems(),
+            req.payload.system_len()
+        )));
+    }
+    Ok(())
+}
+
+fn map_solver_error(e: SimError) -> ServiceError {
+    ServiceError::Solve(e.to_string())
+}
+
+/// Execute a plan over a batch on `group`, returning the solution and
+/// the merged report's modeled kernel time.
+fn run_plan<S: GpuScalar + Send + Sync>(
+    group: &DeviceGroup,
+    exec: ExecConfig,
+    plan: &Arc<ShardedPlan>,
+    batch: &SystemBatch<S>,
+) -> Result<(Vec<S>, f64)> {
+    let ex = ShardedExecutor::new(group.clone(), exec);
+    ex.run::<S>(plan, batch).map(|(x, report)| (x, report.total_us))
+}
+
+/// Extract one member's systems from the fused payload, restored to
+/// the member's own storage layout.
+fn member_payload(batch: &CoalescedBatch, mem: &crate::coalesce::Member) -> Result<Payload> {
+    let take = |e: tridiag_core::TridiagError| SimError::InvalidPlan(e.to_string());
+    let range = mem.sys_start..mem.sys_start + mem.sys_count;
+    match &batch.payload {
+        Payload::F32(b) => {
+            let mut systems = Vec::with_capacity(mem.sys_count);
+            for sys in range {
+                systems.push(b.system(sys).map_err(take)?);
+            }
+            let solo = SystemBatch::from_systems(systems).map_err(take)?;
+            Ok(Payload::F32(solo.to_layout(mem.layout)))
+        }
+        Payload::F64(b) => {
+            let mut systems = Vec::with_capacity(mem.sys_count);
+            for sys in range {
+                systems.push(b.system(sys).map_err(take)?);
+            }
+            let solo = SystemBatch::from_systems(systems).map_err(take)?;
+            Ok(Payload::F64(solo.to_layout(mem.layout)))
+        }
+    }
+}
+
+/// Slice the fused solution into per-member vectors, each emitted in
+/// its request's own storage layout (bit-exact moves, no arithmetic).
+fn split_members<S: GpuScalar>(
+    batch: &CoalescedBatch,
+    merged: &SystemBatch<S>,
+    x: &[S],
+    wrap: fn(Vec<S>) -> Solution,
+) -> Vec<Solution> {
+    let n = merged.system_len();
+    batch
+        .members
+        .iter()
+        .map(|mem| {
+            let mut out = vec![S::default(); mem.sys_count * n];
+            for local in 0..mem.sys_count {
+                for row in 0..n {
+                    out[mem.layout.index(local, row, mem.sys_count, n)] =
+                        x[merged.index(mem.sys_start + local, row)];
+                }
+            }
+            wrap(out)
+        })
+        .collect()
+}

@@ -1,0 +1,53 @@
+//! # tridiag-service
+//!
+//! The front door that manufactures the paper's winning regime: many
+//! small concurrent solve requests, coalesced into large fused batches.
+//!
+//! The paper's central result is that fused, large-`M` batched launches
+//! win decisively past the crossover point — but real traffic arrives
+//! as small independent requests. This crate bridges the two: a
+//! bounded request queue with typed backpressure, a coalescer merging
+//! compatible requests (same `n`, same precision) into one fused batch
+//! per tick, a plan cache over the pure planner (PR 4's
+//! [`tridiag_gpu::SolvePlan::build`]), per-request latency attribution
+//! (queue / coalesce-window / kernel / scatter spans), and — the
+//! correctness keystone — **decision pinning**, which makes a
+//! request's bits independent of its co-tenants (see
+//! [`core`] module docs; proven by the `service_differential` suite).
+//!
+//! Two drivers share the same engine:
+//! - [`ServiceCore::run_workload`] — a fully deterministic modeled-time
+//!   run of a whole workload (benches, differential tests, CLI).
+//! - [`SolveService`] — a real worker thread behind a bounded queue for
+//!   concurrent submitters (stress tests, `tridiag serve`).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod coalesce;
+pub mod core;
+pub mod report;
+pub mod request;
+pub mod service;
+
+pub use cache::{config_fingerprint, CacheStats, PlanCache, PlanKey};
+pub use coalesce::{coalesce, CoalesceKey, CoalescedBatch, Member};
+pub use core::{ServiceConfig, ServiceCore};
+pub use report::{validate_service_report_json, BatchSummary, ServiceReport};
+pub use request::{Payload, RequestSpans, Response, ServiceError, Solution, SolveRequest};
+pub use service::{ServiceStats, SolveService, Ticket};
+
+use gpu_sim::{DeviceGroup, Result};
+
+/// Solve one payload alone under the exact pinned config the service
+/// would use — the reference answer coalescing must reproduce
+/// bit-for-bit. (A fresh one-shot [`ServiceCore`]; the plan cache is
+/// irrelevant to the answer.)
+pub fn solo_solution(
+    group: &DeviceGroup,
+    cfg: ServiceConfig,
+    payload: &Payload,
+) -> Result<Solution> {
+    let mut core = ServiceCore::new(group.clone(), cfg);
+    core.solve_payload(payload).map(|(x, _, _)| x)
+}

@@ -1,0 +1,423 @@
+//! The service report: per-request outcomes, batch summaries,
+//! throughput/latency rollups, a per-request trace, and the JSON
+//! export + schema validator (`tridiag.service_report/v1`).
+
+use gpu_sim::{Json, Trace};
+
+use crate::cache::CacheStats;
+use crate::request::{Response, ServiceError};
+
+/// One fused launch the service performed.
+#[derive(Debug, Clone)]
+pub struct BatchSummary {
+    /// Global batch index (what [`Response::batch`] refers to).
+    pub index: usize,
+    /// Rows per system of every member.
+    pub n: usize,
+    /// Precision label (`"f32"` / `"f64"`).
+    pub precision: &'static str,
+    /// Total fused systems.
+    pub m_total: usize,
+    /// Ids of the member requests, in fused order.
+    pub request_ids: Vec<u64>,
+    /// Whether the fused plan came from the cache.
+    pub cache_hit: bool,
+    /// Whether the batch faulted and fell back to per-member solves.
+    pub isolated: bool,
+    /// Modeled kernel time (fused; summed over members when isolated).
+    pub kernel_us: f64,
+    /// When the batch started on the modeled axis.
+    pub start_us: f64,
+}
+
+/// Everything one service run (modeled workload or drained threaded
+/// session) produced.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Device-group label the service ran on.
+    pub device: String,
+    /// Coalescing window (µs).
+    pub window_us: f64,
+    /// Bounded queue depth.
+    pub queue_depth: usize,
+    /// One response per submitted request, in completion order per
+    /// tick (rejections appear where they bounced).
+    pub responses: Vec<Response>,
+    /// One summary per fused launch.
+    pub batches: Vec<BatchSummary>,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+    /// First arrival → last completion (µs); 0 for an empty run.
+    pub makespan_us: f64,
+    /// Successfully solved requests per modeled second.
+    pub requests_per_s: f64,
+    /// Median latency over solved requests (µs).
+    pub p50_us: f64,
+    /// 99th-percentile latency over solved requests (µs).
+    pub p99_us: f64,
+    /// Per-request span trace on the modeled axis (one track per
+    /// request: queue → coalesce → kernel → scatter).
+    pub trace: Trace,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl ServiceReport {
+    /// Assemble the rollups and trace from raw outcomes.
+    pub fn build(
+        device: String,
+        window_us: f64,
+        queue_depth: usize,
+        responses: Vec<Response>,
+        batches: Vec<BatchSummary>,
+        cache: CacheStats,
+    ) -> ServiceReport {
+        let mut latencies: Vec<f64> = responses
+            .iter()
+            .filter(|r| r.result.is_ok())
+            .map(|r| r.spans.latency_us())
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let completed = latencies.len();
+        let first_arrival = responses
+            .iter()
+            .map(|r| r.completed_us - r.spans.latency_us())
+            .fold(f64::INFINITY, f64::min);
+        let last_completion = responses.iter().map(|r| r.completed_us).fold(0.0, f64::max);
+        let makespan_us = if responses.is_empty() {
+            0.0
+        } else {
+            (last_completion - first_arrival).max(0.0)
+        };
+        let requests_per_s = if makespan_us > 0.0 {
+            completed as f64 / (makespan_us * 1e-6)
+        } else {
+            0.0
+        };
+
+        let mut trace = Trace::new("tridiag-service");
+        for batch in &batches {
+            trace.span(
+                format!("batch[{}] n={} m={}", batch.index, batch.n, batch.m_total),
+                "service",
+                0,
+                batch.start_us,
+                batch.kernel_us,
+                vec![
+                    ("cache_hit".into(), Json::Bool(batch.cache_hit)),
+                    ("isolated".into(), Json::Bool(batch.isolated)),
+                    (
+                        "requests".into(),
+                        Json::num(batch.request_ids.len() as f64),
+                    ),
+                ],
+            );
+        }
+        for r in &responses {
+            if r.result.is_err() {
+                continue;
+            }
+            // Track per request; spans tile [arrival, completion].
+            let tid = (r.id % (u32::MAX as u64 - 1)) as u32 + 1;
+            let arrival = r.completed_us - r.spans.latency_us();
+            let mut cursor = arrival;
+            for (name, dur) in [
+                ("queue", r.spans.queue_us),
+                ("coalesce", r.spans.coalesce_us),
+                ("kernel", r.spans.kernel_us),
+                ("scatter", r.spans.scatter_us),
+            ] {
+                trace.span(
+                    format!("req[{}]/{name}", r.id),
+                    "request",
+                    tid,
+                    cursor,
+                    dur,
+                    vec![],
+                );
+                cursor += dur;
+            }
+        }
+
+        ServiceReport {
+            device,
+            window_us,
+            queue_depth,
+            p50_us: percentile(&latencies, 50.0),
+            p99_us: percentile(&latencies, 99.0),
+            responses,
+            batches,
+            cache,
+            makespan_us,
+            requests_per_s,
+            trace,
+        }
+    }
+
+    /// Solved / rejected / failed counts.
+    pub fn totals(&self) -> (usize, usize, usize) {
+        let mut completed = 0;
+        let mut rejected = 0;
+        let mut failed = 0;
+        for r in &self.responses {
+            match &r.result {
+                Ok(_) => completed += 1,
+                Err(ServiceError::Overloaded { .. }) | Err(ServiceError::ShuttingDown) => {
+                    rejected += 1
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        (completed, rejected, failed)
+    }
+
+    /// Export as schema `tridiag.service_report/v1`.
+    pub fn to_json(&self) -> Json {
+        let (completed, rejected, failed) = self.totals();
+        let responses: Vec<Json> = self
+            .responses
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("id".into(), Json::num(r.id as f64)),
+                    ("ok".into(), Json::Bool(r.result.is_ok())),
+                ];
+                match &r.result {
+                    Ok(x) => {
+                        fields.push(("solution_len".into(), Json::num(x.len() as f64)));
+                        fields.push((
+                            "solution_hash".into(),
+                            Json::str(format!("{:016x}", x.hash())),
+                        ));
+                    }
+                    Err(e) => fields.push(("error".into(), Json::str(e.to_string()))),
+                }
+                fields.extend([
+                    (
+                        "batch".into(),
+                        r.batch.map_or(Json::Null, |b| Json::num(b as f64)),
+                    ),
+                    ("coalesced_with".into(), Json::num(r.coalesced_with as f64)),
+                    ("cache_hit".into(), Json::Bool(r.cache_hit)),
+                    (
+                        "spans_us".into(),
+                        Json::Obj(vec![
+                            ("queue".into(), Json::num(r.spans.queue_us)),
+                            ("coalesce".into(), Json::num(r.spans.coalesce_us)),
+                            ("kernel".into(), Json::num(r.spans.kernel_us)),
+                            ("scatter".into(), Json::num(r.spans.scatter_us)),
+                        ]),
+                    ),
+                    ("latency_us".into(), Json::num(r.spans.latency_us())),
+                    ("completed_us".into(), Json::num(r.completed_us)),
+                ]);
+                Json::Obj(fields)
+            })
+            .collect();
+        let batches: Vec<Json> = self
+            .batches
+            .iter()
+            .map(|b| {
+                Json::Obj(vec![
+                    ("index".into(), Json::num(b.index as f64)),
+                    ("n".into(), Json::num(b.n as f64)),
+                    ("precision".into(), Json::str(b.precision)),
+                    ("m_total".into(), Json::num(b.m_total as f64)),
+                    (
+                        "request_ids".into(),
+                        Json::Arr(
+                            b.request_ids
+                                .iter()
+                                .map(|&id| Json::num(id as f64))
+                                .collect(),
+                        ),
+                    ),
+                    ("cache_hit".into(), Json::Bool(b.cache_hit)),
+                    ("isolated".into(), Json::Bool(b.isolated)),
+                    ("kernel_us".into(), Json::num(b.kernel_us)),
+                    ("start_us".into(), Json::num(b.start_us)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::str("tridiag.service_report/v1")),
+            ("device".into(), Json::str(self.device.clone())),
+            ("window_us".into(), Json::num(self.window_us)),
+            ("queue_depth".into(), Json::num(self.queue_depth as f64)),
+            (
+                "totals".into(),
+                Json::Obj(vec![
+                    (
+                        "submitted".into(),
+                        Json::num(self.responses.len() as f64),
+                    ),
+                    ("completed".into(), Json::num(completed as f64)),
+                    ("rejected".into(), Json::num(rejected as f64)),
+                    ("failed".into(), Json::num(failed as f64)),
+                ]),
+            ),
+            (
+                "throughput".into(),
+                Json::Obj(vec![
+                    ("makespan_us".into(), Json::num(self.makespan_us)),
+                    ("requests_per_s".into(), Json::num(self.requests_per_s)),
+                    ("p50_us".into(), Json::num(self.p50_us)),
+                    ("p99_us".into(), Json::num(self.p99_us)),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("lookups".into(), Json::num(self.cache.lookups as f64)),
+                    ("hits".into(), Json::num(self.cache.hits as f64)),
+                    ("misses".into(), Json::num(self.cache.misses as f64)),
+                    ("evictions".into(), Json::num(self.cache.evictions as f64)),
+                ]),
+            ),
+            ("batches".into(), Json::Arr(batches)),
+            ("responses".into(), Json::Arr(responses)),
+        ])
+    }
+}
+
+/// Validate a `tridiag.service_report/v1` document. Returns every
+/// problem found (empty = valid), in the same "collect all findings"
+/// style as the plan and trace validators.
+pub fn validate_service_report_json(doc: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("tridiag.service_report/v1") => {}
+        Some(other) => problems.push(format!("unexpected schema {other:?}")),
+        None => problems.push("missing schema field".into()),
+    }
+    let window = doc.get("window_us").and_then(Json::as_num);
+    match window {
+        Some(w) if w >= 0.0 => {}
+        Some(w) => problems.push(format!("negative window_us {w}")),
+        None => problems.push("missing window_us".into()),
+    }
+    let totals = doc.get("totals");
+    let total_of = |key: &str| {
+        totals
+            .and_then(|t| t.get(key))
+            .and_then(Json::as_num)
+            .unwrap_or(-1.0)
+    };
+    let (submitted, completed, rejected, failed) = (
+        total_of("submitted"),
+        total_of("completed"),
+        total_of("rejected"),
+        total_of("failed"),
+    );
+    if submitted < 0.0 || completed < 0.0 || rejected < 0.0 || failed < 0.0 {
+        problems.push("totals missing one of submitted/completed/rejected/failed".into());
+    } else if (completed + rejected + failed - submitted).abs() > 1e-9 {
+        problems.push(format!(
+            "totals do not add up: {completed} + {rejected} + {failed} != {submitted}"
+        ));
+    }
+    if let Some(cache) = doc.get("cache") {
+        let g = |k: &str| cache.get(k).and_then(Json::as_num).unwrap_or(-1.0);
+        if (g("hits") + g("misses") - g("lookups")).abs() > 1e-9 {
+            problems.push("cache counters: hits + misses != lookups".into());
+        }
+    } else {
+        problems.push("missing cache object".into());
+    }
+    let empty: Vec<Json> = Vec::new();
+    let responses = doc
+        .get("responses")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    if responses.len() as f64 != submitted && submitted >= 0.0 {
+        problems.push(format!(
+            "responses array has {} entries but totals.submitted = {submitted}",
+            responses.len()
+        ));
+    }
+    let batches = doc.get("batches").and_then(Json::as_arr).unwrap_or(&empty);
+    let mut ids = Vec::new();
+    for (i, r) in responses.iter().enumerate() {
+        let Some(id) = r.get("id").and_then(Json::as_num) else {
+            problems.push(format!("response {i}: missing id"));
+            continue;
+        };
+        ids.push(id);
+        let ok = matches!(r.get("ok"), Some(Json::Bool(true)));
+        if ok == r.get("error").is_some() {
+            problems.push(format!(
+                "response {i} (id {id}): ok flag and error field disagree"
+            ));
+        }
+        if ok && r.get("solution_hash").and_then(Json::as_str).is_none() {
+            problems.push(format!("response {i} (id {id}): ok but no solution_hash"));
+        }
+        let spans = r.get("spans_us");
+        let span = |k: &str| {
+            spans
+                .and_then(|s| s.get(k))
+                .and_then(Json::as_num)
+                .unwrap_or(f64::NAN)
+        };
+        let sum = span("queue") + span("coalesce") + span("kernel") + span("scatter");
+        let latency = r.get("latency_us").and_then(Json::as_num).unwrap_or(f64::NAN);
+        if sum.is_nan() || latency.is_nan() || (sum - latency).abs() > 1e-6 * latency.abs().max(1.0)
+        {
+            problems.push(format!(
+                "response {i} (id {id}): spans sum {sum} != latency {latency}"
+            ));
+        }
+        if let Some(b) = r.get("batch").and_then(Json::as_num) {
+            if b < 0.0 || b >= batches.len() as f64 {
+                problems.push(format!(
+                    "response {i} (id {id}): batch index {b} out of range ({} batches)",
+                    batches.len()
+                ));
+            }
+        }
+    }
+    for (i, b) in batches.iter().enumerate() {
+        let members = b
+            .get("request_ids")
+            .and_then(Json::as_arr)
+            .unwrap_or(&empty);
+        if members.is_empty() {
+            problems.push(format!("batch {i}: empty request_ids"));
+        }
+        for id in members {
+            if let Some(id) = id.as_num() {
+                if !ids.contains(&id) {
+                    problems.push(format!("batch {i}: request id {id} has no response"));
+                }
+            }
+        }
+        let m_total = b.get("m_total").and_then(Json::as_num).unwrap_or(-1.0);
+        if m_total < 1.0 {
+            problems.push(format!("batch {i}: m_total {m_total} < 1"));
+        }
+    }
+    if let Some(t) = doc.get("throughput") {
+        let g = |k: &str| t.get(k).and_then(Json::as_num).unwrap_or(f64::NAN);
+        if g("p50_us") > g("p99_us") {
+            problems.push(format!(
+                "p50 {} exceeds p99 {}",
+                g("p50_us"),
+                g("p99_us")
+            ));
+        }
+        let rps = g("requests_per_s");
+        if rps.is_nan() || rps < 0.0 {
+            problems.push("requests_per_s missing or negative".into());
+        }
+    } else {
+        problems.push("missing throughput object".into());
+    }
+    problems
+}

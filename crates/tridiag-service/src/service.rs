@@ -1,0 +1,293 @@
+//! The threaded front door: a bounded submission queue, one worker
+//! draining it in coalescing ticks, and typed backpressure at
+//! admission time.
+//!
+//! Real client threads call [`SolveService::submit`] concurrently; the
+//! worker owns the [`ServiceCore`] (pins, plan cache, tick machinery)
+//! and answers each ticket over its own channel. Timing stays on the
+//! modeled axis — the worker keeps a modeled clock that advances by
+//! each tick's kernel/scatter time; wall clocks appear nowhere, so
+//! span assertions in tests are deterministic.
+//!
+//! [`pause`](SolveService::pause)/[`resume`](SolveService::resume) gate
+//! the worker without touching admission: tests use them to stack the
+//! queue (guaranteeing coalescing) or to fill it to the brim
+//! (guaranteeing a typed [`ServiceError::Overloaded`]).
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use gpu_sim::DeviceGroup;
+
+use crate::cache::CacheStats;
+use crate::core::{ServiceConfig, ServiceCore};
+use crate::report::BatchSummary;
+use crate::request::{Payload, Response, ServiceError, SolveRequest};
+
+/// Counters a running service exposes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Requests admitted past the queue bound.
+    pub submitted: u64,
+    /// Requests solved successfully.
+    pub completed: u64,
+    /// Requests bounced at admission ([`ServiceError::Overloaded`] /
+    /// [`ServiceError::ShuttingDown`]).
+    pub rejected: u64,
+    /// Admitted requests that ended in a typed solve failure.
+    pub failed: u64,
+    /// Fused launches performed.
+    pub batches: u64,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+    /// The worker's modeled clock (µs).
+    pub clock_us: f64,
+}
+
+/// A pending response: block on [`Ticket::wait`] to collect it.
+#[derive(Debug)]
+pub struct Ticket {
+    /// The id the response will carry.
+    pub id: u64,
+    rx: Receiver<Response>,
+}
+
+impl Ticket {
+    /// Block until the service answers. The service always answers
+    /// every admitted ticket — a shutdown drains the queue with typed
+    /// [`ServiceError::ShuttingDown`] responses first.
+    pub fn wait(self) -> Response {
+        self.rx
+            .recv()
+            .expect("service dropped a ticket without responding")
+    }
+}
+
+struct State {
+    queue: VecDeque<(SolveRequest, Sender<Response>)>,
+    paused: bool,
+    shutdown: bool,
+    next_id: u64,
+    stats: ServiceStats,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+/// The threaded solve service. See the module docs.
+pub struct SolveService {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+    queue_depth: usize,
+}
+
+impl SolveService {
+    /// Start a service over `group` with tuning `cfg`; the worker
+    /// thread runs until [`shutdown`](SolveService::shutdown) (or
+    /// drop).
+    pub fn start(group: DeviceGroup, cfg: ServiceConfig) -> SolveService {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                paused: false,
+                shutdown: false,
+                next_id: 0,
+                stats: ServiceStats::default(),
+            }),
+            wake: Condvar::new(),
+        });
+        let queue_depth = cfg.queue_depth.max(1);
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || {
+            worker_loop(worker_shared, ServiceCore::new(group, cfg));
+        });
+        SolveService {
+            shared,
+            worker: Some(worker),
+            queue_depth,
+        }
+    }
+
+    /// Submit one request. Returns the ticket to wait on, or the typed
+    /// admission failure — [`ServiceError::Overloaded`] when the
+    /// bounded queue is full, [`ServiceError::ShuttingDown`] after
+    /// shutdown began, [`ServiceError::InvalidRequest`] for malformed
+    /// payloads. Never blocks on the solver.
+    pub fn submit(&self, payload: Payload) -> Result<Ticket, ServiceError> {
+        if payload.num_systems() == 0 || payload.system_len() == 0 {
+            return Err(ServiceError::InvalidRequest(format!(
+                "empty geometry: m = {}, n = {}",
+                payload.num_systems(),
+                payload.system_len()
+            )));
+        }
+        let mut st = self.shared.state.lock().expect("service state poisoned");
+        if st.shutdown {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if st.queue.len() >= self.queue_depth {
+            st.stats.rejected += 1;
+            return Err(ServiceError::Overloaded {
+                depth: self.queue_depth,
+            });
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.stats.submitted += 1;
+        // Arrival on the modeled axis: the worker's clock as of the
+        // last completed tick (submissions during a tick time-stamp at
+        // its start — deterministic, if coarse).
+        let arrival_us = st.stats.clock_us;
+        let (tx, rx) = channel();
+        st.queue.push_back((
+            SolveRequest {
+                id,
+                arrival_us,
+                payload,
+            },
+            tx,
+        ));
+        drop(st);
+        self.shared.wake.notify_all();
+        Ok(Ticket { id, rx })
+    }
+
+    /// Stop the worker from draining the queue (admission continues,
+    /// so the bounded queue can fill and bounce).
+    pub fn pause(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("service state poisoned")
+            .paused = true;
+    }
+
+    /// Let the worker drain again.
+    pub fn resume(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("service state poisoned")
+            .paused = false;
+        self.shared.wake.notify_all();
+    }
+
+    /// Current counters (a snapshot; the worker updates them between
+    /// ticks).
+    pub fn stats(&self) -> ServiceStats {
+        self.shared
+            .state
+            .lock()
+            .expect("service state poisoned")
+            .stats
+    }
+
+    /// Number of requests waiting right now.
+    pub fn queue_len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("service state poisoned")
+            .queue
+            .len()
+    }
+
+    /// Drain and stop: queued-but-unsolved requests get typed
+    /// [`ServiceError::ShuttingDown`] responses, the worker exits, and
+    /// the final counters come back.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.begin_shutdown();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("service state poisoned")
+            .shutdown = true;
+        self.shared.wake.notify_all();
+    }
+}
+
+impl Drop for SolveService {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, mut core: ServiceCore) {
+    let window_us = core.config().window_us.max(0.0);
+    let mut batch_base = 0usize;
+    loop {
+        // Wait for work (or shutdown), then drain a tick's working set.
+        let (working, senders, open) = {
+            let mut st = shared.state.lock().expect("service state poisoned");
+            while (st.paused || st.queue.is_empty()) && !st.shutdown {
+                st = shared.wake.wait(st).expect("service state poisoned");
+            }
+            if st.shutdown {
+                let clock = st.stats.clock_us;
+                let drained: Vec<_> = st.queue.drain(..).collect();
+                st.stats.rejected += drained.len() as u64;
+                for (req, tx) in drained {
+                    let _ = tx.send(Response {
+                        id: req.id,
+                        result: Err(ServiceError::ShuttingDown),
+                        spans: Default::default(),
+                        batch: None,
+                        coalesced_with: 0,
+                        cache_hit: false,
+                        completed_us: clock,
+                    });
+                }
+                return;
+            }
+            let take = if window_us == 0.0 { 1 } else { st.queue.len() };
+            let mut working = Vec::with_capacity(take);
+            let mut senders = Vec::with_capacity(take);
+            for (req, tx) in st.queue.drain(..take) {
+                working.push(req);
+                senders.push(tx);
+            }
+            (working, senders, st.stats.clock_us)
+        };
+
+        let close = open + window_us;
+        let (responses, batches, free) = core.solve_tick(open, close, &working, batch_base);
+        batch_base += batches.len();
+        publish(&shared, &responses, &batches, free, core.cache_stats());
+        for (resp, tx) in responses.into_iter().zip(senders) {
+            let _ = tx.send(resp);
+        }
+    }
+}
+
+fn publish(
+    shared: &Arc<Shared>,
+    responses: &[Response],
+    batches: &[BatchSummary],
+    clock_us: f64,
+    cache: CacheStats,
+) {
+    let mut st = shared.state.lock().expect("service state poisoned");
+    for r in responses {
+        match &r.result {
+            Ok(_) => st.stats.completed += 1,
+            Err(_) => st.stats.failed += 1,
+        }
+    }
+    st.stats.batches += batches.len() as u64;
+    st.stats.clock_us = clock_us;
+    st.stats.cache = cache;
+}

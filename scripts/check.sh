@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 
 # First-party crates (vendored shims under vendor/ are exempt from the
 # clippy gate).
-FIRST_PARTY=(-p tridiag-core -p gpu-sim -p tridiag-gpu -p cpu-ref -p tridiag-cli)
+FIRST_PARTY=(-p tridiag-core -p gpu-sim -p tridiag-gpu -p cpu-ref -p tridiag-service -p tridiag-cli)
 
 echo "== tier-1: build =="
 cargo build --release
@@ -48,6 +48,18 @@ cargo test -q -p tridiag-gpu --test sharded_trace
 echo "== sharded differential harness (shard(D) . merge == single device, bit-for-bit) =="
 cargo test --release -q -p tridiag-gpu --test sharded_differential
 
+echo "== service differential harness (coalesced == solo, bit-for-bit, 60 mixes) =="
+cargo test --release -q -p tridiag-service --test service_differential
+
+echo "== service plan-cache properties (hit == fresh build byte-for-byte) =="
+cargo test --release -q -p tridiag-service --test plan_cache_props
+
+echo "== service concurrency stress (bounded queue, typed overload, fault isolation) =="
+cargo test --release -q -p tridiag-service --test service_stress
+
+echo "== seed-era release suites (engine parity + scalability under --release) =="
+cargo test --release -q --test engine_parity --test scalability
+
 echo "== CLI lint over the kernel zoo (exit 0 = no findings) =="
 cargo run --release -q -p tridiag-cli -- lint
 
@@ -68,6 +80,11 @@ out="$(cargo run --release -q -p tridiag-cli -- solve --m 8 --n 256 --devices 2)
 grep -q "devices     : 2" <<<"$out"
 out="$(cargo run --release -q -p tridiag-cli -- plan --m 64 --n 512 --devices 2 --json)"
 grep -q "tridiag.sharded_plan/v1" <<<"$out"
+
+echo "== CLI serve smoke (8 concurrent requests, bit-checked vs solo, exit 2 on mismatch) =="
+out="$(cargo run --release -q -p tridiag-cli -- serve --requests 8 --clients 4)"
+grep -q "answered 8/8 bit-identical to solo" <<<"$out"
+cargo run --release -q -p tridiag-cli -- bench-service --requests 16 > /dev/null
 
 echo "== CLI profile smoke (trace schema + phase sums, exit 2 on violation) =="
 tracedir="$(mktemp -d)"

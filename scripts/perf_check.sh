@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Perf baseline comparison: re-measures the BENCH_solver sweep on the
-# current tree and diffs it against the committed BENCH_solver.json.
+# Perf baseline comparison: re-measures the BENCH_solver sweep and the
+# BENCH_service window sweep on the current tree and diffs them against
+# the committed BENCH_solver.json / BENCH_service.json.
 #
 # Report-only by default (always exits 0 so it can run as an advisory
-# CI step); pass --strict to fail on drift beyond the tolerance baked
-# into the solver_baseline binary. To accept an intentional perf
-# change, regenerate the baseline:
+# CI step); pass --strict to fail on drift beyond the tolerances baked
+# into the baseline binaries. To accept an intentional perf change,
+# regenerate the affected baseline:
 #   cargo run --release -p bench --bin solver_baseline
+#   cargo run --release -p bench --bin service_throughput
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,3 +19,4 @@ fi
 
 cargo build --release -q -p bench
 ./target/release/solver_baseline --check BENCH_solver.json "${mode[@]}"
+./target/release/service_throughput --check BENCH_service.json "${mode[@]}"

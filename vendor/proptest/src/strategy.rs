@@ -51,6 +51,20 @@ macro_rules! int_range_strategy {
 }
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! tuple_strategy {
+    ($($s:ident => $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A => 0, B => 1);
+tuple_strategy!(A => 0, B => 1, C => 2);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+
 macro_rules! float_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
