@@ -54,6 +54,8 @@ pub struct BufId(usize);
 pub struct GpuMemory<S: Elem> {
     buffers: Vec<Vec<S>>,
     init: Vec<InitMask>,
+    resident_bytes: usize,
+    peak_resident_bytes: usize,
 }
 
 impl<S: Elem> GpuMemory<S> {
@@ -62,7 +64,14 @@ impl<S: Elem> GpuMemory<S> {
         Self {
             buffers: Vec::new(),
             init: Vec::new(),
+            resident_bytes: 0,
+            peak_resident_bytes: 0,
         }
+    }
+
+    fn account_alloc(&mut self, len: usize) {
+        self.resident_bytes += len * S::BYTES;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
     }
 
     /// Allocate a buffer of `len` elements. Functionally zero-filled
@@ -71,14 +80,43 @@ impl<S: Elem> GpuMemory<S> {
     pub fn alloc(&mut self, len: usize) -> BufId {
         self.buffers.push(vec![S::default(); len]);
         self.init.push(InitMask::uninit(len));
+        self.account_alloc(len);
         BufId(self.buffers.len() - 1)
     }
 
     /// Upload host data ("cudaMemcpy host→device"); fully initialized.
     pub fn alloc_from(&mut self, data: Vec<S>) -> BufId {
+        self.account_alloc(data.len());
         self.buffers.push(data);
         self.init.push(InitMask::Full);
         BufId(self.buffers.len() - 1)
+    }
+
+    /// Release a buffer ("cudaFree"): its storage is dropped and its
+    /// bytes leave the resident set, but the `BufId` index slot is kept
+    /// so later allocations keep their identities (any access through
+    /// the freed id fails as out-of-bounds on a zero-length buffer).
+    pub fn free(&mut self, id: BufId) -> Result<()> {
+        let buf = self
+            .buffers
+            .get_mut(id.0)
+            .ok_or(SimError::BadBuffer { buffer: id.0 })?;
+        self.resident_bytes = self.resident_bytes.saturating_sub(buf.len() * S::BYTES);
+        *buf = Vec::new();
+        self.init[id.0] = InitMask::uninit(0);
+        Ok(())
+    }
+
+    /// Bytes currently allocated across live (un-freed) buffers.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// High-water mark of [`Self::resident_bytes`] over the arena's
+    /// lifetime — the quantity a plan verifier's liveness-based peak
+    /// prediction must match exactly.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident_bytes
     }
 
     /// Is element `i` of `id` initialized (host-uploaded or stored to)?
@@ -140,7 +178,7 @@ pub struct ExecConfig {
     pub max_violations: usize,
     /// Record every access's affine index expression into an
     /// [`AccessPlan`] attached to [`LaunchResult::plan`], as input for
-    /// the static lint passes in [`crate::lint`].
+    /// the static lint passes in [`crate::lint`](mod@crate::lint).
     pub record_plan: bool,
 }
 
@@ -532,7 +570,7 @@ pub struct LaunchResult {
     /// or the kernel is clean. Uncapped tallies live in
     /// `stats.total.sanitizer`.
     pub violations: Vec<SanitizerViolation>,
-    /// The recorded affine access plan (input for [`crate::lint`]);
+    /// The recorded affine access plan (input for [`crate::lint`](mod@crate::lint));
     /// `None` unless [`ExecConfig::record_plan`] was set.
     pub plan: Option<AccessPlan>,
 }
@@ -906,6 +944,29 @@ mod tests {
         assert!(launch(&gtx480(), &LaunchConfig::new("x", 0, 32), &k, &mut mem).is_err());
         assert!(launch(&gtx480(), &LaunchConfig::new("x", 1, 0), &k, &mut mem).is_err());
         assert!(launch(&gtx480(), &LaunchConfig::new("x", 1, 2048), &k, &mut mem).is_err());
+    }
+
+    #[test]
+    fn memory_arena_tracks_resident_and_peak_bytes() {
+        let mut mem = GpuMemory::<f64>::new();
+        assert_eq!(mem.resident_bytes(), 0);
+        let a = mem.alloc(100); // 800 bytes
+        let b = mem.alloc_from(vec![0.0; 50]); // +400 = 1200
+        assert_eq!(mem.resident_bytes(), 1200);
+        assert_eq!(mem.peak_resident_bytes(), 1200);
+        mem.free(a).unwrap();
+        assert_eq!(mem.resident_bytes(), 400);
+        assert_eq!(mem.peak_resident_bytes(), 1200, "peak is a high-water mark");
+        let c = mem.alloc(25); // +200 = 600, below the old peak
+        assert_eq!(mem.resident_bytes(), 600);
+        assert_eq!(mem.peak_resident_bytes(), 1200);
+        // Freed ids stay stable: the slot is kept, reads see length 0.
+        assert_eq!(mem.len(a).unwrap(), 0);
+        assert_ne!(b, c);
+        // Double-free is harmless; freeing a bogus id is a typed error.
+        mem.free(a).unwrap();
+        assert!(mem.free(BufId(99)).is_err());
+        assert_eq!(mem.resident_bytes(), 600);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //!
 //! Orthogonally, [`exec::ExecConfig::record_plan`] captures every
 //! access as an affine index expression in a small IR ([`plan`]); the
-//! static [`lint`] passes then *prove* coalescing, bank-conflict,
+//! static [`lint`](mod@lint) passes then *prove* coalescing, bank-conflict,
 //! barrier, race and bounds properties from the expressions alone and
 //! predict the transaction counters in closed form — predictions the
 //! golden-counter suite cross-checks against the dynamic counters.

@@ -26,7 +26,7 @@
 //! the exact transaction/replay/barrier totals the passes derive, and
 //! [`Prediction::cross_check`] compares them — field by field, exact
 //! equality — against the dynamically measured
-//! [`BlockStats`](crate::counters::BlockStats). The golden-counter
+//! [`BlockStats`](struct@crate::counters::BlockStats). The golden-counter
 //! suite runs this cross-check for every kernel at several geometries:
 //! a mismatch means the static math or the dynamic counter is wrong,
 //! which keeps both honest.

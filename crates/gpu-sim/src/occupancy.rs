@@ -4,7 +4,7 @@
 //! "enables higher occupancy and as such larger number of thread blocks
 //! can be scheduled per SM" (Section III-A), while Davidson-style
 //! coarse-grained tiling "suffers from large shared memory requirement
-//! [and] fewer concurrent thread blocks" (Section V). This module is a
+//! \[and\] fewer concurrent thread blocks" (Section V). This module is a
 //! faithful CUDA-occupancy-calculator-style model: resident blocks per
 //! SM are the minimum over four resource limits.
 

@@ -7,7 +7,7 @@
 //! runs (a ragged tail, a clamp lane, a carry splice). The IR captures
 //! each operation as a list of [`AffinePiece`]s plus its barrier and
 //! allocation structure, which is exactly enough for the static lint
-//! passes in [`crate::lint`] to *prove* coalescing, bank-conflict,
+//! passes in [`crate::lint`](mod@crate::lint) to *prove* coalescing, bank-conflict,
 //! race, bounds and barrier properties as closed forms — no execution,
 //! no data.
 //!
@@ -25,7 +25,7 @@
 //!    directly via [`AccessPlan::synthetic`] and the `push_*` methods
 //!    on [`BlockPlan`].
 //!
-//! The same-trip [`crate::lint`] passes recompute transaction and
+//! The same-trip [`crate::lint`](mod@crate::lint) passes recompute transaction and
 //! replay counts from the pieces alone; the golden-counter suite then
 //! asserts those static predictions equal the dynamically measured
 //! [`crate::counters::KernelStats`] — a mismatch means one of the two

@@ -8,6 +8,9 @@
 //!               [--trace trace.json] [--json] [--dry-run]
 //! tridiag plan --m 256 --n 1024 [--json] # print the solve plan, no execution
 //! tridiag plan --sweep                   # dry-run + schema-check sweep plans
+//! tridiag verify --m 256 --n 1024        # statically certify the plan
+//! tridiag verify --sweep                 # certify + execute + cross-check
+//! tridiag verify --negative              # corruption suite: all classes fire
 //! tridiag profile --m 256 --n 1024       # per-phase profile + Chrome trace
 //! tridiag profile --zoo --out zoo.json   # ...for every shipped kernel
 //! tridiag compare --m 64 --n 2048        # run every engine, check parity
@@ -72,7 +75,9 @@ fn usage() -> &'static str {
      [--precision f64|f32] [--device gtx480|gtx280|c2050] [--devices G] [--seed S] \
      [--verbose] [--sanitize] [--lint] [--check] [--trace FILE] [--json] [--dry-run]\n  \
      tridiag plan    --m M --n N [--precision f64|f32] [--device D] [--devices G] \
-     [--json] | --sweep [--device D]\n  \
+     [--json] [--verify] | --sweep [--device D]\n  \
+     tridiag verify  --m M --n N [--precision f64|f32] [--device D] [--devices G] \
+     [--json] | --sweep [--device D] | --negative [--device D]\n  \
      tridiag profile --m M --n N [--precision f64|f32] [--device D] [--seed S] \
      [--out FILE] | --zoo [--out FILE]\n  \
      tridiag compare --m M --n N [--seed S]\n  \
@@ -111,12 +116,20 @@ fn usage() -> &'static str {
      \u{20}           and print it without launching any kernel\n  \
      plan        build and print the solve plan for a geometry; --sweep plans\n  \
      \u{20}           the figure-sweep geometries and validates each plan's JSON\n  \
-     \u{20}           against the schema, exiting 2 on drift (nothing executes)\n  \
+     \u{20}           against the schema, exiting 2 on drift (nothing executes);\n  \
+     \u{20}           --verify also runs the static plan verifier on the plan\n  \
+     verify      statically certify a plan (slot dataflow, liveness, layout\n  \
+     \u{20}           pairing, exact transfer/launch/peak-memory certificate)\n  \
+     \u{20}           without executing; --sweep certifies the figure-sweep and\n  \
+     \u{20}           sharded geometries AND executes each, cross-checking the\n  \
+     \u{20}           certificate against measured stats; --negative injects one\n  \
+     \u{20}           corruption per diagnostic class and demands each fires\n  \
+     \u{20}           (exit 2 = all fired, exit 1 = a diagnostic was lost)\n  \
      profile     run a solve (or, with --zoo, every zoo kernel), write the\n  \
      \u{20}           trace to --out (default trace.json) and print the per-phase\n  \
      \u{20}           profile; exits 2 on phase-sum or trace-schema violations\n\n\
      exit codes: 0 = ok, 1 = usage/solve error, 2 = lint, sanitizer, phase-sum,\n  \
-     \u{20}           trace-schema or plan-schema findings"
+     \u{20}           trace-schema, plan-schema or plan-verification findings"
 }
 
 /// A command failure, split by exit code: plain errors exit 1, check
@@ -146,13 +159,14 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
     let trace = a.get("trace");
     let json = a.flag("json");
     let dry_run = a.flag("dry-run");
+    let verify = a.flag("verify");
     let group = device_group(a, &device)?;
     if group.is_some() && engine != "gpu" {
         return Err(Failure::Error(format!(
             "--devices only applies to the gpu engine (got {engine:?})"
         )));
     }
-    if (sanitize || lint || trace.is_some() || json || dry_run) && engine != "gpu" {
+    if (sanitize || lint || trace.is_some() || json || dry_run || verify) && engine != "gpu" {
         let flag = if check {
             "--check"
         } else if sanitize {
@@ -163,8 +177,10 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
             "--trace"
         } else if json {
             "--json"
-        } else {
+        } else if dry_run {
             "--dry-run"
+        } else {
+            "--verify"
         };
         return Err(Failure::Error(format!(
             "{flag} only applies to the gpu engine (got {engine:?})"
@@ -180,6 +196,7 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
         trace,
         json,
         dry_run,
+        verify,
     };
     if precision == "f32" {
         solve_typed::<f32>(m, n, seed, &opts)
@@ -199,6 +216,7 @@ struct SolveOpts<'a> {
     trace: Option<&'a str>,
     json: bool,
     dry_run: bool,
+    verify: bool,
 }
 
 fn solve_typed<S: tridiag_gpu::GpuScalar>(
@@ -217,6 +235,7 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
         trace,
         json,
         dry_run,
+        verify,
     } = *opts;
     if dry_run {
         // Plan only: print k, mapping, kernel sequence and buffer
@@ -359,6 +378,35 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
         }
     }
     let mut findings = Vec::new();
+    if verify {
+        if let Some(rep) = &gpu_report {
+            if rep.is_verify_clean() {
+                if !json {
+                    println!(
+                        "verify      : clean (peak resident {} bytes; certificate matched \
+                         measured stats exactly)",
+                        rep.verify.prediction.peak_resident_bytes
+                    );
+                }
+            } else {
+                if !json {
+                    println!("verify      : FINDINGS");
+                }
+                let mut lines: Vec<String> = rep
+                    .verify
+                    .findings
+                    .iter()
+                    .map(|f| format!("  - {f}"))
+                    .collect();
+                lines.extend(
+                    rep.verify_mismatches
+                        .iter()
+                        .map(|m| format!("  - cross-check {m}")),
+                );
+                findings.push(format!("plan verification:\n{}", lines.join("\n")));
+            }
+        }
+    }
     if let Some(rep) = &gpu_report {
         if !rep.is_phase_sum_clean() {
             findings.push(format!(
@@ -425,6 +473,18 @@ fn cmd_plan(a: &Args) -> Result<(), Failure> {
         } else {
             print!("{}", plan.describe());
         }
+        if a.flag("verify") {
+            let report = tridiag_gpu::verify_sharded_plan(&group, &plan);
+            if !a.flag("json") {
+                println!("{report}");
+            }
+            if !report.is_clean() {
+                return Err(Failure::Findings(format!(
+                    "plan verification:\n  - {}",
+                    report.messages().join("\n  - ")
+                )));
+            }
+        }
         return Ok(());
     }
     let plan = solver
@@ -434,6 +494,19 @@ fn cmd_plan(a: &Args) -> Result<(), Failure> {
         println!("{}", plan.to_json());
     } else {
         print!("{}", plan.describe());
+    }
+    if a.flag("verify") {
+        let report = tridiag_gpu::verify_plan(&device, &plan);
+        if !a.flag("json") {
+            println!("{report}");
+        }
+        if !report.is_clean() {
+            let msgs: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+            return Err(Failure::Findings(format!(
+                "plan verification:\n  - {}",
+                msgs.join("\n  - ")
+            )));
+        }
     }
     Ok(())
 }
@@ -525,6 +598,336 @@ fn plan_sweep(device: &DeviceSpec) -> Result<(), Failure> {
         )));
     }
     Ok(())
+}
+
+/// `tridiag verify` — statically certify a solve plan with the plan
+/// verifier ([`tridiag_gpu::verify`]): slot dataflow, liveness, layout
+/// pairing and the exact resource certificate, with no kernel launched.
+/// `--sweep` additionally *executes* every point and cross-checks the
+/// static [`tridiag_gpu::PlanPrediction`] against the measured
+/// transfer/launch/peak-memory stats — any discrepancy is a finding
+/// (exit 2). `--negative` runs the canned corruption suite: every
+/// diagnostic class must fire (exit 2 with the findings printed; exit 1
+/// if a class fails to fire, i.e. the verifier lost a diagnostic).
+fn cmd_verify(a: &Args) -> Result<(), Failure> {
+    let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
+    if a.flag("negative") {
+        return verify_negative(&device);
+    }
+    if a.flag("sweep") {
+        return verify_sweep(&device);
+    }
+    let m: usize = a.get_or("m", 64)?;
+    let n: usize = a.get_or("n", 1024)?;
+    let elem_bytes = if a.get("precision").unwrap_or("f64") == "f32" { 4 } else { 8 };
+    let solver = GpuTridiagSolver::new(device.clone(), GpuSolverConfig::default());
+    if let Some(group) = device_group(a, &device)? {
+        let plan = solver
+            .plan_geometry_group(&group, m, n, elem_bytes)
+            .map_err(|e| e.to_string())?;
+        let report = tridiag_gpu::verify_sharded_plan(&group, &plan);
+        if a.flag("json") {
+            println!("{}", report.to_json());
+        } else {
+            println!("{report}");
+        }
+        if !report.is_clean() {
+            return Err(Failure::Findings(format!(
+                "plan verification:\n  - {}",
+                report.messages().join("\n  - ")
+            )));
+        }
+        return Ok(());
+    }
+    let plan = solver.plan_geometry(m, n, elem_bytes).map_err(|e| e.to_string())?;
+    let report = tridiag_gpu::verify_plan(&device, &plan);
+    if a.flag("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    if !report.is_clean() {
+        let msgs: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+        return Err(Failure::Findings(format!(
+            "plan verification:\n  - {}",
+            msgs.join("\n  - ")
+        )));
+    }
+    Ok(())
+}
+
+/// Execute a solve and return every verifier problem the run surfaced:
+/// static findings on the executed plan plus prediction-vs-measured
+/// cross-check mismatches. Empty = the certificate matched the run
+/// exactly.
+fn executed_verify_problems<S: tridiag_gpu::GpuScalar>(
+    device: &DeviceSpec,
+    group: Option<&DeviceGroup>,
+    m: usize,
+    n: usize,
+) -> Result<Vec<String>, String> {
+    let solver = GpuTridiagSolver::new(device.clone(), GpuSolverConfig::default());
+    let batch: SystemBatch<S> = random_batch(m, n, 42);
+    let (_, report) = match group {
+        Some(g) => solver.solve_batch_group(g, &batch),
+        None => solver.solve_batch(&batch),
+    }
+    .map_err(|e| e.to_string())?;
+    let mut problems: Vec<String> =
+        report.verify.findings.iter().map(|f| f.to_string()).collect();
+    problems.extend(report.verify_mismatches.iter().cloned());
+    Ok(problems)
+}
+
+/// The `verify --sweep` smoke: the Fig. 12/13 sweep geometries at both
+/// precisions plus sharded D ∈ {2, 4} points, each plan statically
+/// certified *and* executed with the certificate cross-checked against
+/// the measured stats.
+fn verify_sweep(device: &DeviceSpec) -> Result<(), Failure> {
+    const GEOMETRIES: &[(usize, usize)] = &[
+        (64, 512),
+        (256, 512),
+        (1024, 512),
+        (64, 2048),
+        (256, 2048),
+        (2048, 64),
+        (256, 256),
+        (16, 1024),
+        (1, 16384),
+    ];
+    let solver = GpuTridiagSolver::new(device.clone(), GpuSolverConfig::default());
+    let mut problems = Vec::new();
+    let mut verified = 0usize;
+    for &(m, n) in GEOMETRIES {
+        for bytes in [8usize, 4] {
+            let prec = if bytes == 4 { "f32" } else { "f64" };
+            let plan = solver.plan_geometry(m, n, bytes).map_err(|e| e.to_string())?;
+            let report = tridiag_gpu::verify_plan(device, &plan);
+            let before = problems.len();
+            for f in &report.findings {
+                problems.push(format!("m={m} n={n} {prec}: {f}"));
+            }
+            let run = if bytes == 4 {
+                executed_verify_problems::<f32>(device, None, m, n)
+            } else {
+                executed_verify_problems::<f64>(device, None, m, n)
+            }
+            .map_err(Failure::Error)?;
+            for p in run {
+                problems.push(format!("m={m} n={n} {prec} (executed): {p}"));
+            }
+            verified += 1;
+            let launches: usize = report.prediction.launches.iter().map(|&(_, c)| c).sum();
+            println!(
+                "m={m:<5} n={n:<6} {prec}: peak={:>11} B  h2d={:>11} B  d2h={:>10} B  \
+                 launches={launches}  {}",
+                report.prediction.peak_resident_bytes,
+                report.prediction.h2d_total_bytes,
+                report.prediction.d2h_total_bytes,
+                if problems.len() == before { "prediction=exact" } else { "FINDINGS" },
+            );
+        }
+    }
+    // Sharded points: a representative subset of the sweep across
+    // homogeneous 2- and 4-device groups, every shard certified plus
+    // the cross-device partition/consistency invariants, then executed
+    // with per-device cross-checks.
+    const SHARDED: &[(usize, usize)] = &[(64, 512), (256, 2048), (16, 1024), (2048, 64)];
+    for &devices in &[2usize, 4] {
+        let group =
+            DeviceGroup::homogeneous(device.clone(), devices).map_err(|e| e.to_string())?;
+        for &(m, n) in SHARDED {
+            let plan = solver
+                .plan_geometry_group(&group, m, n, 8)
+                .map_err(|e| e.to_string())?;
+            let report = tridiag_gpu::verify_sharded_plan(&group, &plan);
+            let before = problems.len();
+            for msg in report.messages() {
+                problems.push(format!("m={m} n={n} f64 D={devices}: {msg}"));
+            }
+            let run = executed_verify_problems::<f64>(device, Some(&group), m, n)
+                .map_err(Failure::Error)?;
+            for p in run {
+                problems.push(format!("m={m} n={n} f64 D={devices} (executed): {p}"));
+            }
+            verified += 1;
+            println!(
+                "m={m:<5} n={n:<6} f64 x{devices}: {} shard(s) certified  {}",
+                report.shards.len(),
+                if problems.len() == before { "prediction=exact" } else { "FINDINGS" },
+            );
+        }
+    }
+    println!(
+        "{verified} plans statically certified and executed; \
+         certificates cross-checked against measured stats"
+    );
+    if !problems.is_empty() {
+        return Err(Failure::Findings(format!(
+            "verify sweep:\n  - {}",
+            problems.join("\n  - ")
+        )));
+    }
+    Ok(())
+}
+
+/// The canned corruption suite: hand-break a known-good plan one way
+/// per diagnostic class and demand the verifier catches each with the
+/// right [`tridiag_gpu::FindingKind`]. All classes firing is the
+/// *expected* outcome (exit 2, findings printed); a missing diagnostic
+/// means the verifier regressed (exit 1).
+fn verify_negative(device: &DeviceSpec) -> Result<(), Failure> {
+    use tridiag_gpu::plan::{BufferDecl, KernelOp, Step};
+    use tridiag_gpu::FindingKind;
+
+    let solver = GpuTridiagSolver::new(device.clone(), GpuSolverConfig::default());
+    // 64 x 512 f64 plans the split (tiled-PCR + pThomas) pipeline on
+    // every shipped device: 11 slots, two launches — enough structure
+    // to break in every direction.
+    let base = solver.plan_geometry(64, 512, 8).map_err(|e| e.to_string())?;
+    if base.launches().count() != 2 {
+        return Err(Failure::Error(
+            "negative suite expects the split pipeline at 64x512 f64".into(),
+        ));
+    }
+    let tiled_at = base
+        .steps
+        .iter()
+        .position(|s| matches!(s, Step::Launch(l) if matches!(l.op, KernelOp::TiledPcr { .. })))
+        .ok_or_else(|| Failure::Error("no tiled_pcr launch in the base plan".into()))?;
+    let thomas_at = base
+        .steps
+        .iter()
+        .position(|s| matches!(s, Step::Launch(l) if matches!(l.op, KernelOp::PThomas { .. })))
+        .ok_or_else(|| Failure::Error("no p_thomas launch in the base plan".into()))?;
+
+    // Each case: a label, a corrupted plan, and the diagnostic class
+    // that must fire.
+    let mut cases: Vec<(&str, tridiag_gpu::SolvePlan, FindingKind)> = Vec::new();
+
+    let mut p = base.clone();
+    if let Step::Launch(l) = &mut p.steps[tiled_at] {
+        if let KernelOp::TiledPcr { input, .. } = &mut l.op {
+            input[0] = 9; // c' scratch — allocated only after this launch
+        }
+    }
+    cases.push(("read of a slot defined later", p, FindingKind::UseBeforeDef));
+
+    let mut p = base.clone();
+    if let Step::Launch(l) = &mut p.steps[tiled_at] {
+        if let KernelOp::TiledPcr { input, .. } = &mut l.op {
+            input[0] = 4; // x — allocated, but nothing has written it yet
+        }
+    }
+    cases.push((
+        "read of allocated-but-unwritten scratch",
+        p,
+        FindingKind::UnwrittenScratchRead,
+    ));
+
+    let mut p = base.clone();
+    let x_alloc = p
+        .steps
+        .iter()
+        .position(|s| matches!(s, Step::Alloc { slot: 4 }))
+        .ok_or_else(|| Failure::Error("no Alloc{slot: 4} in the base plan".into()))?;
+    p.steps.insert(x_alloc + 1, Step::Alloc { slot: 4 });
+    cases.push(("second definition of a live slot", p, FindingKind::DuplicateDef));
+
+    let mut p = base.clone();
+    for s in &mut p.steps {
+        if let Step::ConvertBack { from } = s {
+            *from = match *from {
+                tridiag_core::Layout::Contiguous => tridiag_core::Layout::Interleaved,
+                tridiag_core::Layout::Interleaved => tridiag_core::Layout::Contiguous,
+            };
+        }
+    }
+    cases.push(("convert-back from the wrong layout", p, FindingKind::LayoutMismatch));
+
+    let mut p = base.clone();
+    if let Step::Launch(l) = &mut p.steps[thomas_at] {
+        if let KernelOp::PThomas { a, x, .. } = &mut l.op {
+            *x = *a; // output aliases an input within one launch
+        }
+    }
+    cases.push(("kernel output aliasing an input", p, FindingKind::AliasHazard));
+
+    let mut p = base.clone();
+    p.buffers.push(BufferDecl { name: "orphan", elems: 64 });
+    p.steps.insert(x_alloc, Step::Alloc { slot: p.buffers.len() - 1 });
+    cases.push(("allocated slot that nothing ever uses", p, FindingKind::DanglingSlot));
+
+    let mut p = base.clone();
+    if let Some(Step::Download { slot }) =
+        p.steps.iter_mut().find(|s| matches!(s, Step::Download { .. }))
+    {
+        *slot = 99;
+    }
+    cases.push(("bind of a slot beyond the buffer table", p, FindingKind::SlotOutOfRange));
+
+    let mut findings = Vec::new();
+    let mut missing = Vec::new();
+    for (label, plan, kind) in &cases {
+        let report = tridiag_gpu::verify_plan(device, plan);
+        match report.findings.iter().find(|f| f.kind == *kind) {
+            Some(f) => findings.push(format!("{label}: caught: {f}")),
+            None => missing.push(format!("{label}: expected {kind}, verifier stayed clean")),
+        }
+    }
+
+    // Peak-memory overflow: the certificate against a 1 KiB device.
+    let mut tiny = device.clone();
+    tiny.global_mem_bytes = 1024;
+    let report = tridiag_gpu::verify_plan(&tiny, &base);
+    match report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::PeakMemoryOverflow)
+    {
+        Some(f) => findings.push(format!("peak exceeding device memory: caught: {f}")),
+        None => missing.push("peak exceeding device memory: expected peak-memory-overflow".into()),
+    }
+
+    // Sharded corruptions: a broken partition and a drifted pinned k.
+    let group = DeviceGroup::homogeneous(device.clone(), 2).map_err(|e| e.to_string())?;
+    let sharded = solver
+        .plan_geometry_group(&group, 64, 512, 8)
+        .map_err(|e| e.to_string())?;
+    let mut p = sharded.clone();
+    p.shards[1].sys_start += 1;
+    let report = tridiag_gpu::verify_sharded_plan(&group, &p);
+    match report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::ShardPartition)
+    {
+        Some(f) => findings.push(format!("gapped shard partition: caught: {f}")),
+        None => missing.push("gapped shard partition: expected shard-partition".into()),
+    }
+    let mut p = sharded.clone();
+    p.shards[0].plan.k += 1;
+    let report = tridiag_gpu::verify_sharded_plan(&group, &p);
+    match report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::ShardConsistency)
+    {
+        Some(f) => findings.push(format!("shard k drifting off the pin: caught: {f}")),
+        None => missing.push("shard k drifting off the pin: expected shard-consistency".into()),
+    }
+
+    if !missing.is_empty() {
+        return Err(Failure::Error(format!(
+            "verifier failed to diagnose:\n  - {}",
+            missing.join("\n  - ")
+        )));
+    }
+    println!(
+        "{} corruption(s) injected, every diagnostic class fired:",
+        findings.len()
+    );
+    Err(Failure::Findings(format!("  - {}", findings.join("\n  - "))))
 }
 
 /// Validate and write a Chrome-trace document; schema violations are
@@ -1017,6 +1420,7 @@ fn main() -> ExitCode {
     let result = match args.command.as_deref() {
         Some("solve") => cmd_solve(&args),
         Some("plan") => cmd_plan(&args),
+        Some("verify") => cmd_verify(&args),
         Some("profile") => cmd_profile(&args),
         Some("compare") => cmd_compare(&args).map_err(Failure::Error),
         Some("tune") => cmd_tune(&args).map_err(Failure::Error),

@@ -1,7 +1,7 @@
 //! Cyclic (periodic) tridiagonal systems.
 //!
 //! Periodic boundary conditions — ubiquitous in the fluid-dynamics
-//! workloads that motivate the paper ([2][4][5]) — produce an "almost
+//! workloads that motivate the paper (\[2\]\[4\]\[5\]) — produce an "almost
 //! tridiagonal" matrix with two extra corner entries:
 //!
 //! ```text

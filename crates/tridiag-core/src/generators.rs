@@ -45,7 +45,7 @@ pub fn dominant_random_with<S: Scalar>(n: usize, rng: &mut StdRng) -> Tridiagona
 
 /// The 1-D Poisson (second difference) operator `[-1, 2, -1]` with
 /// Dirichlet boundaries and a supplied forcing vector. Weakly diagonally
-/// dominant; the classic PDE-solver workload ([6] in the paper).
+/// dominant; the classic PDE-solver workload (\[6\] in the paper).
 pub fn poisson_1d<S: Scalar>(forcing: &[S]) -> TridiagonalSystem<S> {
     let n = forcing.len();
     assert!(n >= 1);
@@ -64,7 +64,7 @@ pub fn toeplitz<S: Scalar>(a: S, b: S, c: S, rhs: Vec<S>) -> TridiagonalSystem<S
 
 /// The natural cubic-spline second-derivative system for `n + 1` knots
 /// with uniform spacing `h`: interior rows `(h, 4h, h)`, RHS given by
-/// divided differences of the sample values ([8] in the paper's intro).
+/// divided differences of the sample values (\[8\] in the paper's intro).
 ///
 /// Returns the `(n − 1)`-unknown interior system; the natural boundary
 /// conditions pin the end second-derivatives at zero.

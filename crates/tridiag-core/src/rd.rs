@@ -1,4 +1,4 @@
-//! Recursive doubling (RD, Stone 1973 — reference [13] of the paper).
+//! Recursive doubling (RD, Stone 1973 — reference \[13\] of the paper).
 //!
 //! RD recasts the Thomas recurrences as parallel prefix computations and
 //! evaluates them in `O(log n)` doubling steps:

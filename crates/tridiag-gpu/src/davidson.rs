@@ -1,4 +1,4 @@
-//! Re-implementation of the Davidson et al. [19] auto-tuned PCR-Thomas
+//! Re-implementation of the Davidson et al. \[19\] auto-tuned PCR-Thomas
 //! hybrid — the baseline of Section V.
 //!
 //! Structure (from the paper's description):

@@ -17,6 +17,7 @@ use crate::kernels::p_thomas::PThomasKernel;
 use crate::kernels::tiled_pcr::TiledPcrKernel;
 use crate::plan::{KernelOp, SolvePlan, Step};
 use crate::solver::{GpuSolveReport, KernelReport};
+use crate::verify::DynamicPlanStats;
 use gpu_sim::timing::{time_kernel, TrafficSummary};
 use gpu_sim::trace::Trace;
 use gpu_sim::{
@@ -148,6 +149,29 @@ impl PlanExecutor {
             )));
         }
         plan.validate().map_err(SimError::InvalidPlan)?;
+        // Static certification gates execution: a plan with findings
+        // never launches. The surviving report's prediction is then
+        // cross-checked exactly against what this run measures.
+        let verify = crate::verify::verify_plan(&self.spec, plan);
+        if !verify.is_clean() {
+            let msgs: Vec<String> = verify.findings.iter().map(|f| f.to_string()).collect();
+            return Err(SimError::InvalidPlan(format!(
+                "plan failed static verification: {}",
+                msgs.join("; ")
+            )));
+        }
+        // Buffers die right after their statically-computed last use, so
+        // the arena's peak must land exactly on the verifier's
+        // high-water mark.
+        let mut free_at: Vec<Vec<usize>> = vec![Vec::new(); plan.steps.len()];
+        for (s, lv) in verify.liveness.iter().enumerate() {
+            if lv.def_step.is_some() {
+                if let Some(last) = lv.last_use_step {
+                    free_at[last].push(s);
+                }
+            }
+        }
+        let mut dynamic = DynamicPlanStats::default();
 
         // This run's artifacts start here; earlier runs stay behind.
         let first_kernel = self.kernels.len();
@@ -161,7 +185,7 @@ impl PlanExecutor {
         let mut host: Option<SystemBatch<S>> = None;
         let mut downloaded: Option<Vec<S>> = None;
         let mut out: Option<Vec<S>> = None;
-        for step in &plan.steps {
+        for (i, step) in plan.steps.iter().enumerate() {
             match step {
                 Step::Convert { to } => host = Some(batch.to_layout(*to)),
                 Step::Upload { slot, source } => {
@@ -178,6 +202,7 @@ impl PlanExecutor {
                         crate::plan::CoefArray::Rhs => d,
                     };
                     debug_assert_eq!(slots.len(), *slot);
+                    dynamic.h2d.push((i, arr.len() * <S as gpu_sim::Elem>::BYTES));
                     slots.push(mem.alloc_from(arr.to_vec()));
                 }
                 Step::Alloc { slot } => {
@@ -251,9 +276,15 @@ impl PlanExecutor {
                             self.launch(&cfg, &kernel, &mut mem)?;
                         }
                     }
+                    match dynamic.launches.iter_mut().find(|(n, _)| *n == ls.name) {
+                        Some((_, c)) => *c += 1,
+                        None => dynamic.launches.push((ls.name, 1)),
+                    }
                 }
                 Step::Download { slot } => {
-                    downloaded = Some(mem.read(slots[*slot])?.to_vec());
+                    let xs = mem.read(slots[*slot])?.to_vec();
+                    dynamic.d2h.push((i, xs.len() * <S as gpu_sim::Elem>::BYTES));
+                    downloaded = Some(xs);
                 }
                 Step::ConvertBack { from } => {
                     let xs = downloaded.as_ref().ok_or_else(|| {
@@ -270,10 +301,16 @@ impl PlanExecutor {
                     out = Some(o);
                 }
             }
+            // Release every buffer whose last use was this step.
+            for &s in &free_at[i] {
+                mem.free(slots[s])?;
+            }
         }
         let out = out.or(downloaded).ok_or_else(|| {
             SimError::InvalidPlan("plan produced no solution".into())
         })?;
+        dynamic.peak_resident_bytes = mem.peak_resident_bytes();
+        let verify_mismatches = verify.prediction.cross_check(&dynamic);
 
         let kernels = self.kernels[first_kernel..].to_vec();
         let trace = build_trace(&self.spec, plan, &kernels);
@@ -288,6 +325,8 @@ impl PlanExecutor {
             lints: self.lints[first_lint..].to_vec(),
             lint_mismatches: self.lint_mismatches[first_lint_mismatch..].to_vec(),
             phase_sum_mismatches: self.phase_sum_mismatches[first_phase_sum..].to_vec(),
+            verify,
+            verify_mismatches,
             trace,
             plan: plan.clone(),
             shards: Vec::new(),

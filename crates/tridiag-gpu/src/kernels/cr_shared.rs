@@ -4,11 +4,11 @@
 //! CR's forward reduction touches rows at stride `2^level`, so in
 //! shared memory the surviving rows hit ever fewer banks: at level
 //! `L ≥ 5` (stride ≥ 32) every active lane lands on the *same* bank and
-//! the access serialises 32-fold. Göddeke & Strzodka [10] fixed this
+//! the access serialises 32-fold. Göddeke & Strzodka \[10\] fixed this
 //! with an index padding that inserts a gap every `banks` elements;
 //! this kernel implements both layouts behind a flag so the ablation
 //! bench can measure exactly what the padding buys — a faithful
-//! reproduction of the motivation for reference [10].
+//! reproduction of the motivation for reference \[10\].
 
 use crate::buffers::GpuScalar;
 use crate::consts::PCR_FLOPS_PER_ROW;

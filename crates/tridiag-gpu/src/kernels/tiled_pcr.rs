@@ -20,7 +20,7 @@
 //!   window margin (without it, every store warp pays one extra 128-B
 //!   segment).
 //!
-//! The streaming core lives in [`super::window::WindowEngine`] and is
+//! The streaming core lives in `super::window::WindowEngine` and is
 //! shared with the fused kernel. Because out-of-range neighbours are
 //! identity rows at every level (`reduce_row(·, identity, ·) =
 //! identity`), the kernel's output is **bit-for-bit identical** to the

@@ -22,6 +22,7 @@ pub mod kernels;
 pub mod plan;
 pub mod sharded;
 pub mod solver;
+pub mod verify;
 pub mod zhang;
 pub mod zoo;
 
@@ -35,4 +36,8 @@ pub use plan::{
 pub use sharded::ShardedExecutor;
 pub use solver::{
     GpuSolveReport, GpuSolverConfig, GpuTridiagSolver, MappingVariant, ShardSummary,
+};
+pub use verify::{
+    verify_plan, verify_sharded_plan, DynamicPlanStats, FindingKind, PlanFinding, PlanPrediction,
+    ShardedVerifyReport, SlotLiveness, VerifyReport,
 };

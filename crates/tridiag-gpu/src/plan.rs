@@ -154,6 +154,31 @@ impl KernelOp {
                 .collect(),
         }
     }
+
+    /// Slots the kernel *reads* as inputs: the coefficient buffers.
+    /// The `c'`/`d'` scratch is written before it is read within the
+    /// same launch, so it is a write, not an input dependency — this
+    /// is the dataflow signature [`crate::verify`] interprets.
+    pub fn reads(&self) -> Vec<Slot> {
+        match self {
+            KernelOp::PThomas { a, b, c, d, .. } => vec![*a, *b, *c, *d],
+            KernelOp::TiledPcr { input, .. } => input.to_vec(),
+            KernelOp::Fused { input, .. } => input.to_vec(),
+        }
+    }
+
+    /// Slots the kernel *writes*: outputs and write-first scratch.
+    pub fn writes(&self) -> Vec<Slot> {
+        match self {
+            KernelOp::PThomas {
+                c_prime, d_prime, x, ..
+            } => vec![*c_prime, *d_prime, *x],
+            KernelOp::TiledPcr { output, .. } => output.to_vec(),
+            KernelOp::Fused {
+                c_prime, d_prime, x, ..
+            } => vec![*c_prime, *d_prime, *x],
+        }
+    }
 }
 
 /// One scheduled kernel launch: the full `LaunchConfig` plus bindings.
@@ -298,7 +323,8 @@ impl SolvePlan {
     /// width on `spec` under `config`. Pure: no device state is touched.
     ///
     /// Fails with [`SimError::InvalidPlan`] on an empty geometry, an
-    /// unsupported scalar width, or a device buffer footprint beyond
+    /// unsupported scalar width, or a liveness-based peak resident
+    /// footprint (see [`crate::verify::peak_resident_bytes`]) beyond
     /// the device's global memory.
     pub fn build(
         spec: &DeviceSpec,
@@ -496,15 +522,19 @@ impl SolvePlan {
             buffers,
             steps,
         };
-        let footprint = plan.device_bytes();
-        if footprint > spec.global_mem_bytes {
+        plan.validate().map_err(SimError::InvalidPlan)?;
+        // One memory model: the OOM check is the verifier's
+        // liveness-based high-water mark — an exact peak-bytes
+        // certificate, not the sum of allocations (buffers that die
+        // before later scratch is allocated don't count twice).
+        let (peak, _) = crate::verify::peak_resident_bytes(&plan);
+        if peak > spec.global_mem_bytes {
             return Err(SimError::InvalidPlan(format!(
-                "device buffer footprint {footprint} bytes exceeds {} global memory \
+                "peak resident device memory {peak} bytes exceeds {} global memory \
                  ({} bytes) for m = {m}, n = {n} at {precision}",
                 spec.name, spec.global_mem_bytes
             )));
         }
-        plan.validate().map_err(SimError::InvalidPlan)?;
         Ok(plan)
     }
 
@@ -770,10 +800,18 @@ pub fn validate_plan_json(doc: &Json) -> Vec<String> {
         Some(other) => problem(format!("schema is {other:?}, expected {PLAN_SCHEMA:?}")),
         None => problem("missing string field \"schema\"".into()),
     }
-    for key in ["device", "precision", "mapping", "layout"] {
+    for key in ["device", "precision", "mapping"] {
         if doc.get(key).and_then(Json::as_str).is_none() {
             problem(format!("missing string field {key:?}"));
         }
+    }
+    let layout_ok = |v: Option<&str>| matches!(v, Some("Contiguous") | Some("Interleaved"));
+    match doc.get("layout").and_then(Json::as_str) {
+        Some(l) if layout_ok(Some(l)) => {}
+        Some(other) => problem(format!(
+            "field \"layout\" is {other:?}, expected \"Contiguous\" or \"Interleaved\""
+        )),
+        None => problem("missing string field \"layout\"".into()),
     }
     for key in ["m", "n", "elem_bytes", "k", "device_elems", "device_bytes"] {
         match doc.get(key).and_then(Json::as_num) {
@@ -813,16 +851,30 @@ pub fn validate_plan_json(doc: &Json) -> Vec<String> {
             for (i, step) in steps.iter().enumerate() {
                 match step.get("op").and_then(Json::as_str) {
                     Some("convert") | Some("convert_back") => {
-                        if step.get("layout").and_then(Json::as_str).is_none() {
-                            problem(format!("steps[{i}] missing string field \"layout\""));
+                        match step.get("layout").and_then(Json::as_str) {
+                            Some("Contiguous") | Some("Interleaved") => {}
+                            Some(other) => problem(format!(
+                                "steps[{i}] has unknown layout {other:?} \
+                                 (expected \"Contiguous\" or \"Interleaved\")"
+                            )),
+                            None => {
+                                problem(format!("steps[{i}] missing string field \"layout\""))
+                            }
                         }
                     }
                     Some("upload") => {
                         if !slot_ok(step.get("slot").and_then(Json::as_num)) {
                             problem(format!("steps[{i}] upload slot out of range"));
                         }
-                        if step.get("source").and_then(Json::as_str).is_none() {
-                            problem(format!("steps[{i}] missing string field \"source\""));
+                        match step.get("source").and_then(Json::as_str) {
+                            Some("a") | Some("b") | Some("c") | Some("d") => {}
+                            Some(other) => problem(format!(
+                                "steps[{i}] has unknown upload source {other:?} \
+                                 (expected one of \"a\", \"b\", \"c\", \"d\")"
+                            )),
+                            None => {
+                                problem(format!("steps[{i}] missing string field \"source\""))
+                            }
                         }
                     }
                     Some("alloc") => {
@@ -1212,6 +1264,31 @@ pub fn validate_sharded_plan_json(doc: &Json) -> Vec<String> {
                         for p in validate_plan_json(plan) {
                             problem(format!("shards[{i}].plan: {p}"));
                         }
+                        // The embedded plan must solve exactly the
+                        // systems the shard owns, on the same geometry.
+                        let plan_num = |key: &str| plan.get(key).and_then(Json::as_num);
+                        if let (Some(pm), Some(count)) =
+                            (plan_num("m"), sh.get("sys_count").and_then(Json::as_num))
+                        {
+                            if pm != count {
+                                problem(format!(
+                                    "shards[{i}].plan solves m = {pm} but the shard owns \
+                                     {count} system(s)"
+                                ));
+                            }
+                        }
+                        for key in ["n", "elem_bytes"] {
+                            if let (Some(pv), Some(tv)) =
+                                (plan_num(key), doc.get(key).and_then(Json::as_num))
+                            {
+                                if pv != tv {
+                                    problem(format!(
+                                        "shards[{i}].plan has {key} = {pv} but the batch \
+                                         has {key} = {tv}"
+                                    ));
+                                }
+                            }
+                        }
                     }
                     None => problem(format!("shards[{i}] missing object field \"plan\"")),
                 }
@@ -1386,6 +1463,140 @@ mod tests {
             }
         }
         assert!(!validate_plan_json(&doc).is_empty());
+    }
+
+    #[test]
+    fn json_validator_rejects_bad_layout_and_source() {
+        let plan = gtx480_plan(64, 512, 8);
+        // Unknown device layout string.
+        let mut doc = plan.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "layout" {
+                    *v = Json::str("ColumnMajor");
+                }
+            }
+        }
+        let problems = validate_plan_json(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("layout")),
+            "{problems:?}"
+        );
+
+        // Unknown upload source letter.
+        let mut doc = plan.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "steps" {
+                    if let Json::Arr(steps) = v {
+                        for step in steps.iter_mut() {
+                            if step.get("op").and_then(Json::as_str) == Some("upload") {
+                                if let Json::Obj(sf) = step {
+                                    for (sk, sv) in sf.iter_mut() {
+                                        if sk == "source" {
+                                            *sv = Json::str("e");
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let problems = validate_plan_json(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("upload source")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn json_validator_rejects_out_of_range_slot_and_unknown_op() {
+        let plan = gtx480_plan(64, 512, 8);
+        // Download slot past the buffer table.
+        let mut doc = plan.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "steps" {
+                    if let Json::Arr(steps) = v {
+                        for step in steps.iter_mut() {
+                            if step.get("op").and_then(Json::as_str) == Some("download") {
+                                if let Json::Obj(sf) = step {
+                                    for (sk, sv) in sf.iter_mut() {
+                                        if sk == "slot" {
+                                            *sv = Json::num(99.0);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let problems = validate_plan_json(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("slot out of range")),
+            "{problems:?}"
+        );
+
+        // Unknown step kind.
+        let mut doc = plan.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "steps" {
+                    if let Json::Arr(steps) = v {
+                        if let Json::Obj(sf) = &mut steps[0] {
+                            for (sk, sv) in sf.iter_mut() {
+                                if sk == "op" {
+                                    *sv = Json::str("teleport");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let problems = validate_plan_json(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("unknown op")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_json_validator_rejects_shard_geometry_drift() {
+        let group = DeviceGroup::homogeneous(DeviceSpec::gtx480(), 2).unwrap();
+        let sp = ShardedPlan::build(&group, &GpuSolverConfig::default(), 64, 512, 8).unwrap();
+        // A shard whose embedded plan solves more systems than it owns.
+        let mut doc = sp.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "shards" {
+                    if let Json::Arr(shards) = v {
+                        if let Json::Obj(sh) = &mut shards[0] {
+                            for (sk, sv) in sh.iter_mut() {
+                                if sk == "plan" {
+                                    if let Json::Obj(pf) = sv {
+                                        for (pk, pv) in pf.iter_mut() {
+                                            if pk == "m" {
+                                                *pv = Json::num(64.0);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let problems = validate_sharded_plan_json(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("but the shard owns")),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -103,6 +103,16 @@ impl ShardedExecutor {
                 self.group.len()
             )));
         }
+        // Cross-device static verification gates execution: partition
+        // coverage, pinned-decision consistency, and every shard's own
+        // certificate against its device.
+        let sharded_verify = crate::verify::verify_sharded_plan(&self.group, plan);
+        if !sharded_verify.is_clean() {
+            return Err(SimError::InvalidPlan(format!(
+                "sharded plan failed static verification: {}",
+                sharded_verify.messages().join("; ")
+            )));
+        }
         if plan.shards.len() == 1 {
             // D == 1 is the identity: the shard plan *is* the reference
             // plan, and this is exactly the single-device path.
@@ -377,6 +387,7 @@ impl ShardedExecutor {
         let mut lints = Vec::new();
         let mut lint_mismatches = Vec::new();
         let mut phase_sum_mismatches = Vec::new();
+        let mut verify_mismatches = Vec::new();
         let mut summaries = Vec::with_capacity(runs.len());
         for (sh, run) in plan.shards.iter().zip(&runs) {
             let d = sh.device_index;
@@ -407,6 +418,12 @@ impl ShardedExecutor {
                     .iter()
                     .map(|s| format!("dev{d}: {s}")),
             );
+            verify_mismatches.extend(
+                run.report
+                    .verify_mismatches
+                    .iter()
+                    .map(|s| format!("dev{d}: {s}")),
+            );
         }
         let report = GpuSolveReport {
             k: plan.reference.k,
@@ -419,6 +436,11 @@ impl ShardedExecutor {
             lints,
             lint_mismatches,
             phase_sum_mismatches,
+            // The merged report carries the reference plan, so its
+            // certificate is the reference plan's on the primary device;
+            // per-shard prediction mismatches merge dev-prefixed.
+            verify: crate::verify::verify_plan(self.group.primary(), &plan.reference),
+            verify_mismatches,
             trace,
             plan: plan.reference.clone(),
             shards: summaries,

@@ -153,6 +153,17 @@ pub struct GpuSolveReport {
     /// kernel total, prefixed with the kernel name (always checked;
     /// empty = the invariant held for every launch).
     pub phase_sum_mismatches: Vec<String>,
+    /// Static plan verification (dataflow, layout pairing, liveness
+    /// peak memory) the executor ran before launching anything. Always
+    /// clean here — a plan with findings never executes. For sharded
+    /// runs this is the reference plan's certificate on the primary
+    /// device.
+    pub verify: crate::verify::VerifyReport,
+    /// Discrepancies between the verifier's [`crate::verify::PlanPrediction`]
+    /// and the stats the run actually measured (empty = exact
+    /// agreement). For sharded runs, per-shard messages prefixed
+    /// `devN:`.
+    pub verify_mismatches: Vec<String>,
     /// Span/event trace of the whole solve on the modeled-time axis:
     /// the transition-rule decision, mapping choice, buffer setup, and
     /// each kernel launch with its per-phase children. Export with
@@ -196,6 +207,12 @@ impl GpuSolveReport {
     /// its totals (the attribution invariant).
     pub fn is_phase_sum_clean(&self) -> bool {
         self.phase_sum_mismatches.is_empty()
+    }
+
+    /// `true` when the plan verifier found nothing and its resource
+    /// prediction matched the executed stats exactly.
+    pub fn is_verify_clean(&self) -> bool {
+        self.verify.is_clean() && self.verify_mismatches.is_empty()
     }
 
     /// Terminal profile: top phases by modeled time across the
@@ -368,6 +385,8 @@ impl GpuSolveReport {
             ),
             ("lint_mismatches".into(), strings(&self.lint_mismatches)),
             ("phase_sum_mismatches".into(), strings(&self.phase_sum_mismatches)),
+            ("verify".into(), self.verify.to_json()),
+            ("verify_mismatches".into(), strings(&self.verify_mismatches)),
             ("plan".into(), self.plan.to_json()),
             ("shards".into(), Json::Arr(shards)),
             ("trace".into(), trace),
@@ -726,6 +745,20 @@ impl std::fmt::Display for GpuSolveReport {
             )?;
             for m in &self.phase_sum_mismatches {
                 writeln!(f, "    - {m}")?;
+            }
+        }
+        if !self.is_verify_clean() {
+            writeln!(
+                f,
+                "  verify: {} finding(s), {} prediction mismatch(es)",
+                self.verify.findings.len(),
+                self.verify_mismatches.len()
+            )?;
+            for v in &self.verify.findings {
+                writeln!(f, "    - {v}")?;
+            }
+            for m in &self.verify_mismatches {
+                writeln!(f, "    - prediction {m}")?;
             }
         }
         Ok(())

@@ -1,4 +1,4 @@
-//! Zhang et al. [16][17]-style in-shared-memory hybrid — the
+//! Zhang et al. \[16\]\[17\]-style in-shared-memory hybrid — the
 //! conventional approach whose size limitation motivates tiled PCR.
 //!
 //! "Both approaches can only solve small sized systems as their methods

@@ -1,0 +1,280 @@
+//! Negative suite for the plan verifier: hand-corrupt a known-good
+//! plan one way per diagnostic class and demand [`verify_plan`] /
+//! [`verify_sharded_plan`] catches each with the right
+//! [`FindingKind`] *and* the right step index — a verifier that fires
+//! without attribution is barely better than one that stays silent.
+//!
+//! The base plan is 64 x 512 f64 on the GTX480: the split pipeline
+//! (tiled PCR then pThomas), 11 slots, two launches — enough structure
+//! to break in every direction. Step indices are located by matching,
+//! not hard-coded, so planner layout changes don't rot the suite.
+
+use gpu_sim::{DeviceGroup, DeviceSpec, ExecConfig, SimError};
+use tridiag_core::generators::random_batch;
+use tridiag_core::Layout;
+use tridiag_gpu::plan::{BufferDecl, KernelOp, Step};
+use tridiag_gpu::solver::{GpuSolverConfig, GpuTridiagSolver};
+use tridiag_gpu::{verify_plan, verify_sharded_plan, FindingKind, PlanExecutor, SolvePlan};
+
+fn base_plan() -> (DeviceSpec, SolvePlan) {
+    let device = DeviceSpec::gtx480();
+    let solver = GpuTridiagSolver::new(device.clone(), GpuSolverConfig::default());
+    let plan = solver.plan_geometry(64, 512, 8).unwrap();
+    assert_eq!(
+        plan.launches().count(),
+        2,
+        "the negative suite expects the split pipeline at 64x512 f64"
+    );
+    (device, plan)
+}
+
+fn step_index(plan: &SolvePlan, pred: impl Fn(&Step) -> bool) -> usize {
+    plan.steps.iter().position(pred).expect("expected step missing from the base plan")
+}
+
+fn tiled_launch_at(plan: &SolvePlan) -> usize {
+    step_index(plan, |s| {
+        matches!(s, Step::Launch(l) if matches!(l.op, KernelOp::TiledPcr { .. }))
+    })
+}
+
+fn thomas_launch_at(plan: &SolvePlan) -> usize {
+    step_index(plan, |s| {
+        matches!(s, Step::Launch(l) if matches!(l.op, KernelOp::PThomas { .. }))
+    })
+}
+
+/// The one finding of `kind`, with its attribution checked.
+fn expect_finding(
+    report: &tridiag_gpu::VerifyReport,
+    kind: FindingKind,
+    step: Option<usize>,
+) -> String {
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.kind == kind)
+        .unwrap_or_else(|| panic!("expected a {kind} finding, got: {:?}", report.findings));
+    assert_eq!(f.step, step, "wrong step attribution for {kind}");
+    f.to_string()
+}
+
+#[test]
+fn use_before_def_fires_at_the_reading_launch() {
+    let (device, base) = base_plan();
+    let at = tiled_launch_at(&base);
+    let mut plan = base.clone();
+    if let Step::Launch(l) = &mut plan.steps[at] {
+        if let KernelOp::TiledPcr { input, .. } = &mut l.op {
+            // c' scratch: declared, but allocated only after this launch.
+            input[0] = 9;
+        }
+    }
+    let report = verify_plan(&device, &plan);
+    let msg = expect_finding(&report, FindingKind::UseBeforeDef, Some(at));
+    assert!(msg.contains("before it is created"), "unexpected message: {msg}");
+}
+
+#[test]
+fn unwritten_scratch_read_fires_at_the_reading_launch() {
+    let (device, base) = base_plan();
+    let at = tiled_launch_at(&base);
+    let mut plan = base.clone();
+    if let Step::Launch(l) = &mut plan.steps[at] {
+        if let KernelOp::TiledPcr { input, .. } = &mut l.op {
+            // x: allocated before the launch, but nothing wrote it yet.
+            input[0] = 4;
+        }
+    }
+    let report = verify_plan(&device, &plan);
+    let msg = expect_finding(&report, FindingKind::UnwrittenScratchRead, Some(at));
+    assert!(msg.contains("no prior step wrote"), "unexpected message: {msg}");
+}
+
+#[test]
+fn duplicate_def_fires_at_the_second_definition() {
+    let (device, base) = base_plan();
+    let x_alloc = step_index(&base, |s| matches!(s, Step::Alloc { slot: 4 }));
+    let mut plan = base.clone();
+    plan.steps.insert(x_alloc + 1, Step::Alloc { slot: 4 });
+    let report = verify_plan(&device, &plan);
+    expect_finding(&report, FindingKind::DuplicateDef, Some(x_alloc + 1));
+}
+
+#[test]
+fn layout_mismatch_fires_at_the_convert_back() {
+    let (device, base) = base_plan();
+    let back_at = step_index(&base, |s| matches!(s, Step::ConvertBack { .. }));
+    let mut plan = base.clone();
+    if let Step::ConvertBack { from } = &mut plan.steps[back_at] {
+        *from = match *from {
+            Layout::Contiguous => Layout::Interleaved,
+            Layout::Interleaved => Layout::Contiguous,
+        };
+    }
+    let report = verify_plan(&device, &plan);
+    expect_finding(&report, FindingKind::LayoutMismatch, Some(back_at));
+}
+
+#[test]
+fn alias_hazard_fires_when_an_output_aliases_an_input() {
+    let (device, base) = base_plan();
+    let at = thomas_launch_at(&base);
+    let mut plan = base.clone();
+    if let Step::Launch(l) = &mut plan.steps[at] {
+        if let KernelOp::PThomas { a, x, .. } = &mut l.op {
+            *x = *a;
+        }
+    }
+    let report = verify_plan(&device, &plan);
+    let msg = expect_finding(&report, FindingKind::AliasHazard, Some(at));
+    assert!(msg.contains("both input and output"), "unexpected message: {msg}");
+}
+
+#[test]
+fn dangling_slot_fires_for_an_allocated_but_unused_buffer() {
+    let (device, base) = base_plan();
+    let x_alloc = step_index(&base, |s| matches!(s, Step::Alloc { slot: 4 }));
+    let mut plan = base.clone();
+    plan.buffers.push(BufferDecl { name: "orphan", elems: 64 });
+    let orphan = plan.buffers.len() - 1;
+    plan.steps.insert(x_alloc, Step::Alloc { slot: orphan });
+    let report = verify_plan(&device, &plan);
+    let msg = expect_finding(&report, FindingKind::DanglingSlot, Some(x_alloc));
+    assert!(msg.contains("orphan"), "unexpected message: {msg}");
+}
+
+#[test]
+fn slot_out_of_range_fires_at_the_binding_step() {
+    let (device, base) = base_plan();
+    let down_at = step_index(&base, |s| matches!(s, Step::Download { .. }));
+    let mut plan = base.clone();
+    if let Step::Download { slot } = &mut plan.steps[down_at] {
+        *slot = 99;
+    }
+    let report = verify_plan(&device, &plan);
+    let msg = expect_finding(&report, FindingKind::SlotOutOfRange, Some(down_at));
+    assert!(msg.contains("99"), "unexpected message: {msg}");
+}
+
+#[test]
+fn peak_memory_overflow_fires_at_the_peak_step() {
+    let (_, base) = base_plan();
+    let mut tiny = DeviceSpec::gtx480();
+    tiny.global_mem_bytes = 1024;
+    let report = verify_plan(&tiny, &base);
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::PeakMemoryOverflow)
+        .expect("expected a peak-memory-overflow finding");
+    assert_eq!(
+        f.step, report.prediction.peak_step,
+        "overflow must be attributed to the step where the peak is reached"
+    );
+    assert!(f.message.contains("global memory"), "unexpected message: {}", f.message);
+}
+
+#[test]
+fn shard_partition_violations_fire_with_shard_attribution() {
+    let group = DeviceGroup::homogeneous(DeviceSpec::gtx480(), 2).unwrap();
+    let solver = GpuTridiagSolver::new(DeviceSpec::gtx480(), GpuSolverConfig::default());
+    let base = solver.plan_geometry_group(&group, 64, 512, 8).unwrap();
+
+    // A gap: shard 1 starts one system late.
+    let mut plan = base.clone();
+    plan.shards[1].sys_start += 1;
+    let report = verify_sharded_plan(&group, &plan);
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::ShardPartition)
+        .expect("expected a shard-partition finding");
+    assert_eq!(f.shard, Some(1));
+
+    // An overlap: shard 1 re-claims shard 0's last system.
+    let mut plan = base.clone();
+    plan.shards[1].sys_start -= 1;
+    plan.shards[1].sys_count += 1;
+    let report = verify_sharded_plan(&group, &plan);
+    assert!(
+        report.findings.iter().any(|f| f.kind == FindingKind::ShardPartition),
+        "an overlapping partition must be rejected: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn shard_consistency_violations_fire_for_unpinned_decisions() {
+    let group = DeviceGroup::homogeneous(DeviceSpec::gtx480(), 2).unwrap();
+    let solver = GpuTridiagSolver::new(DeviceSpec::gtx480(), GpuSolverConfig::default());
+    let base = solver.plan_geometry_group(&group, 64, 512, 8).unwrap();
+
+    // k drifting above the pinned reference decision.
+    let mut plan = base.clone();
+    plan.shards[0].plan.k += 1;
+    let report = verify_sharded_plan(&group, &plan);
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::ShardConsistency)
+        .expect("expected a shard-consistency finding");
+    assert_eq!(f.shard, Some(0));
+
+    // Fusion flipping off the pin.
+    let mut plan = base.clone();
+    plan.shards[1].plan.fused = !plan.shards[1].plan.fused;
+    let report = verify_sharded_plan(&group, &plan);
+    assert!(
+        report.findings.iter().any(|f| f.kind == FindingKind::ShardConsistency),
+        "a fusion flip must be rejected: {:?}",
+        report.findings
+    );
+}
+
+/// The executor refuses to run a plan the verifier rejects — the gate
+/// is load-bearing, not advisory.
+#[test]
+fn executor_refuses_an_uncertified_plan() {
+    let (device, base) = base_plan();
+    let at = tiled_launch_at(&base);
+    let mut plan = base.clone();
+    if let Step::Launch(l) = &mut plan.steps[at] {
+        if let KernelOp::TiledPcr { input, .. } = &mut l.op {
+            // Slot 4 (x) exists at launch time, so the executor's own
+            // structural validate() passes — only the verifier's
+            // dataflow pass can see the read of unwritten scratch.
+            input[0] = 4;
+        }
+    }
+    let batch = random_batch::<f64>(64, 512, 7);
+    let mut exec = PlanExecutor::new(device, ExecConfig::default());
+    let err = exec.run(&plan, &batch).unwrap_err();
+    match err {
+        SimError::InvalidPlan(msg) => {
+            assert!(msg.contains("static verification"), "unexpected error: {msg}");
+            assert!(msg.contains("unwritten-scratch-read"), "unexpected error: {msg}");
+        }
+        other => panic!("expected InvalidPlan, got {other:?}"),
+    }
+}
+
+/// A corrupted plan never reaches the kernels through the sharded path
+/// either.
+#[test]
+fn sharded_executor_refuses_an_uncertified_plan() {
+    let group = DeviceGroup::homogeneous(DeviceSpec::gtx480(), 2).unwrap();
+    let solver = GpuTridiagSolver::new(DeviceSpec::gtx480(), GpuSolverConfig::default());
+    let mut plan = solver.plan_geometry_group(&group, 64, 512, 8).unwrap();
+    plan.shards[1].sys_start += 1;
+    let batch = random_batch::<f64>(64, 512, 7);
+    let exec = tridiag_gpu::ShardedExecutor::new(group.clone(), ExecConfig::default());
+    let err = exec.run(&plan, &batch).unwrap_err();
+    match err {
+        SimError::InvalidPlan(msg) => {
+            assert!(msg.contains("static verification"), "unexpected error: {msg}");
+            assert!(msg.contains("shard-partition"), "unexpected error: {msg}");
+        }
+        other => panic!("expected InvalidPlan, got {other:?}"),
+    }
+}

@@ -1,7 +1,7 @@
 //! The plan cache: memoized [`ShardedPlan`]s keyed by geometry,
 //! precision, device-group fingerprint and solver-config fingerprint.
 //!
-//! PR 4 made [`SolvePlan::build`] a pure function of
+//! PR 4 made [`tridiag_gpu::SolvePlan::build`] a pure function of
 //! `(spec, config, m, n, elem_bytes)` — no device state, fully
 //! deterministic — so a cached plan is *the* plan: a hit is
 //! byte-identical (same `describe()`, same `to_json()`) to a fresh
@@ -11,10 +11,27 @@
 
 use std::sync::Arc;
 
-use gpu_sim::{DeviceGroup, Result};
+use gpu_sim::{DeviceGroup, Result, SimError};
 use tridiag_gpu::solver::GpuSolverConfig;
 use tridiag_gpu::ShardedPlan;
 use tridiag_gpu::hash::{fnv1a_extend, FNV_OFFSET};
+
+/// Statically certify `plan` against `group` with the plan verifier
+/// ([`tridiag_gpu::verify`]). `Ok(())` when clean; otherwise
+/// [`SimError::InvalidPlan`] listing every finding. [`PlanCache::lookup`]
+/// runs this on every miss, so an ill-formed plan can never be
+/// inserted and replayed to later requests.
+pub fn certify(group: &DeviceGroup, plan: &ShardedPlan) -> Result<()> {
+    let report = tridiag_gpu::verify_sharded_plan(group, plan);
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(SimError::InvalidPlan(format!(
+            "plan failed static verification: {}",
+            report.messages().join("; ")
+        )))
+    }
+}
 
 /// What a plan is keyed by: the fused-batch geometry, the scalar
 /// width, and fingerprints of the device group composition and the
@@ -142,6 +159,9 @@ impl PlanCache {
         }
         self.stats.misses += 1;
         let plan = Arc::new(ShardedPlan::build(group, config, m, n, elem_bytes)?);
+        // Verification-on-insert: only certified plans are cached (and
+        // only certified plans are returned at all).
+        certify(group, &plan)?;
         if self.capacity > 0 {
             if self.entries.len() >= self.capacity {
                 self.entries.remove(0);

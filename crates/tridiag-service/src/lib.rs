@@ -30,7 +30,7 @@ pub mod report;
 pub mod request;
 pub mod service;
 
-pub use cache::{config_fingerprint, CacheStats, PlanCache, PlanKey};
+pub use cache::{certify, config_fingerprint, CacheStats, PlanCache, PlanKey};
 pub use coalesce::{coalesce, CoalesceKey, CoalescedBatch, Member};
 pub use core::{ServiceConfig, ServiceCore};
 pub use report::{validate_service_report_json, BatchSummary, ServiceReport};

@@ -163,3 +163,23 @@ fn group_fingerprint_separates_compositions() {
     assert_eq!(p1.num_devices(), 1);
     assert_eq!(p2.num_devices(), 2);
 }
+
+/// Verification-on-insert: [`tridiag_service::certify`] rejects a
+/// corrupted sharded plan, so [`PlanCache::lookup`] can never cache or
+/// return one. A shifted `sys_start` breaks partition contiguity.
+#[test]
+fn certify_rejects_a_corrupted_sharded_plan() {
+    let group = DeviceGroup::homogeneous(DeviceSpec::gtx480(), 2).unwrap();
+    let config = GpuSolverConfig::default();
+    let plan = ShardedPlan::build(&group, &config, 64, 512, 8).unwrap();
+    assert!(tridiag_service::certify(&group, &plan).is_ok());
+
+    let mut corrupted = plan.clone();
+    corrupted.shards[1].sys_start += 1;
+    let err = tridiag_service::certify(&group, &corrupted).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("shard-partition"),
+        "expected a shard-partition finding, got: {msg}"
+    );
+}

@@ -75,6 +75,30 @@ grep -q "dry run     : no kernels launched" <<<"$out"
 out="$(cargo run --release -q -p tridiag-cli -- plan --m 64 --n 512 --json)"
 grep -q "tridiag.solve_plan/v1" <<<"$out"
 
+echo "== plan verifier: negative suite (every diagnostic class must fire) =="
+cargo test -q -p tridiag-gpu --test verify_negative
+
+echo "== plan verifier: properties (planner-built certifies clean, prediction exact) =="
+cargo test --release -q -p tridiag-gpu --test verify_props
+
+echo "== CLI verify sweep (certify + execute + exact certificate cross-check) =="
+cargo run --release -q -p tridiag-cli -- verify --sweep > /dev/null
+out="$(cargo run --release -q -p tridiag-cli -- verify --m 64 --n 512)"
+grep -q "clean" <<<"$out"
+out="$(cargo run --release -q -p tridiag-cli -- solve --m 8 --n 256 --verify)"
+grep -q "verify      : clean" <<<"$out"
+
+echo "== CLI verify negative (corruptions must exit 2 with findings) =="
+set +e
+cargo run --release -q -p tridiag-cli -- verify --negative > /dev/null 2>&1
+rc=$?
+set -e
+test "$rc" -eq 2
+
+echo "== API docs (first-party, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps \
+  -p tridiag-core -p gpu-sim -p tridiag-gpu -p cpu-ref -p tridiag-service > /dev/null
+
 echo "== CLI multi-device smoke (sharded solve + sharded plan schema) =="
 out="$(cargo run --release -q -p tridiag-cli -- solve --m 8 --n 256 --devices 2)"
 grep -q "devices     : 2" <<<"$out"
