@@ -19,7 +19,10 @@
 //!
 //! `--check` exits 1 when any point's requests/s drifts by more than
 //! `TOLERANCE_FRAC`; `--report-only` always exits 0 (advisory CI).
-//! See EXPERIMENTS.md for the schema.
+//! `--history FILE` additionally appends the run's requests/s per
+//! window to the append-only perf ledger (`tridiag.bench_history/v1`
+//! JSONL) and prints a report-only diff against the previous entry.
+//! See EXPERIMENTS.md for the schemas.
 
 use gpu_sim::json::{parse, Json};
 use gpu_sim::{DeviceGroup, DeviceSpec};
@@ -122,7 +125,27 @@ fn run_sweep() -> Json {
     ])
 }
 
-fn check(baseline_path: &str, report_only: bool) -> ExitCode {
+/// The ledger's headline metrics: requests/s per window.
+fn headline(doc: &Json) -> Vec<(String, f64)> {
+    doc.get("points")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|p| {
+            (
+                format!(
+                    "w{}",
+                    p.get("window_us").and_then(Json::as_num).unwrap_or(-1.0)
+                ),
+                p.get("requests_per_s")
+                    .and_then(Json::as_num)
+                    .unwrap_or(f64::NAN),
+            )
+        })
+        .collect()
+}
+
+fn check(baseline_path: &str, report_only: bool, history: Option<&str>) -> ExitCode {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
         Err(e) => {
@@ -176,6 +199,9 @@ fn check(baseline_path: &str, report_only: bool) -> ExitCode {
             }
         }
     }
+    if let Some(path) = history {
+        bench::history::record(path, "service", headline(&fresh));
+    }
     if regressions > 0 {
         eprintln!(
             "{regressions} point(s) drifted beyond {:.1}% (or missing from baseline)",
@@ -198,6 +224,7 @@ fn check(baseline_path: &str, report_only: bool) -> ExitCode {
 fn main() -> ExitCode {
     let mut out = String::from("BENCH_service.json");
     let mut check_path: Option<String> = None;
+    let mut history: Option<String> = None;
     let mut report_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -208,12 +235,13 @@ fn main() -> ExitCode {
                 }
             }
             "--check" => check_path = args.next(),
+            "--history" => history = args.next(),
             "--report-only" => report_only = true,
             other => eprintln!("ignoring unknown argument {other:?}"),
         }
     }
     if let Some(path) = check_path {
-        return check(&path, report_only);
+        return check(&path, report_only, history.as_deref());
     }
     let doc = run_sweep();
     let mut text = doc.to_string();
@@ -223,5 +251,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out}");
+    if let Some(path) = history.as_deref() {
+        bench::history::record(path, "service", headline(&doc));
+    }
     ExitCode::SUCCESS
 }

@@ -15,7 +15,10 @@
 //!
 //! `--check` exits 1 when any point's total drifts by more than
 //! `TOLERANCE_FRAC`; `--report-only` prints the same table but always
-//! exits 0 (for advisory CI steps). See EXPERIMENTS.md for the schema.
+//! exits 0 (for advisory CI steps). `--history FILE` additionally
+//! appends the run's headline numbers to the append-only perf ledger
+//! (`tridiag.bench_history/v1` JSONL) and prints a report-only diff
+//! against the previous entry. See EXPERIMENTS.md for the schemas.
 
 use bench::series;
 use gpu_sim::json::{parse, Json};
@@ -89,6 +92,22 @@ fn run_sweep() -> Json {
     ])
 }
 
+/// The ledger's headline metrics: one `(point key, total_us)` pair
+/// per sweep point.
+fn headline(doc: &Json) -> Vec<(String, f64)> {
+    doc.get("points")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|p| {
+            (
+                point_key(p),
+                p.get("total_us").and_then(Json::as_num).unwrap_or(f64::NAN),
+            )
+        })
+        .collect()
+}
+
 fn point_key(p: &Json) -> String {
     format!(
         "{}/{}/m{}/n{}",
@@ -99,7 +118,7 @@ fn point_key(p: &Json) -> String {
     )
 }
 
-fn check(baseline_path: &str, report_only: bool) -> ExitCode {
+fn check(baseline_path: &str, report_only: bool, history: Option<&str>) -> ExitCode {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
         Err(e) => {
@@ -147,6 +166,9 @@ fn check(baseline_path: &str, report_only: bool) -> ExitCode {
             }
         }
     }
+    if let Some(path) = history {
+        bench::history::record(path, "solver", headline(&fresh));
+    }
     if regressions > 0 {
         eprintln!(
             "{regressions} point(s) drifted beyond {:.1}% (or missing from baseline)",
@@ -165,6 +187,7 @@ fn check(baseline_path: &str, report_only: bool) -> ExitCode {
 fn main() -> ExitCode {
     let mut out = String::from("BENCH_solver.json");
     let mut check_path: Option<String> = None;
+    let mut history: Option<String> = None;
     let mut report_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -175,12 +198,13 @@ fn main() -> ExitCode {
                 }
             }
             "--check" => check_path = args.next(),
+            "--history" => history = args.next(),
             "--report-only" => report_only = true,
             other => eprintln!("ignoring unknown argument {other:?}"),
         }
     }
     if let Some(path) = check_path {
-        return check(&path, report_only);
+        return check(&path, report_only, history.as_deref());
     }
     let doc = run_sweep();
     let mut text = doc.to_string();
@@ -190,5 +214,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out}");
+    if let Some(path) = history.as_deref() {
+        bench::history::record(path, "solver", headline(&doc));
+    }
     ExitCode::SUCCESS
 }

@@ -6,6 +6,7 @@
 //! residual, prints an aligned text table and writes a CSV under
 //! `results/`.
 
+pub mod history;
 pub mod plot;
 pub mod series;
 pub mod table;

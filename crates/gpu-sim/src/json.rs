@@ -12,6 +12,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+pub mod schema;
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {

@@ -78,6 +78,7 @@ pub mod group;
 pub mod json;
 pub mod lint;
 pub mod memory;
+pub mod metrics;
 pub mod occupancy;
 pub mod plan;
 pub mod sanitizer;
@@ -99,4 +100,5 @@ pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use spec::{DeviceSpec, Precision};
 pub use timing::{time_kernel, BoundKind, KernelTiming, PhaseTiming};
 pub use json::Json;
+pub use metrics::{validate_metrics_json, Histogram, MetricsRegistry, METRICS_SCHEMA};
 pub use trace::{validate_chrome_json, Trace, TraceEvent};

@@ -1,0 +1,420 @@
+//! Typed metrics registry: counters, gauges and fixed-bucket
+//! histograms organized into labeled families, with deterministic
+//! snapshots (schema `tridiag.metrics/v1`).
+//!
+//! Everything lives on the modeled axes the rest of the workspace
+//! uses — counts are exact `u64`s, accumulated times are `f64`
+//! microseconds added in a defined order — so a snapshot is a pure
+//! function of the recorded history: same history, byte-identical
+//! JSON. Families and labels are stored in `BTreeMap`s, making the
+//! snapshot order independent of insertion order (and therefore of
+//! thread interleavings that produce the same per-label totals).
+//!
+//! The registry deliberately has no clock, no sampling and no
+//! background aggregation: callers record facts, [`MetricsRegistry::to_json`]
+//! reports them verbatim. Exact-accounting cross-checks (e.g. the
+//! solve service's "attributed time partitions report totals
+//! bit-exactly") are the caller's contract, built *on* gauges whose
+//! additions replay the same f64 operations as the report they mirror.
+
+use std::collections::BTreeMap;
+
+use crate::json::schema::Check;
+use crate::json::Json;
+
+/// Schema identifier emitted by [`MetricsRegistry::to_json`].
+pub const METRICS_SCHEMA: &str = "tridiag.metrics/v1";
+
+/// Default histogram bucket bounds (µs) used when a family is observed
+/// before [`MetricsRegistry::declare_histogram`] configured it.
+pub const DEFAULT_BOUNDS: &[f64] = &[10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0];
+
+/// A fixed-bucket histogram: `counts[i]` tallies observations `v <=
+/// bounds[i]` (first matching bucket); `counts[bounds.len()]` is the
+/// overflow bucket. `count`/`sum` aggregate all observations, with
+/// `sum` accumulated in observation order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries; the
+    /// last is the overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (f64, observation order).
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds` (must be ascending).
+    pub fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+/// The registry: three kinds of instrument, each a two-level
+/// `family -> label -> value` map. See the module docs for the
+/// determinism contract.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, BTreeMap<String, u64>>,
+    gauges: BTreeMap<String, BTreeMap<String, f64>>,
+    bounds: BTreeMap<String, Vec<f64>>,
+    histograms: BTreeMap<String, BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increment counter `family/label` by 1.
+    pub fn inc(&mut self, family: &str, label: &str) {
+        self.add(family, label, 1);
+    }
+
+    /// Increment counter `family/label` by `n`.
+    pub fn add(&mut self, family: &str, label: &str, n: u64) {
+        *self
+            .counters
+            .entry(family.to_string())
+            .or_default()
+            .entry(label.to_string())
+            .or_insert(0) += n;
+    }
+
+    /// Read counter `family/label` (0 when never incremented).
+    pub fn counter(&self, family: &str, label: &str) -> u64 {
+        self.counters
+            .get(family)
+            .and_then(|m| m.get(label))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of every label in counter family `family`.
+    pub fn counter_total(&self, family: &str) -> u64 {
+        self.counters
+            .get(family)
+            .map(|m| m.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Set gauge `family/label` to `v`, replacing any prior value.
+    pub fn set_gauge(&mut self, family: &str, label: &str, v: f64) {
+        self.gauges
+            .entry(family.to_string())
+            .or_default()
+            .insert(label.to_string(), v);
+    }
+
+    /// Add `v` to gauge `family/label` (starts at 0.0). Accumulation
+    /// order is the caller's contract — exact-accounting cross-checks
+    /// replay the same additions in the same order.
+    pub fn add_gauge(&mut self, family: &str, label: &str, v: f64) {
+        *self
+            .gauges
+            .entry(family.to_string())
+            .or_default()
+            .entry(label.to_string())
+            .or_insert(0.0) += v;
+    }
+
+    /// Read gauge `family/label` (0.0 when never set).
+    pub fn gauge(&self, family: &str, label: &str) -> f64 {
+        self.gauges
+            .get(family)
+            .and_then(|m| m.get(label))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Fix the bucket bounds for histogram family `family`. Must be
+    /// called before the family's first [`observe`](Self::observe);
+    /// undeclared families fall back to [`DEFAULT_BOUNDS`].
+    pub fn declare_histogram(&mut self, family: &str, bounds: &[f64]) {
+        self.bounds.insert(family.to_string(), bounds.to_vec());
+    }
+
+    /// Record one observation into histogram `family/label`.
+    pub fn observe(&mut self, family: &str, label: &str, v: f64) {
+        let bounds = self
+            .bounds
+            .get(family)
+            .cloned()
+            .unwrap_or_else(|| DEFAULT_BOUNDS.to_vec());
+        self.histograms
+            .entry(family.to_string())
+            .or_default()
+            .entry(label.to_string())
+            .or_insert_with(|| Histogram::new(&bounds))
+            .observe(v);
+    }
+
+    /// The histogram at `family/label`, if anything was observed.
+    pub fn histogram(&self, family: &str, label: &str) -> Option<&Histogram> {
+        self.histograms.get(family).and_then(|m| m.get(label))
+    }
+
+    /// Counter families with per-label values, sorted, for reports.
+    pub fn counter_families(&self) -> impl Iterator<Item = (&str, &BTreeMap<String, u64>)> {
+        self.counters.iter().map(|(f, m)| (f.as_str(), m))
+    }
+
+    /// Gauge families with per-label values, sorted, for reports.
+    pub fn gauge_families(&self) -> impl Iterator<Item = (&str, &BTreeMap<String, f64>)> {
+        self.gauges.iter().map(|(f, m)| (f.as_str(), m))
+    }
+
+    /// Histogram families with per-label histograms, sorted, for
+    /// reports.
+    pub fn histogram_families(&self) -> impl Iterator<Item = (&str, &BTreeMap<String, Histogram>)> {
+        self.histograms.iter().map(|(f, m)| (f.as_str(), m))
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Deterministic snapshot (schema [`METRICS_SCHEMA`]): families and
+    /// labels in lexicographic order, values verbatim.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(family, labels)| {
+                Json::Obj(vec![
+                    ("family".into(), Json::str(family.clone())),
+                    (
+                        "points".into(),
+                        Json::Arr(
+                            labels
+                                .iter()
+                                .map(|(label, v)| {
+                                    Json::Obj(vec![
+                                        ("label".into(), Json::str(label.clone())),
+                                        ("value".into(), Json::num(*v as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(family, labels)| {
+                Json::Obj(vec![
+                    ("family".into(), Json::str(family.clone())),
+                    (
+                        "points".into(),
+                        Json::Arr(
+                            labels
+                                .iter()
+                                .map(|(label, v)| {
+                                    Json::Obj(vec![
+                                        ("label".into(), Json::str(label.clone())),
+                                        ("value".into(), Json::num(*v)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(family, labels)| {
+                let points = labels
+                    .iter()
+                    .map(|(label, h)| {
+                        Json::Obj(vec![
+                            ("label".into(), Json::str(label.clone())),
+                            (
+                                "bounds".into(),
+                                Json::Arr(h.bounds.iter().map(|&b| Json::num(b)).collect()),
+                            ),
+                            (
+                                "counts".into(),
+                                Json::Arr(h.counts.iter().map(|&c| Json::num(c as f64)).collect()),
+                            ),
+                            ("count".into(), Json::num(h.count as f64)),
+                            ("sum".into(), Json::num(h.sum)),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("family".into(), Json::str(family.clone())),
+                    ("points".into(), Json::Arr(points)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::str(METRICS_SCHEMA)),
+            ("counters".into(), Json::Arr(counters)),
+            ("gauges".into(), Json::Arr(gauges)),
+            ("histograms".into(), Json::Arr(histograms)),
+        ])
+    }
+}
+
+/// Validate a parsed `tridiag.metrics/v1` snapshot. Field shapes via
+/// [`Check`], plus the histogram partition invariant: every point's
+/// `counts` has `bounds.len() + 1` entries summing exactly to `count`,
+/// with strictly ascending bounds. Returns every problem found
+/// (empty = valid).
+pub fn validate_metrics_json(doc: &Json) -> Vec<String> {
+    let mut c = Check::new(doc);
+    c.schema(METRICS_SCHEMA);
+    for section in ["counters", "gauges", "histograms"] {
+        let families = c.req_arr(section);
+        for (i, fam) in families.iter().enumerate() {
+            let mut fc = c.child(fam, format!("{section}[{i}] "));
+            fc.req_str("family");
+            let points = fc.req_arr("points");
+            for (j, p) in points.iter().enumerate() {
+                let mut pc = fc.child(p, format!("points[{j}] "));
+                pc.req_str("label");
+                match section {
+                    "counters" => {
+                        pc.req_uint("value");
+                    }
+                    "gauges" => {
+                        pc.req_num("value");
+                    }
+                    _ => {
+                        let bounds: Vec<f64> = pc
+                            .req_arr("bounds")
+                            .iter()
+                            .filter_map(Json::as_num)
+                            .collect();
+                        pc.ensure(
+                            bounds.windows(2).all(|w| w[0] < w[1]),
+                            "histogram bounds are not strictly ascending",
+                        );
+                        let counts: Vec<f64> = pc
+                            .req_arr("counts")
+                            .iter()
+                            .filter_map(Json::as_num)
+                            .collect();
+                        pc.ensure(
+                            counts.len() == bounds.len() + 1,
+                            format!(
+                                "counts has {} entries, expected bounds + overflow = {}",
+                                counts.len(),
+                                bounds.len() + 1
+                            ),
+                        );
+                        if let Some(count) = pc.req_uint("count") {
+                            let bucket_sum: f64 = counts.iter().sum();
+                            pc.ensure(
+                                bucket_sum == count as f64,
+                                format!("bucket counts sum to {bucket_sum}, count says {count}"),
+                            );
+                        }
+                        pc.req_num("sum");
+                    }
+                }
+                fc.absorb(pc);
+            }
+            c.absorb(fc);
+        }
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn snapshot_is_insertion_order_independent() {
+        let mut a = MetricsRegistry::new();
+        a.inc("requests", "admitted");
+        a.inc("cache", "hit");
+        a.observe("latency_us", "f64", 12.0);
+        let mut b = MetricsRegistry::new();
+        b.observe("latency_us", "f64", 12.0);
+        b.inc("cache", "hit");
+        b.inc("requests", "admitted");
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+
+    #[test]
+    fn histogram_buckets_partition_count() {
+        let mut m = MetricsRegistry::new();
+        m.declare_histogram("size", &[1.0, 4.0, 16.0]);
+        for v in [0.5, 1.0, 3.0, 20.0, 100.0] {
+            m.observe("size", "all", v);
+        }
+        let h = m.histogram("size", "all").unwrap();
+        assert_eq!(h.counts, vec![2, 1, 0, 2]);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 0.5 + 1.0 + 3.0 + 20.0 + 100.0);
+        assert!(validate_metrics_json(&m.to_json()).is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_validates() {
+        let mut m = MetricsRegistry::new();
+        m.add("requests", "admitted", 7);
+        m.set_gauge("clock_us", "device_free", 123.25);
+        m.add_gauge("attributed_us", "queue", 1.5);
+        m.add_gauge("attributed_us", "queue", 2.25);
+        m.observe("latency_us", "f32", 999.0);
+        let text = m.to_json().to_string();
+        let doc = parse(&text).unwrap();
+        assert!(validate_metrics_json(&doc).is_empty());
+        assert_eq!(m.gauge("attributed_us", "queue"), 3.75);
+        assert_eq!(m.counter_total("requests"), 7);
+    }
+
+    #[test]
+    fn validator_rejects_corrupt_snapshots() {
+        let mut m = MetricsRegistry::new();
+        m.observe("size", "all", 3.0);
+        let text = m.to_json().to_string();
+        // Corrupt the bucket counts so they no longer sum to count.
+        let bad = text.replace("\"count\":1", "\"count\":2");
+        let problems = validate_metrics_json(&parse(&bad).unwrap());
+        assert!(
+            problems.iter().any(|p| p.contains("bucket counts sum")),
+            "{problems:?}"
+        );
+        // Wrong schema string.
+        let bad = text.replace(METRICS_SCHEMA, "tridiag.metrics/v0");
+        assert!(!validate_metrics_json(&parse(&bad).unwrap()).is_empty());
+        // Counter value must be a non-negative integer.
+        let doc = parse(
+            r#"{"schema":"tridiag.metrics/v1","counters":[{"family":"x","points":[{"label":"a","value":-2}]}],"gauges":[],"histograms":[]}"#,
+        )
+        .unwrap();
+        assert!(!validate_metrics_json(&doc).is_empty());
+    }
+}

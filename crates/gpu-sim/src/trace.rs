@@ -20,6 +20,7 @@
 //! with [`crate::json`] and checks event-array well-formedness,
 //! monotonic timestamps, and `B`/`E` pairing.
 
+use crate::json::schema::Check;
 use crate::json::{parse, Json};
 
 /// Event kind, mapped to a Chrome trace-event `ph` value on export.
@@ -173,32 +174,36 @@ impl Trace {
     }
 }
 
-fn event_problems(i: usize, e: &Json, last_ts: &mut f64, open: &mut Vec<(f64, String)>, out: &mut Vec<String>) {
-    let Some(ph) = e.get("ph").and_then(Json::as_str) else {
-        out.push(format!("event {i}: missing string \"ph\""));
+fn event_problems(
+    i: usize,
+    e: &Json,
+    last_ts: &mut f64,
+    open: &mut Vec<(f64, String)>,
+    out: &mut Vec<String>,
+) {
+    let mut c = Check::with_ctx(e, format!("event {i}: "));
+    let Some(ph) = c.req_str("ph") else {
+        out.extend(c.finish());
         return;
     };
     if ph == "M" {
         return; // metadata records carry no timestamp
     }
-    if e.get("name").and_then(Json::as_str).is_none() {
-        out.push(format!("event {i}: missing string \"name\""));
-    }
-    let Some(ts) = e.get("ts").and_then(Json::as_num) else {
-        out.push(format!("event {i}: missing numeric \"ts\""));
+    c.req_str("name");
+    let Some(ts) = c.req_num("ts") else {
+        out.extend(c.finish());
         return;
     };
-    if !ts.is_finite() || ts < 0.0 {
-        out.push(format!("event {i}: ts {ts} is not a finite non-negative number"));
-    }
-    if ts < *last_ts {
-        out.push(format!("event {i}: ts {ts} decreases below {}", *last_ts));
-    }
+    c.ensure(
+        ts.is_finite() && ts >= 0.0,
+        format!("ts {ts} is not a finite non-negative number"),
+    );
+    c.ensure(ts >= *last_ts, format!("ts {ts} decreases below {}", *last_ts));
     *last_ts = last_ts.max(ts);
     match ph {
         "X" => match e.get("dur").and_then(Json::as_num) {
             Some(d) if d.is_finite() && d >= 0.0 => {}
-            _ => out.push(format!("event {i}: X event needs finite non-negative \"dur\"")),
+            _ => c.problem("X event needs finite non-negative \"dur\""),
         },
         "B" => {
             let name = e.get("name").and_then(Json::as_str).unwrap_or("");
@@ -206,12 +211,13 @@ fn event_problems(i: usize, e: &Json, last_ts: &mut f64, open: &mut Vec<(f64, St
         }
         "E" => {
             if open.pop().is_none() {
-                out.push(format!("event {i}: E event without matching B"));
+                c.problem("E event without matching B");
             }
         }
         "i" | "I" => {}
-        other => out.push(format!("event {i}: unknown ph {other:?}")),
+        other => c.problem(format!("unknown ph {other:?}")),
     }
+    out.extend(c.finish());
 }
 
 /// Validate a Chrome trace-event JSON document: it must parse, expose

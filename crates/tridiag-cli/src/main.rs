@@ -20,6 +20,8 @@
 //! tridiag serve --requests 8 --clients 4 # concurrent solves through the
 //!                                        # coalescing service, checked vs solo
 //! tridiag bench-service --n 256 --m 2    # modeled window sweep table
+//! tridiag stats --requests 48            # unified telemetry read-out:
+//!                                        # metrics, SLO account, replay checks
 //! ```
 //!
 //! Exit codes: 0 = success, 1 = usage or solve error, 2 = lint or
@@ -87,15 +89,29 @@ fn usage() -> &'static str {
      tridiag serve   [--requests R] [--clients C] [--window US] [--depth Q] \
      [--m M] [--n N]\n  \
      \u{20}           [--precision f64|f32|mixed] [--device D] [--devices G] [--seed S]\n  \
+     \u{20}           [--telemetry DIR]\n  \
      tridiag bench-service [--requests R] [--windows 0,4,16,64] [--m M] [--n N]\n  \
-     \u{20}           [--precision f64|f32] [--device D] [--devices G] [--seed S]\n\n\
+     \u{20}           [--precision f64|f32] [--device D] [--devices G] [--seed S]\n  \
+     tridiag stats   [--requests R] [--window US] [--m M] [--n N] [--seed S]\n  \
+     \u{20}           [--precision f64|f32|mixed] [--device D] [--devices G] [--top K]\n  \
+     \u{20}           [--json] [--out DIR] | --negative\n\n\
      solve service:\n  \
      serve       start the threaded solve service, submit R requests from C\n  \
      \u{20}           concurrent client threads through the coalescing queue, and\n  \
      \u{20}           cross-check every answer bit-for-bit against a solo solve;\n  \
-     \u{20}           exits 2 when any answer drifts or a ticket is lost\n  \
+     \u{20}           exits 2 when any answer drifts or a ticket is lost;\n  \
+     \u{20}           --telemetry DIR also writes metrics.json, events.jsonl and\n  \
+     \u{20}           trace.json there and validates all three (violations exit 2)\n  \
      bench-service sweep the coalescing window on a modeled workload and print\n  \
-     \u{20}           requests/s, p50/p99 latency, batch and cache-hit counts\n\n\
+     \u{20}           requests/s, p50/p99 latency, batch and cache-hit counts\n  \
+     stats       run a deterministic modeled workload and print the unified\n  \
+     \u{20}           telemetry read-out: counter/gauge/histogram tables (top K\n  \
+     \u{20}           labels per family), latency attribution, SLO account, and\n  \
+     \u{20}           the exact-partition + event-replay + request-chain checks\n  \
+     \u{20}           (any violation exits 2); --json prints the raw metrics\n  \
+     \u{20}           snapshot, --out DIR writes the telemetry artifact set,\n  \
+     \u{20}           --negative injects log corruptions and demands the replay\n  \
+     \u{20}           validator fires on each (exit 2 = all fired)\n\n\
      multi-device (gpu engine only):\n  \
      --devices G shard the batch across a device group: a count \
      (--devices 4 =\n  \
@@ -129,7 +145,8 @@ fn usage() -> &'static str {
      \u{20}           trace to --out (default trace.json) and print the per-phase\n  \
      \u{20}           profile; exits 2 on phase-sum or trace-schema violations\n\n\
      exit codes: 0 = ok, 1 = usage/solve error, 2 = lint, sanitizer, phase-sum,\n  \
-     \u{20}           trace-schema, plan-schema or plan-verification findings"
+     \u{20}           trace-schema, plan-schema, plan-verification or telemetry\n  \
+     \u{20}           (metrics-schema, exact-partition, event-replay) findings"
 }
 
 /// A command failure, split by exit code: plain errors exit 1, check
@@ -1323,7 +1340,16 @@ fn cmd_serve(a: &Args) -> Result<(), Failure> {
     }
     let service = Arc::try_unwrap(service)
         .unwrap_or_else(|_| panic!("client threads still hold the service"));
-    let stats = service.shutdown();
+    let stats = if let Some(dir) = a.get("telemetry") {
+        let (stats, telemetry) = service.shutdown_with_telemetry();
+        let (metrics, events, trace, findings) = telemetry_artifacts(&telemetry, "tridiag-serve");
+        write_telemetry(dir, &metrics, &events, &trace)?;
+        println!("  telemetry: wrote {dir}/metrics.json, events.jsonl, trace.json");
+        problems.extend(findings);
+        stats
+    } else {
+        service.shutdown()
+    };
 
     println!(
         "  answered {ok}/{requests} bit-identical to solo; \
@@ -1405,6 +1431,283 @@ fn cmd_bench_service(a: &Args) -> Result<(), Failure> {
     Ok(())
 }
 
+/// Render the telemetry artifact set — `metrics.json`, `events.jsonl`,
+/// `trace.json` — and validate each: metrics against
+/// `tridiag.metrics/v1`, the event log through the lifecycle replay
+/// validator, the trace against the Chrome schema plus the
+/// per-request span-chain check. Returns the three texts and every
+/// violation found.
+fn telemetry_artifacts(
+    telemetry: &tridiag_service::Telemetry,
+    process: &str,
+) -> (String, String, String, Vec<String>) {
+    let metrics_doc = telemetry.metrics.to_json();
+    let mut findings: Vec<String> = gpu_sim::validate_metrics_json(&metrics_doc)
+        .into_iter()
+        .map(|p| format!("metrics schema: {p}"))
+        .collect();
+    let events = telemetry.to_jsonl();
+    if let Err(p) = tridiag_service::validate_event_log(&events) {
+        findings.extend(p.into_iter().map(|p| format!("event replay: {p}")));
+    }
+    let trace = telemetry.to_trace(process).to_chrome_json();
+    if let Err(p) = gpu_sim::validate_chrome_json(&trace) {
+        findings.extend(p.into_iter().map(|p| format!("trace schema: {p}")));
+    }
+    if let Err(p) = tridiag_service::validate_request_chains(&trace) {
+        findings.extend(p.into_iter().map(|p| format!("request chains: {p}")));
+    }
+    (metrics_doc.to_string(), events, trace, findings)
+}
+
+/// Write the three telemetry artifacts into `dir` (created if
+/// missing). I/O failures are hard errors (exit 1); schema findings
+/// are the caller's to report.
+fn write_telemetry(dir: &str, metrics: &str, events: &str, trace: &str) -> Result<(), Failure> {
+    let dir_path = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir_path)
+        .map_err(|e| Failure::Error(format!("creating {dir}: {e}")))?;
+    for (name, text) in [
+        ("metrics.json", metrics),
+        ("events.jsonl", events),
+        ("trace.json", trace),
+    ] {
+        let path = dir_path.join(name);
+        std::fs::write(&path, text)
+            .map_err(|e| Failure::Error(format!("writing {}: {e}", path.display())))?;
+    }
+    Ok(())
+}
+
+/// `tridiag stats --negative` — inject one corruption per
+/// replay-diagnostic class into a copy of a clean event log and demand
+/// the validator fires on each: exit 2 = every diagnostic fired
+/// (reported as findings, mirroring `verify --negative`), exit 1 = a
+/// diagnostic was lost.
+fn stats_negative(log: &str) -> Result<(), Failure> {
+    if let Err(p) = tridiag_service::validate_event_log(log) {
+        return Err(Failure::Error(format!(
+            "baseline event log must replay cleanly, got:\n  - {}",
+            p.join("\n  - ")
+        )));
+    }
+    let completion = log
+        .lines()
+        .find(|l| l.contains("\"completion\""))
+        .ok_or_else(|| Failure::Error("workload produced no completion event".into()))?;
+    // A terminal for a cid far beyond any admitted id.
+    let orphan = r#"{"event":"completion","t_us":99.0,"cid":1152921504606846976,"batch":null,"precision":"f64","queue_us":0,"coalesce_us":0,"kernel_us":0,"scatter_us":0,"cache_hit":false,"coalesced_with":1}"#;
+    let cases = [
+        ("orphan terminal", format!("{log}{orphan}\n"), "orphan"),
+        (
+            "duplicate terminal",
+            format!("{log}{completion}\n"),
+            "duplicate terminal",
+        ),
+    ];
+    let mut fired = Vec::new();
+    let mut lost = Vec::new();
+    for (label, corrupted, keyword) in &cases {
+        match tridiag_service::validate_event_log(corrupted) {
+            Err(p) if p.iter().any(|m| m.contains(keyword)) => {
+                fired.push(format!("{label}: {}", p[0]));
+            }
+            Err(p) => lost.push(format!(
+                "{label}: validator fired without the expected diagnostic: {}",
+                p.join("; ")
+            )),
+            Ok(_) => lost.push(format!("{label}: validator accepted the corrupted log")),
+        }
+    }
+    if !lost.is_empty() {
+        return Err(Failure::Error(format!(
+            "replay validator failed to diagnose:\n  - {}",
+            lost.join("\n  - ")
+        )));
+    }
+    println!(
+        "{} corruption(s) injected, every replay diagnostic fired:",
+        cases.len()
+    );
+    Err(Failure::Findings(format!("  - {}", fired.join("\n  - "))))
+}
+
+/// `tridiag stats` — run a deterministic modeled workload through the
+/// service core and print the unified telemetry read-out: counter /
+/// gauge / histogram tables (top `--top` labels per family), the
+/// latency-attribution partition, the SLO account, and every
+/// telemetry invariant check (metrics schema, exact partition,
+/// event-log replay, trace schema, request chains, report schema).
+/// `--json` prints the raw `tridiag.metrics/v1` snapshot instead of
+/// tables; `--out DIR` writes the telemetry artifact set. Any
+/// violated invariant is a finding (exit 2).
+fn cmd_stats(a: &Args) -> Result<(), Failure> {
+    use tridiag_service::{ServiceConfig, ServiceCore, SolveRequest};
+
+    let requests: usize = a.get_or("requests", 48)?;
+    let m: usize = a.get_or("m", 2)?;
+    let n: usize = a.get_or("n", 256)?;
+    let seed: u64 = a.get_or("seed", 42u64)?;
+    let window: f64 = a.get_or("window", 16.0f64)?;
+    let top: usize = a.get_or("top", 8usize)?.max(1);
+    let precision = a.get("precision").unwrap_or("mixed");
+    let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
+    let group = device_group(a, &device)?.unwrap_or_else(|| DeviceGroup::single(device));
+    let payloads = service_payloads(requests, m, n, seed, precision)?;
+
+    let mut core = ServiceCore::new(
+        group.clone(),
+        ServiceConfig {
+            window_us: window,
+            ..ServiceConfig::default()
+        },
+    );
+    let workload: Vec<SolveRequest> = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| SolveRequest {
+            id: i as u64,
+            arrival_us: i as f64,
+            payload: p.clone(),
+        })
+        .collect();
+    let report = core.run_workload(workload);
+    let telemetry = core.telemetry();
+
+    let (metrics, events, trace, mut findings) = telemetry_artifacts(telemetry, "tridiag-stats");
+    if a.flag("negative") {
+        return stats_negative(&events);
+    }
+    findings.extend(
+        telemetry
+            .cross_check(&report)
+            .into_iter()
+            .map(|p| format!("exact-partition: {p}")),
+    );
+    findings.extend(
+        tridiag_service::validate_service_report_json(&report.to_json())
+            .into_iter()
+            .map(|p| format!("report schema: {p}")),
+    );
+
+    if a.flag("json") {
+        println!("{metrics}");
+    } else {
+        let (done, rejected, failed) = report.totals();
+        println!(
+            "stats: {requests} modeled requests of m={m} n={n} {precision} on {}, \
+             window {window} us",
+            group.label()
+        );
+        println!(
+            "  completed {done}, rejected {rejected}, failed {failed}; {} batches, \
+             cache {}/{} hits, makespan {:.1} us, {:.0} requests/s",
+            report.batches.len(),
+            report.cache.hits,
+            report.cache.lookups,
+            report.makespan_us,
+            report.requests_per_s
+        );
+        let att = &report.attributed;
+        println!(
+            "  attributed_us: queue {:.2} + coalesce {:.2} + kernel {:.2} + \
+             scatter {:.2} = {:.2} (partitions report totals bit-exactly)",
+            att.queue_us,
+            att.coalesce_us,
+            att.kernel_us,
+            att.scatter_us,
+            att.latency_us()
+        );
+        let s = &report.slo;
+        println!(
+            "  slo: target {:.0} us, {} violation(s) in {done} completion(s); \
+             buckets {} good + {} bad = {}; budget burn {:.2} of {:.0}%",
+            s.target_latency_us,
+            s.violations,
+            s.good_buckets,
+            s.bad_buckets,
+            s.buckets,
+            s.budget_burn,
+            s.budget_frac * 100.0
+        );
+        println!("\n  counters (top {top} per family):");
+        for (family, labels) in telemetry.metrics.counter_families() {
+            let mut points: Vec<(&str, u64)> =
+                labels.iter().map(|(l, &v)| (l.as_str(), v)).collect();
+            points.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            print_topk_row(
+                family,
+                points.iter().map(|(l, v)| format!("{l}={v}")),
+                points.len(),
+                top,
+            );
+        }
+        println!("\n  gauges (top {top} per family):");
+        for (family, labels) in telemetry.metrics.gauge_families() {
+            let mut points: Vec<(&str, f64)> =
+                labels.iter().map(|(l, &v)| (l.as_str(), v)).collect();
+            points.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+            print_topk_row(
+                family,
+                points.iter().map(|(l, v)| format!("{l}={v:.2}")),
+                points.len(),
+                top,
+            );
+        }
+        println!("\n  histograms (non-empty buckets):");
+        for (family, labels) in telemetry.metrics.histogram_families() {
+            for (label, h) in labels {
+                let mut cells = Vec::new();
+                for (i, &c) in h.counts.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    let bound = if i < h.bounds.len() {
+                        format!("<={}", h.bounds[i])
+                    } else {
+                        format!(">{}", h.bounds.last().copied().unwrap_or(0.0))
+                    };
+                    cells.push(format!("{bound}:{c}"));
+                }
+                println!(
+                    "    {:<28} n={} sum={:.1}  {}",
+                    format!("{family}/{label}"),
+                    h.count,
+                    h.sum,
+                    cells.join("  ")
+                );
+            }
+        }
+    }
+    if let Some(dir) = a.get("out") {
+        write_telemetry(dir, &metrics, &events, &trace)?;
+        println!("  wrote {dir}/metrics.json, events.jsonl, trace.json");
+    }
+    if !findings.is_empty() {
+        return Err(Failure::Findings(format!(
+            "  - {}",
+            findings.join("\n  - ")
+        )));
+    }
+    Ok(())
+}
+
+/// One `family  label=value ...` table row, eliding past `top`.
+fn print_topk_row(
+    family: &str,
+    cells: impl Iterator<Item = String>,
+    total: usize,
+    top: usize,
+) {
+    let shown: Vec<String> = cells.take(top).collect();
+    let elided = total.saturating_sub(top);
+    if elided > 0 {
+        println!("    {family:<28} {}  (+{elided} more)", shown.join("  "));
+    } else {
+        println!("    {family:<28} {}", shown.join("  "));
+    }
+}
+
 fn main() -> ExitCode {
     let args = match Args::from_env() {
         Ok(a) => a,
@@ -1428,6 +1731,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args),
         Some("serve") => cmd_serve(&args),
         Some("bench-service") => cmd_bench_service(&args),
+        Some("stats") => cmd_stats(&args),
         Some("help") => {
             println!("{}", usage());
             return ExitCode::SUCCESS;

@@ -24,6 +24,7 @@ use crate::consts::{REGS_FUSED, REGS_PTHOMAS, REGS_TILED_PCR};
 use crate::kernels::p_thomas::AddrMap;
 use crate::kernels::tiled_pcr::{StreamSlot, TiledPcrKernel};
 use crate::solver::{GpuSolverConfig, MappingVariant};
+use gpu_sim::json::schema::Check;
 use gpu_sim::{DeviceGroup, DeviceSpec, Json, Result, SimError};
 use tridiag_core::transition::{choose_k, max_k_for, TransitionPolicy};
 use tridiag_core::Layout;
@@ -793,141 +794,85 @@ pub const PLAN_SCHEMA: &str = "tridiag.solve_plan/v1";
 /// `tridiag.solve_plan/v1` schema. Returns every problem found (empty
 /// = valid). Used by the CLI `plan` smoke to catch schema drift.
 pub fn validate_plan_json(doc: &Json) -> Vec<String> {
-    let mut problems = Vec::new();
-    let mut problem = |msg: String| problems.push(msg);
-    match doc.get("schema").and_then(Json::as_str) {
-        Some(PLAN_SCHEMA) => {}
-        Some(other) => problem(format!("schema is {other:?}, expected {PLAN_SCHEMA:?}")),
-        None => problem("missing string field \"schema\"".into()),
+    const LAYOUTS: &[&str] = &["Contiguous", "Interleaved"];
+    let mut c = Check::new(doc);
+    c.schema(PLAN_SCHEMA);
+    c.req_strs(&["device", "precision", "mapping"]);
+    c.str_enum("layout", LAYOUTS);
+    c.req_uints(&["m", "n", "elem_bytes", "k", "device_elems", "device_bytes"]);
+    c.req_bool("fused");
+    let bufs = c.req_arr("buffers");
+    for (i, b) in bufs.iter().enumerate() {
+        let mut bc = c.child(b, format!("buffers[{i}] "));
+        bc.req_str("name");
+        bc.req_pos_int("elems");
+        c.absorb(bc);
     }
-    for key in ["device", "precision", "mapping"] {
-        if doc.get(key).and_then(Json::as_str).is_none() {
-            problem(format!("missing string field {key:?}"));
-        }
-    }
-    let layout_ok = |v: Option<&str>| matches!(v, Some("Contiguous") | Some("Interleaved"));
-    match doc.get("layout").and_then(Json::as_str) {
-        Some(l) if layout_ok(Some(l)) => {}
-        Some(other) => problem(format!(
-            "field \"layout\" is {other:?}, expected \"Contiguous\" or \"Interleaved\""
-        )),
-        None => problem("missing string field \"layout\"".into()),
-    }
-    for key in ["m", "n", "elem_bytes", "k", "device_elems", "device_bytes"] {
-        match doc.get(key).and_then(Json::as_num) {
-            Some(v) if v >= 0.0 && v.fract() == 0.0 => {}
-            Some(v) => problem(format!("field {key:?} is not a non-negative integer: {v}")),
-            None => problem(format!("missing numeric field {key:?}")),
-        }
-    }
-    if !matches!(doc.get("fused"), Some(Json::Bool(_))) {
-        problem("missing boolean field \"fused\"".into());
-    }
-    let num_buffers = match doc.get("buffers").and_then(Json::as_arr) {
-        Some(bufs) => {
-            for (i, b) in bufs.iter().enumerate() {
-                if b.get("name").and_then(Json::as_str).is_none() {
-                    problem(format!("buffers[{i}] missing string field \"name\""));
-                }
-                match b.get("elems").and_then(Json::as_num) {
-                    Some(v) if v > 0.0 && v.fract() == 0.0 => {}
-                    _ => problem(format!("buffers[{i}] missing positive integer \"elems\"")),
-                }
-            }
-            bufs.len()
-        }
-        None => {
-            problem("missing array field \"buffers\"".into());
-            0
-        }
-    };
+    let num_buffers = bufs.len();
     let slot_ok = |v: Option<f64>| {
         matches!(v, Some(s) if s >= 0.0 && s.fract() == 0.0 && (s as usize) < num_buffers)
     };
-    match doc.get("steps").and_then(Json::as_arr) {
-        Some(steps) => {
-            let mut downloads = 0usize;
-            let mut launches = 0usize;
-            for (i, step) in steps.iter().enumerate() {
-                match step.get("op").and_then(Json::as_str) {
-                    Some("convert") | Some("convert_back") => {
-                        match step.get("layout").and_then(Json::as_str) {
-                            Some("Contiguous") | Some("Interleaved") => {}
-                            Some(other) => problem(format!(
-                                "steps[{i}] has unknown layout {other:?} \
-                                 (expected \"Contiguous\" or \"Interleaved\")"
-                            )),
-                            None => {
-                                problem(format!("steps[{i}] missing string field \"layout\""))
-                            }
-                        }
-                    }
-                    Some("upload") => {
-                        if !slot_ok(step.get("slot").and_then(Json::as_num)) {
-                            problem(format!("steps[{i}] upload slot out of range"));
-                        }
-                        match step.get("source").and_then(Json::as_str) {
-                            Some("a") | Some("b") | Some("c") | Some("d") => {}
-                            Some(other) => problem(format!(
-                                "steps[{i}] has unknown upload source {other:?} \
-                                 (expected one of \"a\", \"b\", \"c\", \"d\")"
-                            )),
-                            None => {
-                                problem(format!("steps[{i}] missing string field \"source\""))
-                            }
-                        }
-                    }
-                    Some("alloc") => {
-                        if !slot_ok(step.get("slot").and_then(Json::as_num)) {
-                            problem(format!("steps[{i}] alloc slot out of range"));
-                        }
-                    }
-                    Some("launch") => {
-                        launches += 1;
-                        if step.get("kernel").and_then(Json::as_str).is_none() {
-                            problem(format!("steps[{i}] missing string field \"kernel\""));
-                        }
-                        for key in ["grid_blocks", "threads_per_block", "regs_per_thread"] {
-                            match step.get(key).and_then(Json::as_num) {
-                                Some(v) if v > 0.0 && v.fract() == 0.0 => {}
-                                _ => problem(format!(
-                                    "steps[{i}] missing positive integer {key:?}"
-                                )),
-                            }
-                        }
-                        match step.get("binds").and_then(Json::as_arr) {
-                            Some(binds) => {
-                                for (j, b) in binds.iter().enumerate() {
-                                    if !slot_ok(b.as_num()) {
-                                        problem(format!(
-                                            "steps[{i}] binds[{j}] slot out of range"
-                                        ));
-                                    }
-                                }
-                            }
-                            None => problem(format!("steps[{i}] missing array field \"binds\"")),
-                        }
-                    }
-                    Some("download") => {
-                        downloads += 1;
-                        if !slot_ok(step.get("slot").and_then(Json::as_num)) {
-                            problem(format!("steps[{i}] download slot out of range"));
-                        }
-                    }
-                    Some(other) => problem(format!("steps[{i}] has unknown op {other:?}")),
-                    None => problem(format!("steps[{i}] missing string field \"op\"")),
+    let steps = c.req_arr("steps");
+    let mut downloads = 0usize;
+    let mut launches = 0usize;
+    for (i, step) in steps.iter().enumerate() {
+        let mut sc = c.child(step, format!("steps[{i}] "));
+        match step.get("op").and_then(Json::as_str) {
+            Some("convert") | Some("convert_back") => {
+                sc.str_enum("layout", LAYOUTS);
+            }
+            Some("upload") => {
+                sc.ensure(
+                    slot_ok(step.get("slot").and_then(Json::as_num)),
+                    "upload slot out of range",
+                );
+                match step.get("source").and_then(Json::as_str) {
+                    Some("a") | Some("b") | Some("c") | Some("d") => {}
+                    Some(other) => sc.problem(format!(
+                        "has unknown upload source {other:?} \
+                         (expected one of \"a\", \"b\", \"c\", \"d\")"
+                    )),
+                    None => sc.problem("missing string field \"source\""),
                 }
             }
-            if downloads != 1 {
-                problem(format!("expected exactly one download step, found {downloads}"));
+            Some("alloc") => {
+                sc.ensure(
+                    slot_ok(step.get("slot").and_then(Json::as_num)),
+                    "alloc slot out of range",
+                );
             }
-            if launches == 0 {
-                problem("plan schedules no kernel launches".into());
+            Some("launch") => {
+                launches += 1;
+                sc.req_str("kernel");
+                sc.req_pos_int("grid_blocks");
+                sc.req_pos_int("threads_per_block");
+                sc.req_pos_int("regs_per_thread");
+                for (j, b) in sc.req_arr("binds").iter().enumerate() {
+                    if !slot_ok(b.as_num()) {
+                        sc.problem(format!("binds[{j}] slot out of range"));
+                    }
+                }
             }
+            Some("download") => {
+                downloads += 1;
+                sc.ensure(
+                    slot_ok(step.get("slot").and_then(Json::as_num)),
+                    "download slot out of range",
+                );
+            }
+            Some(other) => sc.problem(format!("has unknown op {other:?}")),
+            None => sc.problem("missing string field \"op\""),
         }
-        None => problem("missing array field \"steps\"".into()),
+        c.absorb(sc);
     }
-    problems
+    if !steps.is_empty() || doc.get("steps").is_some() {
+        c.ensure(
+            downloads == 1,
+            format!("expected exactly one download step, found {downloads}"),
+        );
+        c.ensure(launches > 0, "plan schedules no kernel launches");
+    }
+    c.finish()
 }
 
 // ---------------------------------------------------------------------
@@ -1185,129 +1130,101 @@ pub const SHARDED_PLAN_SCHEMA: &str = "tridiag.sharded_plan/v1";
 /// partition invariants (contiguous full coverage, balance within 1).
 /// Returns every problem found (empty = valid).
 pub fn validate_sharded_plan_json(doc: &Json) -> Vec<String> {
-    let mut problems = Vec::new();
-    let mut problem = |msg: String| problems.push(msg);
-    match doc.get("schema").and_then(Json::as_str) {
-        Some(SHARDED_PLAN_SCHEMA) => {}
-        Some(other) => problem(format!(
-            "schema is {other:?}, expected {SHARDED_PLAN_SCHEMA:?}"
-        )),
-        None => problem("missing string field \"schema\"".into()),
-    }
-    for key in ["precision", "mapping"] {
-        if doc.get(key).and_then(Json::as_str).is_none() {
-            problem(format!("missing string field {key:?}"));
-        }
-    }
-    for key in ["m", "n", "elem_bytes", "devices", "k", "device_bytes"] {
-        match doc.get(key).and_then(Json::as_num) {
-            Some(v) if v >= 0.0 && v.fract() == 0.0 => {}
-            Some(v) => problem(format!("field {key:?} is not a non-negative integer: {v}")),
-            None => problem(format!("missing numeric field {key:?}")),
-        }
-    }
-    if !matches!(doc.get("fused"), Some(Json::Bool(_))) {
-        problem("missing boolean field \"fused\"".into());
-    }
-    match doc.get("reference") {
-        Some(reference) => {
-            for p in validate_plan_json(reference) {
-                problem(format!("reference: {p}"));
-            }
-        }
-        None => problem("missing object field \"reference\"".into()),
+    let mut c = Check::new(doc);
+    c.schema(SHARDED_PLAN_SCHEMA);
+    c.req_strs(&["precision", "mapping"]);
+    c.req_uints(&["m", "n", "elem_bytes", "devices", "k", "device_bytes"]);
+    c.req_bool("fused");
+    if let Some(reference) = c.req_obj("reference") {
+        c.absorb_with("reference: ", validate_plan_json(reference));
     }
     let m = doc.get("m").and_then(Json::as_num).unwrap_or(0.0) as usize;
     let declared = doc.get("devices").and_then(Json::as_num).unwrap_or(0.0) as usize;
     match doc.get("shards").and_then(Json::as_arr) {
         Some(shards) if !shards.is_empty() => {
-            if shards.len() != declared {
-                problem(format!(
+            c.ensure(
+                shards.len() == declared,
+                format!(
                     "\"devices\" is {declared} but {} shards are listed",
                     shards.len()
-                ));
-            }
+                ),
+            );
             let mut cursor = 0usize;
             let mut min_count = usize::MAX;
             let mut max_count = 0usize;
             for (i, sh) in shards.iter().enumerate() {
-                if sh.get("device").and_then(Json::as_str).is_none() {
-                    problem(format!("shards[{i}] missing string field \"device\""));
-                }
+                let mut shc = c.child(sh, format!("shards[{i}] "));
+                shc.req_str("device");
                 let num = |key: &str| sh.get(key).and_then(Json::as_num);
                 match (num("device_index"), num("sys_start"), num("sys_count")) {
                     (Some(di), Some(start), Some(count))
                         if di.fract() == 0.0 && start.fract() == 0.0 && count.fract() == 0.0 =>
                     {
-                        if di as usize != i {
-                            problem(format!("shards[{i}] has device_index {di}"));
-                        }
-                        if start as usize != cursor {
-                            problem(format!(
-                                "shards[{i}] starts at {start}, expected {cursor} \
+                        shc.ensure(di as usize == i, format!("has device_index {di}"));
+                        shc.ensure(
+                            start as usize == cursor,
+                            format!(
+                                "starts at {start}, expected {cursor} \
                                  (shards must tile the batch contiguously)"
-                            ));
-                        }
-                        if count < 1.0 {
-                            problem(format!("shards[{i}] owns no systems"));
-                        }
+                            ),
+                        );
+                        shc.ensure(count >= 1.0, "owns no systems");
                         cursor = start as usize + count as usize;
                         min_count = min_count.min(count as usize);
                         max_count = max_count.max(count as usize);
                     }
-                    _ => problem(format!(
-                        "shards[{i}] missing integer device_index/sys_start/sys_count"
-                    )),
+                    _ => shc.problem("missing integer device_index/sys_start/sys_count"),
                 }
                 match sh.get("plan") {
                     Some(plan) => {
-                        for p in validate_plan_json(plan) {
-                            problem(format!("shards[{i}].plan: {p}"));
-                        }
+                        shc.absorb_with("plan: ", validate_plan_json(plan));
                         // The embedded plan must solve exactly the
                         // systems the shard owns, on the same geometry.
                         let plan_num = |key: &str| plan.get(key).and_then(Json::as_num);
                         if let (Some(pm), Some(count)) =
                             (plan_num("m"), sh.get("sys_count").and_then(Json::as_num))
                         {
-                            if pm != count {
-                                problem(format!(
-                                    "shards[{i}].plan solves m = {pm} but the shard owns \
+                            shc.ensure(
+                                pm == count,
+                                format!(
+                                    "plan solves m = {pm} but the shard owns \
                                      {count} system(s)"
-                                ));
-                            }
+                                ),
+                            );
                         }
                         for key in ["n", "elem_bytes"] {
                             if let (Some(pv), Some(tv)) =
                                 (plan_num(key), doc.get(key).and_then(Json::as_num))
                             {
-                                if pv != tv {
-                                    problem(format!(
-                                        "shards[{i}].plan has {key} = {pv} but the batch \
+                                shc.ensure(
+                                    pv == tv,
+                                    format!(
+                                        "plan has {key} = {pv} but the batch \
                                          has {key} = {tv}"
-                                    ));
-                                }
+                                    ),
+                                );
                             }
                         }
                     }
-                    None => problem(format!("shards[{i}] missing object field \"plan\"")),
+                    None => shc.problem("missing object field \"plan\""),
                 }
+                c.absorb(shc);
             }
-            if cursor != m {
-                problem(format!(
-                    "shards cover [0, {cursor}) but the batch has m = {m} systems"
-                ));
-            }
-            if max_count > 0 && max_count - min_count > 1 {
-                problem(format!(
+            c.ensure(
+                cursor == m,
+                format!("shards cover [0, {cursor}) but the batch has m = {m} systems"),
+            );
+            c.ensure(
+                max_count == 0 || max_count - min_count <= 1,
+                format!(
                     "shard sizes unbalanced: min {min_count}, max {max_count} (allowed skew 1)"
-                ));
-            }
+                ),
+            );
         }
-        Some(_) => problem("\"shards\" is empty".into()),
-        None => problem("missing array field \"shards\"".into()),
+        Some(_) => c.problem("\"shards\" is empty"),
+        None => c.problem("missing array field \"shards\""),
     }
-    problems
+    c.finish()
 }
 
 #[cfg(test)]

@@ -35,8 +35,9 @@ use tridiag_gpu::{ShardedExecutor, ShardedPlan, SolvePlan};
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::coalesce::{coalesce, CoalescedBatch};
-use crate::report::{BatchSummary, ServiceReport};
+use crate::report::{BatchSummary, DeviceSpan, ServiceReport, SloConfig};
 use crate::request::{Payload, RequestSpans, Response, ServiceError, Solution, SolveRequest};
+use crate::telemetry::Telemetry;
 
 /// Service tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +56,8 @@ pub struct ServiceConfig {
     /// Base solver config; its `policy`/`mapping`/`fused` are
     /// overridden by the pinned decisions per geometry.
     pub solver: GpuSolverConfig,
+    /// Latency-objective targets for the report's SLO accounting.
+    pub slo: SloConfig,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +68,7 @@ impl Default for ServiceConfig {
             cache_capacity: 32,
             pin_m: 256,
             solver: GpuSolverConfig::default(),
+            slo: SloConfig::default(),
         }
     }
 }
@@ -87,6 +91,7 @@ pub struct ServiceCore {
     cfg: ServiceConfig,
     cache: PlanCache,
     pins: BTreeMap<(usize, usize), Pin>,
+    telemetry: Telemetry,
 }
 
 /// One solved fused batch plus everything needed for attribution.
@@ -99,6 +104,9 @@ struct BatchRun {
     /// fused kernel time.
     outcomes: Vec<(f64, f64, bool, Result<Solution>)>,
     kernel_us: f64,
+    /// Per-device shard execution of the fused kernel (empty for
+    /// isolated fallbacks and failed batches).
+    devices: Vec<DeviceSpan>,
 }
 
 impl ServiceCore {
@@ -109,7 +117,25 @@ impl ServiceCore {
             cache: PlanCache::new(cfg.cache_capacity),
             cfg,
             pins: BTreeMap::new(),
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// The telemetry accumulated so far (metrics + event log).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access for drivers that record admission-time events
+    /// themselves (the threaded worker's shutdown drain).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Hand the accumulated telemetry to the caller, resetting the
+    /// core's sink (the threaded service uses this at shutdown).
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        std::mem::replace(&mut self.telemetry, Telemetry::new())
     }
 
     /// The device group solves run on.
@@ -171,9 +197,12 @@ impl ServiceCore {
     }
 
     /// Solve one payload under the pinned config for its geometry.
-    /// Returns the solution, the modeled kernel time, and whether the
-    /// plan came from the cache.
-    pub fn solve_payload(&mut self, payload: &Payload) -> Result<(Solution, f64, bool)> {
+    /// Returns the solution, the modeled kernel time, whether the plan
+    /// came from the cache, and the per-device shard execution.
+    pub fn solve_payload(
+        &mut self,
+        payload: &Payload,
+    ) -> Result<(Solution, f64, bool, Vec<DeviceSpan>)> {
         let n = payload.system_len();
         let bytes = payload.elem_bytes();
         let config = self.pinned_config(n, bytes)?;
@@ -183,9 +212,9 @@ impl ServiceCore {
         let exec = config.exec;
         match payload {
             Payload::F32(b) => run_plan::<f32>(&group, exec, &plan, b)
-                .map(|(x, us)| (Solution::F32(x), us, hit)),
+                .map(|(x, us, devices)| (Solution::F32(x), us, hit, devices)),
             Payload::F64(b) => run_plan::<f64>(&group, exec, &plan, b)
-                .map(|(x, us)| (Solution::F64(x), us, hit)),
+                .map(|(x, us, devices)| (Solution::F64(x), us, hit, devices)),
         }
     }
 
@@ -209,7 +238,7 @@ impl ServiceCore {
     /// bad system and healthy co-tenants still complete.
     fn run_batch(&mut self, batch: CoalescedBatch) -> BatchRun {
         match self.solve_payload(&batch.payload) {
-            Ok((solution, kernel_us, cache_hit)) => {
+            Ok((solution, kernel_us, cache_hit, devices)) => {
                 let pieces = Self::scatter(&batch, &solution);
                 let outcomes = batch
                     .members
@@ -225,6 +254,7 @@ impl ServiceCore {
                     isolated: false,
                     outcomes,
                     kernel_us,
+                    devices,
                 }
             }
             Err(fused_err) => self.isolate(batch, fused_err),
@@ -239,7 +269,7 @@ impl ServiceCore {
         for mem in &batch.members {
             let solo = member_payload(&batch, mem);
             match solo.and_then(|p| self.solve_payload(&p)) {
-                Ok((x, us, hit)) => {
+                Ok((x, us, hit, _devices)) => {
                     kernel_total += us;
                     outcomes.push((us, copy_us(mem.solution_bytes), hit, Ok(x)));
                 }
@@ -264,6 +294,7 @@ impl ServiceCore {
             isolated: true,
             outcomes,
             kernel_us: kernel_total,
+            devices: Vec::new(),
         }
     }
 
@@ -281,6 +312,7 @@ impl ServiceCore {
     ) -> (Vec<Response>, Vec<BatchSummary>, f64) {
         let mut responses: Vec<Option<Response>> = vec![None; working.len()];
         let mut summaries = Vec::new();
+        let tick = self.telemetry.on_tick_open(open_us, working);
         let batches = match coalesce(working) {
             Ok(b) => b,
             Err(e) => {
@@ -298,19 +330,38 @@ impl ServiceCore {
                         completed_us: req.arrival_us,
                     });
                 }
-                return (
-                    responses.into_iter().map(|r| r.expect("filled")).collect(),
-                    summaries,
-                    close_us,
-                );
+                self.telemetry.on_tick_close(tick, close_us, 0);
+                let out: Vec<Response> =
+                    responses.into_iter().map(|r| r.expect("filled")).collect();
+                for (slot, r) in out.iter().enumerate() {
+                    self.telemetry
+                        .on_response(r, working[slot].payload.precision());
+                }
+                return (out, summaries, close_us);
             }
         };
+        self.telemetry.on_tick_close(tick, close_us, batches.len());
 
         let mut device_free = close_us;
         for (bi, batch) in batches.into_iter().enumerate() {
             let start = device_free;
             let run = self.run_batch(batch);
             let coalesced_with = run.batch.members.len();
+            let precision = if run.batch.key.elem_bytes == 4 { "f32" } else { "f64" };
+            let cids: Vec<u64> = run.batch.members.iter().map(|m| m.id).collect();
+            self.telemetry.on_batch(
+                batch_base + bi,
+                start,
+                run.batch.key.n,
+                run.batch.key.elem_bytes,
+                precision,
+                run.batch.payload.num_systems(),
+                &cids,
+                run.cache_hit,
+                run.isolated,
+                run.kernel_us,
+                &run.devices,
+            );
             let mut elapsed = 0.0; // time into the batch, past `start`
             for (mem, (kernel_us, scatter_us, hit, result)) in
                 run.batch.members.iter().zip(run.outcomes)
@@ -373,20 +424,25 @@ impl ServiceCore {
             summaries.push(BatchSummary {
                 index: batch_base + bi,
                 n: run.batch.key.n,
-                precision: if run.batch.key.elem_bytes == 4 { "f32" } else { "f64" },
+                precision,
                 m_total: run.batch.payload.num_systems(),
-                request_ids: run.batch.members.iter().map(|m| m.id).collect(),
+                request_ids: cids,
                 cache_hit: run.cache_hit,
                 isolated: run.isolated,
                 kernel_us: run.kernel_us,
                 start_us: start,
+                devices: run.devices,
             });
         }
-        (
-            responses.into_iter().map(|r| r.expect("filled")).collect(),
-            summaries,
-            device_free,
-        )
+        let out: Vec<Response> = responses.into_iter().map(|r| r.expect("filled")).collect();
+        // Terminal events + attributed-time gauges, in the exact slot
+        // order the report builder will sum the responses in — the
+        // other half of the bit-exact partition invariant.
+        for (slot, r) in out.iter().enumerate() {
+            self.telemetry
+                .on_response(r, working[slot].payload.precision());
+        }
+        (out, summaries, device_free)
     }
 
     /// Run a whole workload on the modeled clock: requests sorted by
@@ -414,6 +470,7 @@ impl ServiceCore {
                 let req = requests[next].clone();
                 next += 1;
                 if let Err(e) = validate(&req) {
+                    self.telemetry.on_reject(req.id, req.arrival_us, &e);
                     responses.push(reject(&req, e));
                     continue;
                 }
@@ -426,9 +483,12 @@ impl ServiceCore {
                 let req = requests[next].clone();
                 next += 1;
                 if let Err(e) = validate(&req) {
+                    self.telemetry.on_reject(req.id, req.arrival_us, &e);
                     responses.push(reject(&req, e));
                 } else if queue.len() >= depth {
-                    responses.push(reject(&req, ServiceError::Overloaded { depth }));
+                    let e = ServiceError::Overloaded { depth };
+                    self.telemetry.on_reject(req.id, req.arrival_us, &e);
+                    responses.push(reject(&req, e));
                 } else {
                     queue.push(req);
                 }
@@ -452,6 +512,7 @@ impl ServiceCore {
             responses,
             summaries,
             self.cache.stats(),
+            self.cfg.slo,
         )
     }
 }
@@ -484,16 +545,40 @@ fn map_solver_error(e: SimError) -> ServiceError {
     ServiceError::Solve(e.to_string())
 }
 
-/// Execute a plan over a batch on `group`, returning the solution and
-/// the merged report's modeled kernel time.
+/// Execute a plan over a batch on `group`, returning the solution,
+/// the merged report's modeled kernel time, and the per-device shard
+/// execution (synthesized from the whole report for a single-device
+/// run, where the report carries no shard summaries).
 fn run_plan<S: GpuScalar + Send + Sync>(
     group: &DeviceGroup,
     exec: ExecConfig,
     plan: &Arc<ShardedPlan>,
     batch: &SystemBatch<S>,
-) -> Result<(Vec<S>, f64)> {
+) -> Result<(Vec<S>, f64, Vec<DeviceSpan>)> {
+    let m = batch.num_systems();
     let ex = ShardedExecutor::new(group.clone(), exec);
-    ex.run::<S>(plan, batch).map(|(x, report)| (x, report.total_us))
+    ex.run::<S>(plan, batch).map(|(x, report)| {
+        let devices = if report.shards.is_empty() {
+            vec![DeviceSpan {
+                device_index: 0,
+                sys_count: m,
+                kernel_us: report.total_us,
+                completion_us: report.total_us,
+            }]
+        } else {
+            report
+                .shards
+                .iter()
+                .map(|sh| DeviceSpan {
+                    device_index: sh.device_index,
+                    sys_count: sh.sys_count,
+                    kernel_us: sh.kernel_us,
+                    completion_us: sh.completion_us,
+                })
+                .collect()
+        };
+        (x, report.total_us, devices)
+    })
 }
 
 /// Extract one member's systems from the fused payload, restored to

@@ -29,13 +29,19 @@ pub mod core;
 pub mod report;
 pub mod request;
 pub mod service;
+pub mod telemetry;
 
 pub use cache::{certify, config_fingerprint, CacheStats, PlanCache, PlanKey};
 pub use coalesce::{coalesce, CoalesceKey, CoalescedBatch, Member};
 pub use core::{ServiceConfig, ServiceCore};
-pub use report::{validate_service_report_json, BatchSummary, ServiceReport};
+pub use report::{
+    validate_service_report_json, BatchSummary, DeviceSpan, ServiceReport, SloConfig, SloSummary,
+};
 pub use request::{Payload, RequestSpans, Response, ServiceError, Solution, SolveRequest};
 pub use service::{ServiceStats, SolveService, Ticket};
+pub use telemetry::{
+    validate_event_log, validate_request_chains, Event, ReplaySummary, Telemetry, EVENTS_SCHEMA,
+};
 
 use gpu_sim::{DeviceGroup, Result};
 
@@ -49,5 +55,5 @@ pub fn solo_solution(
     payload: &Payload,
 ) -> Result<Solution> {
     let mut core = ServiceCore::new(group.clone(), cfg);
-    core.solve_payload(payload).map(|(x, _, _)| x)
+    core.solve_payload(payload).map(|(x, _, _, _)| x)
 }

@@ -1,11 +1,31 @@
 //! The service report: per-request outcomes, batch summaries,
-//! throughput/latency rollups, a per-request trace, and the JSON
-//! export + schema validator (`tridiag.service_report/v1`).
+//! throughput/latency rollups, SLO accounting, a per-request trace,
+//! and the JSON export + schema validator
+//! (`tridiag.service_report/v1`).
 
+use gpu_sim::json::schema::Check;
 use gpu_sim::{Json, Trace};
 
 use crate::cache::CacheStats;
-use crate::request::{Response, ServiceError};
+use crate::request::{RequestSpans, Response, ServiceError};
+
+/// Per-device execution of one fused batch (one entry per shard for
+/// multi-device groups, a single entry otherwise). `completion_us` is
+/// relative to the batch start, like [`ShardSummary::completion_us`]
+/// is relative to the launch.
+///
+/// [`ShardSummary::completion_us`]: tridiag_gpu::ShardSummary
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpan {
+    /// Device index within the group.
+    pub device_index: usize,
+    /// Systems this device solved.
+    pub sys_count: usize,
+    /// Modeled kernel time on this device (µs).
+    pub kernel_us: f64,
+    /// When this device finished, relative to batch start (µs).
+    pub completion_us: f64,
+}
 
 /// One fused launch the service performed.
 #[derive(Debug, Clone)]
@@ -28,6 +48,50 @@ pub struct BatchSummary {
     pub kernel_us: f64,
     /// When the batch started on the modeled axis.
     pub start_us: f64,
+    /// Per-device shard execution (empty only for isolated fallbacks).
+    pub devices: Vec<DeviceSpan>,
+}
+
+/// Latency-objective configuration for [`SloSummary`] accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// A completed request is "good" when its latency is at most this.
+    pub target_latency_us: f64,
+    /// Width of one accounting bucket on the modeled axis (the
+    /// modeled-time analogue of a "minute" in good/bad-minute SLOs).
+    pub bucket_us: f64,
+    /// Fraction of buckets the error budget allows to go bad.
+    pub budget_frac: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            target_latency_us: 500.0,
+            bucket_us: 1000.0,
+            budget_frac: 0.1,
+        }
+    }
+}
+
+/// What the run did to its latency objective.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SloSummary {
+    /// The configured latency target (µs).
+    pub target_latency_us: f64,
+    /// Completed requests whose latency exceeded the target.
+    pub violations: usize,
+    /// Accounting buckets that saw at least one completion.
+    pub buckets: usize,
+    /// Buckets where every completion met the target.
+    pub good_buckets: usize,
+    /// Buckets with at least one violation.
+    pub bad_buckets: usize,
+    /// The configured error-budget fraction.
+    pub budget_frac: f64,
+    /// Fraction of the error budget consumed
+    /// (`bad / (budget_frac * buckets)`; > 1 means the budget is blown).
+    pub budget_burn: f64,
 }
 
 /// Everything one service run (modeled workload or drained threaded
@@ -55,22 +119,34 @@ pub struct ServiceReport {
     pub p50_us: f64,
     /// 99th-percentile latency over solved requests (µs).
     pub p99_us: f64,
-    /// Per-request span trace on the modeled axis (one track per
-    /// request: queue → coalesce → kernel → scatter).
+    /// Per-kind span totals over every response, accumulated in
+    /// response order — the report half of the exact-partition
+    /// invariant ([`crate::telemetry::Telemetry::cross_check`]
+    /// compares the metric gauges against these bit-exactly).
+    pub attributed: RequestSpans,
+    /// Latency-objective accounting.
+    pub slo: SloSummary,
+    /// Merged trace on the modeled axis: batch spans (tid 0),
+    /// per-device shard tracks, and one track per request with its
+    /// cid-tagged queue → coalesce → kernel → scatter chain.
     pub trace: Trace,
 }
 
-/// Nearest-rank percentile of an ascending-sorted slice.
+/// Nearest-rank percentile of an ascending-sorted slice: the smallest
+/// element with at least `p`% of the samples at or below it
+/// (`sorted[ceil(p/100 · n) - 1]`, rank clamped to `[1, n]`). Empty
+/// input yields 0. Note p99 of fewer than 100 samples is the maximum.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 impl ServiceReport {
-    /// Assemble the rollups and trace from raw outcomes.
+    /// Assemble the rollups, SLO accounting, and trace from raw
+    /// outcomes.
     pub fn build(
         device: String,
         window_us: f64,
@@ -78,6 +154,7 @@ impl ServiceReport {
         responses: Vec<Response>,
         batches: Vec<BatchSummary>,
         cache: CacheStats,
+        slo_cfg: SloConfig,
     ) -> ServiceReport {
         let mut latencies: Vec<f64> = responses
             .iter()
@@ -102,6 +179,20 @@ impl ServiceReport {
             0.0
         };
 
+        // One independent accumulator per kind, added in response
+        // order — the exact sequence Telemetry::on_response replays
+        // into the attributed_us gauges (rejections contribute +0.0,
+        // which is bit-neutral on a non-negative sum).
+        let mut attributed = RequestSpans::default();
+        for r in &responses {
+            attributed.queue_us += r.spans.queue_us;
+            attributed.coalesce_us += r.spans.coalesce_us;
+            attributed.kernel_us += r.spans.kernel_us;
+            attributed.scatter_us += r.spans.scatter_us;
+        }
+
+        let slo = slo_accounting(&responses, slo_cfg);
+
         let mut trace = Trace::new("tridiag-service");
         for batch in &batches {
             trace.span(
@@ -119,13 +210,26 @@ impl ServiceReport {
                     ),
                 ],
             );
+            for d in &batch.devices {
+                trace.span(
+                    format!("batch[{}]/dev{}", batch.index, d.device_index),
+                    "device",
+                    crate::telemetry::DEVICE_TRACK_BASE + d.device_index as u32,
+                    batch.start_us,
+                    d.completion_us,
+                    vec![
+                        ("kernel_us".into(), Json::num(d.kernel_us)),
+                        ("sys_count".into(), Json::num(d.sys_count as f64)),
+                    ],
+                );
+            }
         }
         for r in &responses {
             if r.result.is_err() {
                 continue;
             }
             // Track per request; spans tile [arrival, completion].
-            let tid = (r.id % (u32::MAX as u64 - 1)) as u32 + 1;
+            let tid = crate::telemetry::request_track(r.id);
             let arrival = r.completed_us - r.spans.latency_us();
             let mut cursor = arrival;
             for (name, dur) in [
@@ -140,7 +244,7 @@ impl ServiceReport {
                     tid,
                     cursor,
                     dur,
-                    vec![],
+                    vec![("cid".into(), Json::num(r.id as f64))],
                 );
                 cursor += dur;
             }
@@ -152,6 +256,8 @@ impl ServiceReport {
             queue_depth,
             p50_us: percentile(&latencies, 50.0),
             p99_us: percentile(&latencies, 99.0),
+            attributed,
+            slo,
             responses,
             batches,
             cache,
@@ -243,6 +349,31 @@ impl ServiceReport {
                     ("isolated".into(), Json::Bool(b.isolated)),
                     ("kernel_us".into(), Json::num(b.kernel_us)),
                     ("start_us".into(), Json::num(b.start_us)),
+                    (
+                        "devices".into(),
+                        Json::Arr(
+                            b.devices
+                                .iter()
+                                .map(|d| {
+                                    Json::Obj(vec![
+                                        (
+                                            "device".into(),
+                                            Json::num(d.device_index as f64),
+                                        ),
+                                        (
+                                            "sys_count".into(),
+                                            Json::num(d.sys_count as f64),
+                                        ),
+                                        ("kernel_us".into(), Json::num(d.kernel_us)),
+                                        (
+                                            "completion_us".into(),
+                                            Json::num(d.completion_us),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ])
             })
             .collect();
@@ -273,6 +404,36 @@ impl ServiceReport {
                 ]),
             ),
             (
+                "attributed_us".into(),
+                Json::Obj(vec![
+                    ("queue".into(), Json::num(self.attributed.queue_us)),
+                    ("coalesce".into(), Json::num(self.attributed.coalesce_us)),
+                    ("kernel".into(), Json::num(self.attributed.kernel_us)),
+                    ("scatter".into(), Json::num(self.attributed.scatter_us)),
+                ]),
+            ),
+            (
+                "slo".into(),
+                Json::Obj(vec![
+                    (
+                        "target_latency_us".into(),
+                        Json::num(self.slo.target_latency_us),
+                    ),
+                    ("violations".into(), Json::num(self.slo.violations as f64)),
+                    ("buckets".into(), Json::num(self.slo.buckets as f64)),
+                    (
+                        "good_buckets".into(),
+                        Json::num(self.slo.good_buckets as f64),
+                    ),
+                    (
+                        "bad_buckets".into(),
+                        Json::num(self.slo.bad_buckets as f64),
+                    ),
+                    ("budget_frac".into(), Json::num(self.slo.budget_frac)),
+                    ("budget_burn".into(), Json::num(self.slo.budget_burn)),
+                ]),
+            ),
+            (
                 "cache".into(),
                 Json::Obj(vec![
                     ("lookups".into(), Json::num(self.cache.lookups as f64)),
@@ -287,77 +448,111 @@ impl ServiceReport {
     }
 }
 
+/// Good/bad-bucket SLO accounting over the completed responses.
+fn slo_accounting(responses: &[Response], cfg: SloConfig) -> SloSummary {
+    use std::collections::BTreeMap;
+    let mut violations = 0;
+    // bucket id -> saw a violation
+    let mut buckets: BTreeMap<u64, bool> = BTreeMap::new();
+    for r in responses {
+        if r.result.is_err() {
+            continue;
+        }
+        let violated = r.spans.latency_us() > cfg.target_latency_us;
+        if violated {
+            violations += 1;
+        }
+        let id = if cfg.bucket_us > 0.0 {
+            (r.completed_us / cfg.bucket_us).floor() as u64
+        } else {
+            0
+        };
+        let bad = buckets.entry(id).or_insert(false);
+        *bad = *bad || violated;
+    }
+    let bad_buckets = buckets.values().filter(|&&b| b).count();
+    let total = buckets.len();
+    let budget = cfg.budget_frac * total as f64;
+    SloSummary {
+        target_latency_us: cfg.target_latency_us,
+        violations,
+        buckets: total,
+        good_buckets: total - bad_buckets,
+        bad_buckets,
+        budget_frac: cfg.budget_frac,
+        budget_burn: if budget > 0.0 {
+            bad_buckets as f64 / budget
+        } else if bad_buckets > 0 {
+            f64::INFINITY
+        } else {
+            0.0
+        },
+    }
+}
+
 /// Validate a `tridiag.service_report/v1` document. Returns every
 /// problem found (empty = valid), in the same "collect all findings"
-/// style as the plan and trace validators.
+/// style as the plan and trace validators. Beyond field shapes this
+/// re-derives the cross-sums: totals add up, cache hits + misses =
+/// lookups, per-response span sums match latencies, batch member ids
+/// resolve, the attributed per-kind totals equal the sum over the
+/// responses **exactly** (both sides survive the JSON round-trip
+/// bit-intact), and the SLO bucket counts are coherent.
 pub fn validate_service_report_json(doc: &Json) -> Vec<String> {
-    let mut problems = Vec::new();
-    match doc.get("schema").and_then(Json::as_str) {
-        Some("tridiag.service_report/v1") => {}
-        Some(other) => problems.push(format!("unexpected schema {other:?}")),
-        None => problems.push("missing schema field".into()),
+    let mut c = Check::new(doc);
+    c.schema("tridiag.service_report/v1");
+    c.req_str("device");
+    c.num_ge("window_us", 0.0);
+
+    let mut submitted = -1.0;
+    if let Some(totals) = c.req_obj("totals") {
+        let total_of = |key: &str| totals.get(key).and_then(Json::as_num).unwrap_or(-1.0);
+        submitted = total_of("submitted");
+        let (completed, rejected, failed) = (
+            total_of("completed"),
+            total_of("rejected"),
+            total_of("failed"),
+        );
+        if submitted < 0.0 || completed < 0.0 || rejected < 0.0 || failed < 0.0 {
+            c.problem("totals missing one of submitted/completed/rejected/failed");
+        } else if (completed + rejected + failed - submitted).abs() > 1e-9 {
+            c.problem(format!(
+                "totals do not add up: {completed} + {rejected} + {failed} != {submitted}"
+            ));
+        }
     }
-    let window = doc.get("window_us").and_then(Json::as_num);
-    match window {
-        Some(w) if w >= 0.0 => {}
-        Some(w) => problems.push(format!("negative window_us {w}")),
-        None => problems.push("missing window_us".into()),
-    }
-    let totals = doc.get("totals");
-    let total_of = |key: &str| {
-        totals
-            .and_then(|t| t.get(key))
-            .and_then(Json::as_num)
-            .unwrap_or(-1.0)
-    };
-    let (submitted, completed, rejected, failed) = (
-        total_of("submitted"),
-        total_of("completed"),
-        total_of("rejected"),
-        total_of("failed"),
-    );
-    if submitted < 0.0 || completed < 0.0 || rejected < 0.0 || failed < 0.0 {
-        problems.push("totals missing one of submitted/completed/rejected/failed".into());
-    } else if (completed + rejected + failed - submitted).abs() > 1e-9 {
-        problems.push(format!(
-            "totals do not add up: {completed} + {rejected} + {failed} != {submitted}"
-        ));
-    }
-    if let Some(cache) = doc.get("cache") {
+    if let Some(cache) = c.req_obj("cache") {
         let g = |k: &str| cache.get(k).and_then(Json::as_num).unwrap_or(-1.0);
         if (g("hits") + g("misses") - g("lookups")).abs() > 1e-9 {
-            problems.push("cache counters: hits + misses != lookups".into());
+            c.problem("cache counters: hits + misses != lookups");
         }
-    } else {
-        problems.push("missing cache object".into());
     }
-    let empty: Vec<Json> = Vec::new();
-    let responses = doc
-        .get("responses")
-        .and_then(Json::as_arr)
-        .unwrap_or(&empty);
-    if responses.len() as f64 != submitted && submitted >= 0.0 {
-        problems.push(format!(
+
+    let responses = c.req_arr("responses");
+    if submitted >= 0.0 && responses.len() as f64 != submitted {
+        c.problem(format!(
             "responses array has {} entries but totals.submitted = {submitted}",
             responses.len()
         ));
     }
-    let batches = doc.get("batches").and_then(Json::as_arr).unwrap_or(&empty);
+    let batches = c.req_arr("batches");
     let mut ids = Vec::new();
+    // Replay the attributed sums in response order (same adds as the
+    // report builder, so exact comparison below is sound).
+    let (mut att_q, mut att_c, mut att_k, mut att_s) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
     for (i, r) in responses.iter().enumerate() {
-        let Some(id) = r.get("id").and_then(Json::as_num) else {
-            problems.push(format!("response {i}: missing id"));
+        let mut rc = c.child(r, format!("response {i}: "));
+        let Some(id) = rc.req_num("id") else {
+            c.absorb(rc);
             continue;
         };
         ids.push(id);
         let ok = matches!(r.get("ok"), Some(Json::Bool(true)));
         if ok == r.get("error").is_some() {
-            problems.push(format!(
-                "response {i} (id {id}): ok flag and error field disagree"
-            ));
+            rc.problem(format!("(id {id}): ok flag and error field disagree"));
         }
         if ok && r.get("solution_hash").and_then(Json::as_str).is_none() {
-            problems.push(format!("response {i} (id {id}): ok but no solution_hash"));
+            rc.problem(format!("(id {id}): ok but no solution_hash"));
         }
         let spans = r.get("spans_us");
         let span = |k: &str| {
@@ -366,58 +561,184 @@ pub fn validate_service_report_json(doc: &Json) -> Vec<String> {
                 .and_then(Json::as_num)
                 .unwrap_or(f64::NAN)
         };
-        let sum = span("queue") + span("coalesce") + span("kernel") + span("scatter");
+        let (q, co, k, s) = (span("queue"), span("coalesce"), span("kernel"), span("scatter"));
+        let sum = q + co + k + s;
         let latency = r.get("latency_us").and_then(Json::as_num).unwrap_or(f64::NAN);
         if sum.is_nan() || latency.is_nan() || (sum - latency).abs() > 1e-6 * latency.abs().max(1.0)
         {
-            problems.push(format!(
-                "response {i} (id {id}): spans sum {sum} != latency {latency}"
-            ));
+            rc.problem(format!("(id {id}): spans sum {sum} != latency {latency}"));
+        } else {
+            att_q += q;
+            att_c += co;
+            att_k += k;
+            att_s += s;
         }
         if let Some(b) = r.get("batch").and_then(Json::as_num) {
             if b < 0.0 || b >= batches.len() as f64 {
-                problems.push(format!(
-                    "response {i} (id {id}): batch index {b} out of range ({} batches)",
+                rc.problem(format!(
+                    "(id {id}): batch index {b} out of range ({} batches)",
                     batches.len()
                 ));
             }
         }
+        c.absorb(rc);
+    }
+    if let Some(att) = c.req_obj("attributed_us") {
+        for (key, expected) in [
+            ("queue", att_q),
+            ("coalesce", att_c),
+            ("kernel", att_k),
+            ("scatter", att_s),
+        ] {
+            match att.get(key).and_then(Json::as_num) {
+                Some(v) if v == expected => {}
+                Some(v) => c.problem(format!(
+                    "attributed_us.{key} is {v} but the responses sum to {expected} \
+                     (exact-partition invariant)"
+                )),
+                None => c.problem(format!("attributed_us missing numeric field {key:?}")),
+            }
+        }
     }
     for (i, b) in batches.iter().enumerate() {
-        let members = b
-            .get("request_ids")
-            .and_then(Json::as_arr)
-            .unwrap_or(&empty);
+        let mut bc = c.child(b, format!("batch {i}: "));
+        let members = bc.req_arr("request_ids");
         if members.is_empty() {
-            problems.push(format!("batch {i}: empty request_ids"));
+            bc.problem("empty request_ids");
         }
         for id in members {
             if let Some(id) = id.as_num() {
                 if !ids.contains(&id) {
-                    problems.push(format!("batch {i}: request id {id} has no response"));
+                    bc.problem(format!("request id {id} has no response"));
                 }
             }
         }
         let m_total = b.get("m_total").and_then(Json::as_num).unwrap_or(-1.0);
         if m_total < 1.0 {
-            problems.push(format!("batch {i}: m_total {m_total} < 1"));
+            bc.problem(format!("m_total {m_total} < 1"));
         }
+        let mut device_m = 0.0;
+        let devices = bc.req_arr("devices");
+        for d in devices {
+            device_m += d.get("sys_count").and_then(Json::as_num).unwrap_or(0.0);
+        }
+        if !devices.is_empty() && device_m != m_total {
+            bc.problem(format!(
+                "device sys_counts sum to {device_m} but m_total is {m_total}"
+            ));
+        }
+        c.absorb(bc);
     }
-    if let Some(t) = doc.get("throughput") {
+    if let Some(t) = c.req_obj("throughput") {
         let g = |k: &str| t.get(k).and_then(Json::as_num).unwrap_or(f64::NAN);
         if g("p50_us") > g("p99_us") {
-            problems.push(format!(
-                "p50 {} exceeds p99 {}",
-                g("p50_us"),
-                g("p99_us")
-            ));
+            c.problem(format!("p50 {} exceeds p99 {}", g("p50_us"), g("p99_us")));
         }
         let rps = g("requests_per_s");
         if rps.is_nan() || rps < 0.0 {
-            problems.push("requests_per_s missing or negative".into());
+            c.problem("requests_per_s missing or negative");
         }
-    } else {
-        problems.push("missing throughput object".into());
     }
-    problems
+    if let Some(slo) = c.req_obj("slo") {
+        let g = |k: &str| slo.get(k).and_then(Json::as_num).unwrap_or(-1.0);
+        let (buckets, good, bad) = (g("buckets"), g("good_buckets"), g("bad_buckets"));
+        if buckets < 0.0 || good < 0.0 || bad < 0.0 {
+            c.problem("slo missing one of buckets/good_buckets/bad_buckets");
+        } else if good + bad != buckets {
+            c.problem(format!(
+                "slo buckets do not add up: {good} good + {bad} bad != {buckets}"
+            ));
+        }
+        let violations = g("violations");
+        if submitted >= 0.0 && violations > submitted {
+            c.problem(format!(
+                "slo violations {violations} exceed submitted {submitted}"
+            ));
+        }
+        if g("target_latency_us") <= 0.0 {
+            c.problem("slo target_latency_us must be positive");
+        }
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Pins the nearest-rank convention: rank = ceil(p/100 · n),
+    // clamped to [1, n], 1-indexed.
+    #[test]
+    fn percentile_of_empty_set_is_zero() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        assert_eq!(percentile(&[42.0], 0.0), 42.0);
+        assert_eq!(percentile(&[42.0], 50.0), 42.0);
+        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+        assert_eq!(percentile(&[42.0], 100.0), 42.0);
+    }
+
+    #[test]
+    fn p99_of_fewer_than_100_samples_is_the_maximum() {
+        let v: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 99.0), 50.0);
+        let v: Vec<f64> = (1..=99).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 99.0), 99.0);
+    }
+
+    #[test]
+    fn p99_of_exactly_100_samples_is_the_99th() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 50.0), 50.0);
+    }
+
+    #[test]
+    fn p50_rounds_toward_the_lower_median() {
+        assert_eq!(percentile(&[1.0, 2.0], 50.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 50.0), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 50.0), 2.0);
+    }
+
+    #[test]
+    fn p0_clamps_to_the_minimum() {
+        assert_eq!(percentile(&[3.0, 7.0, 9.0], 0.0), 3.0);
+    }
+
+    #[test]
+    fn slo_buckets_partition_and_burn() {
+        use crate::request::{RequestSpans, Response};
+        let mk = |completed_us: f64, kernel_us: f64| Response {
+            id: 0,
+            result: Ok(crate::request::Solution::F64(vec![1.0])),
+            spans: RequestSpans {
+                queue_us: 0.0,
+                coalesce_us: 0.0,
+                kernel_us,
+                scatter_us: 0.0,
+            },
+            batch: None,
+            coalesced_with: 0,
+            cache_hit: false,
+            completed_us,
+        };
+        let cfg = SloConfig {
+            target_latency_us: 10.0,
+            bucket_us: 100.0,
+            budget_frac: 0.5,
+        };
+        // Bucket 0: one good; bucket 1: one good + one violation.
+        let responses = vec![mk(50.0, 5.0), mk(150.0, 5.0), mk(160.0, 20.0)];
+        let slo = slo_accounting(&responses, cfg);
+        assert_eq!(slo.violations, 1);
+        assert_eq!(slo.buckets, 2);
+        assert_eq!(slo.good_buckets, 1);
+        assert_eq!(slo.bad_buckets, 1);
+        assert_eq!(slo.budget_burn, 1.0);
+    }
 }

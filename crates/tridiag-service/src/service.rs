@@ -25,6 +25,7 @@ use crate::cache::CacheStats;
 use crate::core::{ServiceConfig, ServiceCore};
 use crate::report::BatchSummary;
 use crate::request::{Payload, Response, ServiceError, SolveRequest};
+use crate::telemetry::Telemetry;
 
 /// Counters a running service exposes.
 #[derive(Debug, Clone, Copy, Default)]
@@ -71,6 +72,9 @@ struct State {
     shutdown: bool,
     next_id: u64,
     stats: ServiceStats,
+    /// The worker parks the core's telemetry here on exit so
+    /// [`SolveService::shutdown_with_telemetry`] can hand it out.
+    telemetry: Option<Telemetry>,
 }
 
 struct Shared {
@@ -97,6 +101,7 @@ impl SolveService {
                 shutdown: false,
                 next_id: 0,
                 stats: ServiceStats::default(),
+                telemetry: None,
             }),
             wake: Condvar::new(),
         });
@@ -207,6 +212,19 @@ impl SolveService {
         self.stats()
     }
 
+    /// Like [`shutdown`](SolveService::shutdown), but also hands back
+    /// the worker's accumulated [`Telemetry`] (metrics + event log)
+    /// for offline export and replay validation.
+    pub fn shutdown_with_telemetry(mut self) -> (ServiceStats, Telemetry) {
+        self.begin_shutdown();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        let mut st = self.shared.state.lock().expect("service state poisoned");
+        let telemetry = st.telemetry.take().unwrap_or_default();
+        (st.stats, telemetry)
+    }
+
     fn begin_shutdown(&self) {
         self.shared
             .state
@@ -241,6 +259,8 @@ fn worker_loop(shared: Arc<Shared>, mut core: ServiceCore) {
                 let drained: Vec<_> = st.queue.drain(..).collect();
                 st.stats.rejected += drained.len() as u64;
                 for (req, tx) in drained {
+                    core.telemetry_mut()
+                        .on_reject(req.id, clock, &ServiceError::ShuttingDown);
                     let _ = tx.send(Response {
                         id: req.id,
                         result: Err(ServiceError::ShuttingDown),
@@ -251,6 +271,7 @@ fn worker_loop(shared: Arc<Shared>, mut core: ServiceCore) {
                         completed_us: clock,
                     });
                 }
+                st.telemetry = Some(core.take_telemetry());
                 return;
             }
             let take = if window_us == 0.0 { 1 } else { st.queue.len() };

@@ -16,7 +16,8 @@ use std::sync::Arc;
 use gpu_sim::{DeviceGroup, DeviceSpec};
 use tridiag_core::{generators, SystemBatch, TridiagonalSystem};
 use tridiag_service::{
-    solo_solution, Payload, ServiceConfig, ServiceError, SolveService, Ticket,
+    solo_solution, validate_event_log, validate_request_chains, Payload, ServiceConfig,
+    ServiceError, SolveService, Ticket,
 };
 
 fn zero_head(n: usize) -> TridiagonalSystem<f64> {
@@ -250,6 +251,88 @@ fn degenerate_geometry_is_answered_not_stranded() {
         Err(other) => panic!("expected Ok or a typed solve error, got {other}"),
     }
     service.shutdown();
+}
+
+/// The telemetry acceptance proof, end to end under real concurrency:
+/// 8 client threads (including one singular request that faults its
+/// fused batch), then `shutdown_with_telemetry` hands back the event
+/// log and the replay validator proves every admitted request reached
+/// **exactly one** terminal event — and the merged Chrome trace
+/// derived from the log carries each completed correlation id in
+/// exactly one causally-linked queue → coalesce → kernel → scatter
+/// span chain.
+#[test]
+fn event_log_replay_accounts_for_every_admitted_request() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 5;
+    let service = Arc::new(SolveService::start(group(), service_config(8.0, 256)));
+
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let service = Arc::clone(&service);
+        handles.push(std::thread::spawn(move || {
+            let mut admitted = 0u64;
+            for i in 0..PER_CLIENT {
+                let n = [64usize, 128][i % 2];
+                // Client 0's second request is singular: its fused
+                // batch faults, isolates, and must produce a `fault`
+                // terminal for this cid only.
+                let payload = if c == 0 && i == 1 {
+                    Payload::F64(SystemBatch::from_systems(vec![zero_head(n)]).unwrap())
+                } else {
+                    healthy(1 + i % 2, n, (c * PER_CLIENT + i) as u64)
+                };
+                match service.submit(payload) {
+                    Ok(ticket) => {
+                        let _ = ticket.wait();
+                        admitted += 1;
+                    }
+                    Err(ServiceError::Overloaded { .. }) => {}
+                    Err(e) => panic!("unexpected admission error: {e}"),
+                }
+            }
+            admitted
+        }));
+    }
+    let answered: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .sum();
+
+    let service = Arc::try_unwrap(service).unwrap_or_else(|_| panic!("clients still hold refs"));
+    let (stats, telemetry) = service.shutdown_with_telemetry();
+    assert_eq!(stats.submitted, answered);
+
+    // Replay the serialized event log: lifecycle invariants hold and
+    // the admission/terminal counts match the service's own counters.
+    let summary = validate_event_log(&telemetry.to_jsonl())
+        .unwrap_or_else(|problems| panic!("event log replay failed: {problems:#?}"));
+    assert_eq!(
+        summary.admitted.len() as u64,
+        stats.submitted,
+        "every admitted request must have an admission event"
+    );
+    assert_eq!(summary.completed.len() as u64, stats.completed);
+    assert_eq!(summary.faulted.len() as u64, stats.failed);
+    assert_eq!(summary.faulted.len(), 1, "exactly the singular request faults");
+
+    // The merged trace derived from the log chains every completed
+    // cid exactly once.
+    let trace = telemetry.to_trace("service-stress");
+    let chained = validate_request_chains(&trace.to_chrome_json().to_string())
+        .unwrap_or_else(|problems| panic!("request chains invalid: {problems:#?}"));
+    let mut completed_sorted = summary.completed.clone();
+    completed_sorted.sort_unstable();
+    assert_eq!(
+        chained,
+        completed_sorted,
+        "trace chains must cover exactly the completed cids"
+    );
+
+    // Metrics agree with the counters.
+    assert_eq!(telemetry.metrics.counter("requests", "admitted"), stats.submitted);
+    assert_eq!(telemetry.metrics.counter("requests", "completed"), stats.completed);
+    assert_eq!(telemetry.metrics.counter("requests", "failed"), stats.failed);
 }
 
 /// window = 0 disables coalescing even under a stacked queue: each

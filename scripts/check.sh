@@ -118,4 +118,30 @@ test -s "$tracedir/trace.json"
 cargo run --release -q -p tridiag-cli -- profile --zoo --out "$tracedir/zoo.json" > /dev/null
 test -s "$tracedir/zoo.json"
 
+echo "== telemetry: metrics registry + event-log replay + determinism properties =="
+cargo test -q -p gpu-sim --lib metrics
+cargo test --release -q -p tridiag-service --test telemetry_props
+
+echo "== CLI stats smoke (snapshot tables + every telemetry invariant, exit 2 on violation) =="
+out="$(cargo run --release -q -p tridiag-cli -- stats --requests 24)"
+grep -q "partitions report totals bit-exactly" <<<"$out"
+grep -q "slo: target" <<<"$out"
+cargo run --release -q -p tridiag-cli -- stats --requests 24 --json | grep -q "tridiag.metrics/v1"
+
+echo "== CLI stats negative (injected replay corruptions must exit 2 with findings) =="
+set +e
+cargo run --release -q -p tridiag-cli -- stats --requests 8 --negative > /dev/null 2>&1
+rc=$?
+set -e
+test "$rc" -eq 2
+
+echo "== telemetry artifact sweep (stats --out + serve --telemetry, all schemas validated) =="
+cargo run --release -q -p tridiag-cli -- stats --requests 24 --out "$tracedir/tel" > /dev/null
+test -s "$tracedir/tel/metrics.json"
+test -s "$tracedir/tel/events.jsonl"
+test -s "$tracedir/tel/trace.json"
+out="$(cargo run --release -q -p tridiag-cli -- serve --requests 8 --clients 4 --telemetry "$tracedir/tel_serve")"
+grep -q "answered 8/8 bit-identical to solo" <<<"$out"
+test -s "$tracedir/tel_serve/events.jsonl"
+
 echo "all checks passed"

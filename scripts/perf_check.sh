@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Perf baseline comparison: re-measures the BENCH_solver sweep and the
 # BENCH_service window sweep on the current tree and diffs them against
-# the committed BENCH_solver.json / BENCH_service.json.
+# the committed BENCH_solver.json / BENCH_service.json. Each run also
+# appends its headline numbers to the append-only perf ledger
+# (BENCH_history.jsonl, schema tridiag.bench_history/v1) and prints a
+# report-only diff against the previous ledger entry, so drift that
+# compounds across runs stays visible even when every step is inside
+# tolerance.
 #
 # Report-only by default (always exits 0 so it can run as an advisory
 # CI step); pass --strict to fail on drift beyond the tolerances baked
@@ -18,5 +23,7 @@ if [[ "${1:-}" == "--strict" ]]; then
 fi
 
 cargo build --release -q -p bench
-./target/release/solver_baseline --check BENCH_solver.json "${mode[@]}"
-./target/release/service_throughput --check BENCH_service.json "${mode[@]}"
+./target/release/solver_baseline --check BENCH_solver.json \
+  --history BENCH_history.jsonl "${mode[@]}"
+./target/release/service_throughput --check BENCH_service.json \
+  --history BENCH_history.jsonl "${mode[@]}"
