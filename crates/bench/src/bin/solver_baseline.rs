@@ -19,10 +19,20 @@
 //! appends the run's headline numbers to the append-only perf ledger
 //! (`tridiag.bench_history/v1` JSONL) and prints a report-only diff
 //! against the previous entry. See EXPERIMENTS.md for the schemas.
+//!
+//! Besides the figure sweep, every run produces the layout ablation
+//! table (`"layout"` field, schema_version 2): pure p-Thomas at
+//! N = 512 for M ∈ {64, 256, 1024} in both device layouts, with the
+//! cost model's modeled transaction counts next to the executed
+//! modeled times. The generator asserts the interleaved layout wins
+//! modeled transactions — the claim the layout-aware planner rests on.
 
 use bench::series;
 use gpu_sim::json::{parse, Json};
+use gpu_sim::DeviceSpec;
 use std::process::ExitCode;
+use tridiag_core::Layout;
+use tridiag_gpu::plan::cost;
 
 /// Relative drift in a point's `total_us` that `--check` tolerates.
 const TOLERANCE_FRAC: f64 = 0.005;
@@ -43,6 +53,11 @@ const POINTS: &[(&str, &str, usize, usize)] = &[
     ("fig12", "f32", 256, 512),
     ("fig13", "f32", 16, 1024),
 ];
+
+/// Layout-ablation geometries: N fixed at 512, M spanning the regimes
+/// where coalescing goes from mildly to brutally decisive.
+const LAYOUT_MS: &[usize] = &[64, 256, 1024];
+const LAYOUT_N: usize = 512;
 
 fn measure_point(figure: &str, precision: &str, m: usize, n: usize) -> Json {
     let (total_us, report) = if precision == "f32" {
@@ -77,6 +92,57 @@ fn round6(x: f64) -> f64 {
     (x * 1e6).round() / 1e6
 }
 
+/// Measure one layout-ablation row: pure p-Thomas (`k = 0`) at
+/// `(m, LAYOUT_N)` f64 in both device layouts. Panics if the
+/// interleaved layout fails to win modeled transactions — the claim
+/// the layout-aware planner rests on must hold before the row can
+/// become a committed data point.
+fn measure_layout_row(m: usize) -> Json {
+    eprintln!("  measuring layout f64 M={m} N={LAYOUT_N}…");
+    let spec = DeviceSpec::gtx480();
+    let contig_txn = cost::pthomas_transactions(&spec, Layout::Contiguous, m, LAYOUT_N, 8);
+    let inter_txn = cost::pthomas_transactions(&spec, Layout::Interleaved, m, LAYOUT_N, 8);
+    assert!(
+        inter_txn < contig_txn,
+        "M={m}: interleaved p-Thomas models {inter_txn} global transactions, \
+         contiguous models {contig_txn} — coalescing must win at every table M"
+    );
+    let (contig_us, contig) = series::pthomas_layout_us::<f64>(m, LAYOUT_N, Layout::Contiguous);
+    let (inter_us, inter) = series::pthomas_layout_us::<f64>(m, LAYOUT_N, Layout::Interleaved);
+    assert_eq!(contig.k, 0, "M={m}: contiguous ablation row is not pure p-Thomas");
+    assert_eq!(inter.k, 0, "M={m}: interleaved ablation row is not pure p-Thomas");
+    Json::Obj(vec![
+        ("precision".into(), Json::str("f64")),
+        ("m".into(), Json::num(m as f64)),
+        ("n".into(), Json::num(LAYOUT_N as f64)),
+        ("contiguous_txn".into(), Json::num(contig_txn as f64)),
+        ("interleaved_txn".into(), Json::num(inter_txn as f64)),
+        ("contiguous_us".into(), Json::num(round6(contig_us))),
+        ("interleaved_us".into(), Json::num(round6(inter_us))),
+    ])
+}
+
+/// Print the layout-ablation rows as an aligned comparison table.
+fn print_layout_table(rows: &[Json]) {
+    println!(
+        "{:<6} {:>6} {:>14} {:>15} {:>14} {:>15} {:>8}",
+        "M", "N", "contiguous txn", "interleaved txn", "contiguous us", "interleaved us", "speedup"
+    );
+    for r in rows {
+        let num = |k: &str| r.get(k).and_then(Json::as_num).unwrap_or(f64::NAN);
+        println!(
+            "{:<6} {:>6} {:>14} {:>15} {:>14.3} {:>15.3} {:>7.2}x",
+            num("m"),
+            num("n"),
+            num("contiguous_txn"),
+            num("interleaved_txn"),
+            num("contiguous_us"),
+            num("interleaved_us"),
+            num("contiguous_us") / num("interleaved_us"),
+        );
+    }
+}
+
 fn run_sweep() -> Json {
     let points: Vec<Json> = POINTS
         .iter()
@@ -85,17 +151,22 @@ fn run_sweep() -> Json {
             measure_point(fig, prec, m, n)
         })
         .collect();
+    let layout: Vec<Json> = LAYOUT_MS.iter().map(|&m| measure_layout_row(m)).collect();
+    print_layout_table(&layout);
     Json::Obj(vec![
-        ("schema_version".into(), Json::num(1.0)),
+        ("schema_version".into(), Json::num(2.0)),
         ("device".into(), Json::str("gtx480-simulated")),
         ("points".into(), Json::Arr(points)),
+        ("layout".into(), Json::Arr(layout)),
     ])
 }
 
-/// The ledger's headline metrics: one `(point key, total_us)` pair
-/// per sweep point.
+/// The ledger's headline metrics: one `(point key, total_us)` pair per
+/// sweep point, plus one pair per layout-ablation cell (the layout
+/// dimension's entry in the perf history).
 fn headline(doc: &Json) -> Vec<(String, f64)> {
-    doc.get("points")
+    let mut out: Vec<(String, f64)> = doc
+        .get("points")
         .and_then(Json::as_arr)
         .unwrap_or(&[])
         .iter()
@@ -105,7 +176,25 @@ fn headline(doc: &Json) -> Vec<(String, f64)> {
                 p.get("total_us").and_then(Json::as_num).unwrap_or(f64::NAN),
             )
         })
-        .collect()
+        .collect();
+    for r in doc.get("layout").and_then(Json::as_arr).unwrap_or(&[]) {
+        for (label, field) in [("contiguous", "contiguous_us"), ("interleaved", "interleaved_us")] {
+            out.push((
+                format!("{}/{label}", layout_key(r)),
+                r.get(field).and_then(Json::as_num).unwrap_or(f64::NAN),
+            ));
+        }
+    }
+    out
+}
+
+fn layout_key(r: &Json) -> String {
+    format!(
+        "layout/{}/m{}/n{}",
+        r.get("precision").and_then(Json::as_str).unwrap_or("?"),
+        r.get("m").and_then(Json::as_num).unwrap_or(-1.0),
+        r.get("n").and_then(Json::as_num).unwrap_or(-1.0),
+    )
 }
 
 fn point_key(p: &Json) -> String {
@@ -141,6 +230,22 @@ fn check(baseline_path: &str, report_only: bool, history: Option<&str>) -> ExitC
         "{:<28} {:>12} {:>12} {:>9}",
         "point", "baseline us", "fresh us", "delta"
     );
+    let mut diff_row = |key: &str, fresh_us: f64, base_us: Option<f64>| match base_us {
+        Some(b) if b > 0.0 => {
+            let delta = (fresh_us - b) / b;
+            let flag = if delta.abs() > TOLERANCE_FRAC {
+                regressions += 1;
+                " <-- drift"
+            } else {
+                ""
+            };
+            println!("{key:<28} {b:>12.3} {fresh_us:>12.3} {:>+8.2}%{flag}", delta * 100.0);
+        }
+        _ => {
+            regressions += 1;
+            println!("{key:<28} {:>12} {fresh_us:>12.3} {:>9}", "missing", "new");
+        }
+    };
     for fp in fresh_points {
         let key = point_key(fp);
         let fresh_us = fp.get("total_us").and_then(Json::as_num).unwrap_or(f64::NAN);
@@ -149,21 +254,17 @@ fn check(baseline_path: &str, report_only: bool, history: Option<&str>) -> ExitC
             .find(|bp| point_key(bp) == key)
             .and_then(|bp| bp.get("total_us"))
             .and_then(Json::as_num);
-        match base_us {
-            Some(b) if b > 0.0 => {
-                let delta = (fresh_us - b) / b;
-                let flag = if delta.abs() > TOLERANCE_FRAC {
-                    regressions += 1;
-                    " <-- drift"
-                } else {
-                    ""
-                };
-                println!("{key:<28} {b:>12.3} {fresh_us:>12.3} {:>+8.2}%{flag}", delta * 100.0);
-            }
-            _ => {
-                regressions += 1;
-                println!("{key:<28} {:>12} {fresh_us:>12.3} {:>9}", "missing", "new");
-            }
+        diff_row(&key, fresh_us, base_us);
+    }
+    let base_layout = baseline.get("layout").and_then(Json::as_arr).unwrap_or(&[]);
+    let fresh_layout = fresh.get("layout").and_then(Json::as_arr).unwrap_or(&[]);
+    for fr in fresh_layout {
+        let key = layout_key(fr);
+        let base_row = base_layout.iter().find(|br| layout_key(br) == key);
+        for (label, field) in [("contiguous", "contiguous_us"), ("interleaved", "interleaved_us")] {
+            let fresh_us = fr.get(field).and_then(Json::as_num).unwrap_or(f64::NAN);
+            let base_us = base_row.and_then(|br| br.get(field)).and_then(Json::as_num);
+            diff_row(&format!("{key}/{label}"), fresh_us, base_us);
         }
     }
     if let Some(path) = history {
@@ -179,7 +280,11 @@ fn check(baseline_path: &str, report_only: bool, history: Option<&str>) -> ExitC
         }
         eprintln!("report-only mode: not failing");
     } else {
-        println!("all {} points within {:.1}%", fresh_points.len(), TOLERANCE_FRAC * 100.0);
+        println!(
+            "all {} rows within {:.1}%",
+            fresh_points.len() + 2 * fresh_layout.len(),
+            TOLERANCE_FRAC * 100.0
+        );
     }
     ExitCode::SUCCESS
 }

@@ -5,9 +5,10 @@
 use cpu_ref::CpuModel;
 use gpu_sim::DeviceSpec;
 use tridiag_core::generators::random_batch;
-use tridiag_core::{Scalar, SystemBatch};
+use tridiag_core::transition::TransitionPolicy;
+use tridiag_core::{Layout, Scalar, SystemBatch};
 use tridiag_gpu::buffers::GpuScalar;
-use tridiag_gpu::solver::{GpuSolveReport, GpuTridiagSolver};
+use tridiag_gpu::solver::{GpuSolveReport, GpuSolverConfig, GpuTridiagSolver, LayoutChoice};
 use tridiag_gpu::{davidson, zhang};
 
 /// Residual tolerance used when verifying a timed solve.
@@ -32,6 +33,31 @@ pub fn ours_us<S: GpuScalar>(m: usize, n: usize) -> (f64, GpuSolveReport) {
     assert!(
         resid < tolerance::<S>(),
         "M={m} N={n}: residual {resid} out of tolerance"
+    );
+    (report.total_us, report)
+}
+
+/// Pure p-Thomas (`k = 0`) with the device layout pinned: the layout
+/// ablation series. Contiguous is the strawman addressing (each thread
+/// strides through its own system), interleaved is the paper's
+/// coalesced layout. Verified like every other series.
+pub fn pthomas_layout_us<S: GpuScalar>(m: usize, n: usize, layout: Layout) -> (f64, GpuSolveReport) {
+    let batch = batch_for::<S>(m, n);
+    let solver = GpuTridiagSolver::new(
+        DeviceSpec::gtx480(),
+        GpuSolverConfig {
+            policy: TransitionPolicy::Fixed(0),
+            layout: LayoutChoice::pin(layout),
+            ..Default::default()
+        },
+    );
+    let (x, report) = solver
+        .solve_batch(&batch)
+        .unwrap_or_else(|e| panic!("p-thomas {layout:?} solve failed for M={m} N={n}: {e}"));
+    let resid = batch.max_relative_residual(&x).expect("residual");
+    assert!(
+        resid < tolerance::<S>(),
+        "p-thomas {layout:?} M={m} N={n}: residual {resid} out of tolerance"
     );
     (report.total_us, report)
 }
@@ -92,6 +118,17 @@ mod tests {
         let seq = mkl_seq_us(64, 512, 8);
         let mt = mkl_mt_us(64, 512, 8);
         assert!(mt < seq);
+    }
+
+    #[test]
+    fn layout_ablation_rows_are_pure_pthomas_and_interleaved_wins() {
+        let (contig_us, contig) = pthomas_layout_us::<f64>(64, 512, Layout::Contiguous);
+        let (inter_us, inter) = pthomas_layout_us::<f64>(64, 512, Layout::Interleaved);
+        assert_eq!(contig.k, 0);
+        assert_eq!(inter.k, 0);
+        assert_eq!(contig.plan.layout, Layout::Contiguous);
+        assert_eq!(inter.plan.layout, Layout::Interleaved);
+        assert!(inter_us < contig_us, "coalesced p-Thomas must model faster");
     }
 
     #[test]

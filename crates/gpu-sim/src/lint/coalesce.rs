@@ -70,8 +70,15 @@ pub fn access_transactions(
 }
 
 /// Fewest transactions `lanes` active lanes could cost (perfectly
-/// coalesced, aligned) — the denominator in diagnostics.
-fn coalesced_minimum(lanes: usize, warp_size: usize, elem_bytes: usize, segment_bytes: usize) -> u64 {
+/// coalesced, aligned) — the denominator in diagnostics, and the
+/// memory term of the planner's transaction cost model (an access
+/// that hits this bound exactly is provably coalesced).
+pub fn coalesced_minimum(
+    lanes: usize,
+    warp_size: usize,
+    elem_bytes: usize,
+    segment_bytes: usize,
+) -> u64 {
     let per_full = (warp_size * elem_bytes).div_ceil(segment_bytes) as u64;
     let full = (lanes / warp_size) as u64;
     let rem = lanes % warp_size;

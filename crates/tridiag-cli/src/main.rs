@@ -34,9 +34,9 @@ use args::Args;
 use gpu_sim::{DeviceGroup, DeviceSpec};
 use std::process::ExitCode;
 use tridiag_core::generators::random_batch;
-use tridiag_core::SystemBatch;
+use tridiag_core::{Layout, SystemBatch};
 use tridiag_gpu::autotune;
-use tridiag_gpu::solver::{GpuSolverConfig, GpuTridiagSolver};
+use tridiag_gpu::solver::{GpuSolverConfig, GpuTridiagSolver, LayoutChoice};
 use tridiag_gpu::{davidson, zhang};
 
 fn device_by_name(name: &str) -> Result<DeviceSpec, String> {
@@ -72,18 +72,33 @@ fn device_group(a: &Args, base: &DeviceSpec) -> Result<Option<DeviceGroup>, Stri
         .map_err(|e| format!("--devices {value}: {e}"))
 }
 
+/// Parse `--layout`: the planner's memory-layout choice. `auto`
+/// (default) lets the cost model decide; `contiguous`/`interleaved`
+/// pin the device layout regardless of what the model would pick.
+fn layout_choice(a: &Args) -> Result<LayoutChoice, String> {
+    match a.get("layout").unwrap_or("auto") {
+        "auto" => Ok(LayoutChoice::Auto),
+        "contiguous" => Ok(LayoutChoice::Contiguous),
+        "interleaved" => Ok(LayoutChoice::Interleaved),
+        other => Err(format!(
+            "unknown layout {other:?} (expected auto, contiguous or interleaved)"
+        )),
+    }
+}
+
 fn usage() -> &'static str {
     "usage:\n  tridiag solve   --m M --n N [--engine gpu|cpu|cpu-mt|davidson|zhang] \
      [--precision f64|f32] [--device gtx480|gtx280|c2050] [--devices G] [--seed S] \
+     [--layout auto|contiguous|interleaved] \
      [--verbose] [--sanitize] [--lint] [--check] [--trace FILE] [--json] [--dry-run]\n  \
      tridiag plan    --m M --n N [--precision f64|f32] [--device D] [--devices G] \
-     [--json] [--verify] | --sweep [--device D]\n  \
+     [--layout L] [--json] [--verify] | --sweep [--device D]\n  \
      tridiag verify  --m M --n N [--precision f64|f32] [--device D] [--devices G] \
-     [--json] | --sweep [--device D] | --negative [--device D]\n  \
+     [--layout L] [--json] | --sweep [--device D] | --negative [--device D]\n  \
      tridiag profile --m M --n N [--precision f64|f32] [--device D] [--seed S] \
      [--out FILE] | --zoo [--out FILE]\n  \
      tridiag compare --m M --n N [--seed S]\n  \
-     tridiag tune    --n N [--m-list 1,16,256] [--k-max 8] [--devices G]\n  \
+     tridiag tune    --n N [--m-list 1,16,256] [--k-max 8] [--devices G] [--layout L]\n  \
      tridiag info    [--device gtx480]\n  \
      tridiag lint    [--verbose]\n  \
      tridiag serve   [--requests R] [--clients C] [--window US] [--depth Q] \
@@ -119,6 +134,11 @@ fn usage() -> &'static str {
      \u{20}           (--devices gtx480,gtx280); systems split contiguously \u{b1}1,\n  \
      \u{20}           one worker thread per device, modeled wall-clock = max over\n  \
      \u{20}           devices; homogeneous groups are bit-identical to one device\n\n\
+     layout (gpu engine only):\n  \
+     --layout L  memory-layout choice for the planner: auto (default) lets the\n  \
+     \u{20}           transaction cost model pick, contiguous/interleaved pin the\n  \
+     \u{20}           device layout; solve --layout interleaved also hands the\n  \
+     \u{20}           batch over pre-interleaved, eliding both layout conversions\n\n\
      checks (gpu engine only):\n  \
      --sanitize  run every kernel under the dynamic memory/race sanitizer\n  \
      --lint      record each kernel's affine access plan, run the static lint\n  \
@@ -177,10 +197,16 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
     let json = a.flag("json");
     let dry_run = a.flag("dry-run");
     let verify = a.flag("verify");
+    let layout = layout_choice(a)?;
     let group = device_group(a, &device)?;
     if group.is_some() && engine != "gpu" {
         return Err(Failure::Error(format!(
             "--devices only applies to the gpu engine (got {engine:?})"
+        )));
+    }
+    if layout != LayoutChoice::Auto && engine != "gpu" {
+        return Err(Failure::Error(format!(
+            "--layout only applies to the gpu engine (got {engine:?})"
         )));
     }
     if (sanitize || lint || trace.is_some() || json || dry_run || verify) && engine != "gpu" {
@@ -214,6 +240,7 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
         json,
         dry_run,
         verify,
+        layout,
     };
     if precision == "f32" {
         solve_typed::<f32>(m, n, seed, &opts)
@@ -234,6 +261,7 @@ struct SolveOpts<'a> {
     json: bool,
     dry_run: bool,
     verify: bool,
+    layout: LayoutChoice,
 }
 
 fn solve_typed<S: tridiag_gpu::GpuScalar>(
@@ -253,11 +281,16 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
         json,
         dry_run,
         verify,
+        layout,
     } = *opts;
     if dry_run {
         // Plan only: print k, mapping, kernel sequence and buffer
         // footprint without launching a single kernel.
-        let solver = GpuTridiagSolver::new(device.clone(), GpuSolverConfig::default());
+        let config = GpuSolverConfig {
+            layout,
+            ..Default::default()
+        };
+        let solver = GpuTridiagSolver::new(device.clone(), config);
         if let Some(group) = group {
             let plan = solver
                 .plan_geometry_group(group, m, n, <S as gpu_sim::Elem>::BYTES)
@@ -282,6 +315,14 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
         return Ok(());
     }
     let batch: SystemBatch<S> = random_batch(m, n, seed);
+    // A forced interleaved layout also hands the batch over already
+    // interleaved — the planner then elides both `Convert` steps, so
+    // the solve exercises the conversion-free path end to end.
+    let batch = if layout == LayoutChoice::Interleaved {
+        batch.to_layout(Layout::Interleaved)
+    } else {
+        batch
+    };
     let t0 = std::time::Instant::now();
     let mut sanitizer_line: Option<Result<String, String>> = None;
     let mut lint_line: Option<Result<String, String>> = None;
@@ -295,6 +336,7 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
                     (false, true) => gpu_sim::ExecConfig::planned(),
                     (false, false) => gpu_sim::ExecConfig::default(),
                 },
+                layout,
                 ..Default::default()
             };
             let solver = GpuTridiagSolver::new(device.clone(), config);
@@ -469,9 +511,10 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
 
 /// `tridiag plan` — build and print the declarative solve plan for a
 /// geometry without launching a single kernel. With `--sweep`, plan the
-/// figure-sweep geometries at both precisions, round-trip each plan
-/// through the strict JSON parser, and validate it against the
-/// `tridiag.solve_plan/v1` schema — exit 2 on any drift.
+/// figure-sweep geometries at both precisions (plus both forced
+/// layouts at f64), round-trip each plan through the strict JSON
+/// parser, and validate it against the `tridiag.solve_plan/v2`
+/// schema — exit 2 on any drift.
 fn cmd_plan(a: &Args) -> Result<(), Failure> {
     let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
     if a.flag("sweep") {
@@ -480,7 +523,11 @@ fn cmd_plan(a: &Args) -> Result<(), Failure> {
     let m: usize = a.get_or("m", 64)?;
     let n: usize = a.get_or("n", 1024)?;
     let elem_bytes = if a.get("precision").unwrap_or("f64") == "f32" { 4 } else { 8 };
-    let solver = GpuTridiagSolver::new(device.clone(), GpuSolverConfig::default());
+    let config = GpuSolverConfig {
+        layout: layout_choice(a)?,
+        ..Default::default()
+    };
+    let solver = GpuTridiagSolver::new(device.clone(), config);
     if let Some(group) = device_group(a, &device)? {
         let plan = solver
             .plan_geometry_group(&group, m, n, elem_bytes)
@@ -563,12 +610,48 @@ fn plan_sweep(device: &DeviceSpec) -> Result<(), Failure> {
             }
             planned += 1;
             println!(
-                "m={m:<5} n={n:<6} {prec}: k={} mapping={:?} fused={} kernels=[{}] device_bytes={}",
+                "m={m:<5} n={n:<6} {prec}: k={} mapping={:?} fused={} layout={:?} \
+                 kernels=[{}] device_bytes={}",
                 plan.k,
                 plan.mapping,
                 plan.fused,
+                plan.layout,
                 plan.launches().map(|l| l.name).collect::<Vec<_>>().join(", "),
                 plan.device_bytes(),
+            );
+        }
+    }
+    // Forced-layout plans: the same geometries at f64 with the device
+    // layout pinned both ways — `--layout` must never produce a plan
+    // the v2 schema rejects, whatever the cost model would have chosen.
+    for (label, choice) in [
+        ("contiguous", LayoutChoice::Contiguous),
+        ("interleaved", LayoutChoice::Interleaved),
+    ] {
+        let config = GpuSolverConfig {
+            layout: choice,
+            ..Default::default()
+        };
+        let forced = GpuTridiagSolver::new(device.clone(), config);
+        for &(m, n) in GEOMETRIES {
+            let plan = forced.plan_geometry(m, n, 8).map_err(|e| e.to_string())?;
+            let text = plan.to_json().to_string();
+            match gpu_sim::json::parse(&text) {
+                Ok(doc) => {
+                    for p in tridiag_gpu::validate_plan_json(&doc) {
+                        problems.push(format!("m={m} n={n} f64 --layout {label}: {p}"));
+                    }
+                }
+                Err(e) => problems.push(format!(
+                    "m={m} n={n} f64 --layout {label}: JSON reparse failed: {e}"
+                )),
+            }
+            planned += 1;
+            println!(
+                "m={m:<5} n={n:<6} f64 --layout {label}: k={} layout={:?} kernels=[{}]",
+                plan.k,
+                plan.layout,
+                plan.launches().map(|l| l.name).collect::<Vec<_>>().join(", "),
             );
         }
     }
@@ -637,7 +720,11 @@ fn cmd_verify(a: &Args) -> Result<(), Failure> {
     let m: usize = a.get_or("m", 64)?;
     let n: usize = a.get_or("n", 1024)?;
     let elem_bytes = if a.get("precision").unwrap_or("f64") == "f32" { 4 } else { 8 };
-    let solver = GpuTridiagSolver::new(device.clone(), GpuSolverConfig::default());
+    let config = GpuSolverConfig {
+        layout: layout_choice(a)?,
+        ..Default::default()
+    };
+    let solver = GpuTridiagSolver::new(device.clone(), config);
     if let Some(group) = device_group(a, &device)? {
         let plan = solver
             .plan_geometry_group(&group, m, n, elem_bytes)
@@ -680,11 +767,19 @@ fn cmd_verify(a: &Args) -> Result<(), Failure> {
 fn executed_verify_problems<S: tridiag_gpu::GpuScalar>(
     device: &DeviceSpec,
     group: Option<&DeviceGroup>,
+    config: GpuSolverConfig,
     m: usize,
     n: usize,
 ) -> Result<Vec<String>, String> {
-    let solver = GpuTridiagSolver::new(device.clone(), GpuSolverConfig::default());
+    let solver = GpuTridiagSolver::new(device.clone(), config);
     let batch: SystemBatch<S> = random_batch(m, n, 42);
+    // Forced-interleaved runs hand the batch over pre-interleaved so
+    // the executed plan is the conversion-elided one.
+    let batch = if config.layout == LayoutChoice::Interleaved {
+        batch.to_layout(Layout::Interleaved)
+    } else {
+        batch
+    };
     let (_, report) = match group {
         Some(g) => solver.solve_batch_group(g, &batch),
         None => solver.solve_batch(&batch),
@@ -699,7 +794,9 @@ fn executed_verify_problems<S: tridiag_gpu::GpuScalar>(
 /// The `verify --sweep` smoke: the Fig. 12/13 sweep geometries at both
 /// precisions plus sharded D ∈ {2, 4} points, each plan statically
 /// certified *and* executed with the certificate cross-checked against
-/// the measured stats.
+/// the measured stats. A final section repeats representative points
+/// with the device layout force-pinned both ways (single-device and
+/// sharded), so `--layout` plans carry exact certificates too.
 fn verify_sweep(device: &DeviceSpec) -> Result<(), Failure> {
     const GEOMETRIES: &[(usize, usize)] = &[
         (64, 512),
@@ -725,9 +822,9 @@ fn verify_sweep(device: &DeviceSpec) -> Result<(), Failure> {
                 problems.push(format!("m={m} n={n} {prec}: {f}"));
             }
             let run = if bytes == 4 {
-                executed_verify_problems::<f32>(device, None, m, n)
+                executed_verify_problems::<f32>(device, None, GpuSolverConfig::default(), m, n)
             } else {
-                executed_verify_problems::<f64>(device, None, m, n)
+                executed_verify_problems::<f64>(device, None, GpuSolverConfig::default(), m, n)
             }
             .map_err(Failure::Error)?;
             for p in run {
@@ -762,8 +859,9 @@ fn verify_sweep(device: &DeviceSpec) -> Result<(), Failure> {
             for msg in report.messages() {
                 problems.push(format!("m={m} n={n} f64 D={devices}: {msg}"));
             }
-            let run = executed_verify_problems::<f64>(device, Some(&group), m, n)
-                .map_err(Failure::Error)?;
+            let run =
+                executed_verify_problems::<f64>(device, Some(&group), GpuSolverConfig::default(), m, n)
+                    .map_err(Failure::Error)?;
             for p in run {
                 problems.push(format!("m={m} n={n} f64 D={devices} (executed): {p}"));
             }
@@ -771,6 +869,62 @@ fn verify_sweep(device: &DeviceSpec) -> Result<(), Failure> {
             println!(
                 "m={m:<5} n={n:<6} f64 x{devices}: {} shard(s) certified  {}",
                 report.shards.len(),
+                if problems.len() == before { "prediction=exact" } else { "FINDINGS" },
+            );
+        }
+    }
+    // Forced-layout points: both pinned device layouts, certified AND
+    // executed with the certificate cross-checked against measured
+    // stats, single-device and sharded D ∈ {2, 4}. Interleaved points
+    // execute the conversion-elided plan (the batch is handed over
+    // pre-interleaved).
+    const LAYOUT_POINTS: &[(usize, usize)] = &[(64, 512), (1024, 512), (2048, 64)];
+    for (label, choice) in [
+        ("contiguous", LayoutChoice::Contiguous),
+        ("interleaved", LayoutChoice::Interleaved),
+    ] {
+        let config = GpuSolverConfig {
+            layout: choice,
+            ..Default::default()
+        };
+        let forced = GpuTridiagSolver::new(device.clone(), config);
+        for &(m, n) in LAYOUT_POINTS {
+            let before = problems.len();
+            let solo = forced.plan_geometry(m, n, 8).map_err(|e| e.to_string())?;
+            let report = tridiag_gpu::verify_plan(device, &solo);
+            for f in &report.findings {
+                problems.push(format!("m={m} n={n} f64 --layout {label}: {f}"));
+            }
+            let run = executed_verify_problems::<f64>(device, None, config, m, n)
+                .map_err(Failure::Error)?;
+            for p in run {
+                problems.push(format!("m={m} n={n} f64 --layout {label} (executed): {p}"));
+            }
+            verified += 1;
+            for &devices in &[2usize, 4] {
+                let group = DeviceGroup::homogeneous(device.clone(), devices)
+                    .map_err(|e| e.to_string())?;
+                let sharded = forced
+                    .plan_geometry_group(&group, m, n, 8)
+                    .map_err(|e| e.to_string())?;
+                let sreport = tridiag_gpu::verify_sharded_plan(&group, &sharded);
+                for msg in sreport.messages() {
+                    problems.push(format!(
+                        "m={m} n={n} f64 D={devices} --layout {label}: {msg}"
+                    ));
+                }
+                let run = executed_verify_problems::<f64>(device, Some(&group), config, m, n)
+                    .map_err(Failure::Error)?;
+                for p in run {
+                    problems.push(format!(
+                        "m={m} n={n} f64 D={devices} --layout {label} (executed): {p}"
+                    ));
+                }
+                verified += 1;
+            }
+            println!(
+                "m={m:<5} n={n:<6} f64 --layout {label}: layout={:?} D=1,2,4  {}",
+                solo.layout,
                 if problems.len() == before { "prediction=exact" } else { "FINDINGS" },
             );
         }
@@ -1156,16 +1310,19 @@ fn cmd_tune(a: &Args) -> Result<(), String> {
         .get_list("m-list")?
         .unwrap_or_else(|| vec![1, 16, 64, 256, 1024]);
     let device = device_by_name(a.get("device").unwrap_or("gtx480"))?;
+    let layout = layout_choice(a)?;
     let points = if let Some(group) = device_group(a, &device)? {
         println!(
             "tuning k on simulated {} ({} device(s)) at N = {n}…",
             group.label(),
             group.len()
         );
-        autotune::tune_sharded::<f64>(&group, &m_values, n, k_max).map_err(|e| e.to_string())?
+        autotune::tune_sharded_with_layout::<f64>(&group, &m_values, n, k_max, layout)
+            .map_err(|e| e.to_string())?
     } else {
         println!("tuning k on simulated {} at N = {n}…", device.name);
-        autotune::tune::<f64>(&device, &m_values, n, k_max).map_err(|e| e.to_string())?
+        autotune::tune_with_layout::<f64>(&device, &m_values, n, k_max, layout)
+            .map_err(|e| e.to_string())?
     };
     println!("{:>8} {:>8} {:>12} {:>12}", "M", "best k", "best [us]", "k=0 [us]");
     for p in points {

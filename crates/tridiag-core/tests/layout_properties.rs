@@ -1,0 +1,66 @@
+//! Property tests for the layout dimension: `Layout::index` is a
+//! bijection onto `0..m*n` for both layouts, and `to_layout`
+//! round-trips are bit-exact identities.
+
+use proptest::prelude::*;
+use tridiag_core::generators::random_batch;
+use tridiag_core::Layout;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Layout::index` hits every flat slot exactly once — injective on
+    /// the `(sys, row)` grid and onto `0..m*n` — for both layouts.
+    #[test]
+    fn index_is_a_bijection(m in 1usize..80, n in 1usize..80) {
+        for layout in [Layout::Contiguous, Layout::Interleaved] {
+            let mut seen = vec![false; m * n];
+            for sys in 0..m {
+                for row in 0..n {
+                    let i = layout.index(sys, row, m, n);
+                    prop_assert!(i < m * n, "{layout:?}: index {i} out of range");
+                    prop_assert!(
+                        !seen[i],
+                        "{layout:?}: ({sys}, {row}) collides at flat index {i}"
+                    );
+                    seen[i] = true;
+                }
+            }
+        }
+    }
+
+    /// The two layouts are inverse permutations of each other:
+    /// `Interleaved::index(sys, row)` and `Contiguous::index(sys, row)`
+    /// describe the same cell, so chasing one through the other's
+    /// inverse returns the original coordinates.
+    #[test]
+    fn layouts_are_inverse_permutations(m in 1usize..80, n in 1usize..80, sys_seed in any::<usize>(), row_seed in any::<usize>()) {
+        let sys = sys_seed % m;
+        let row = row_seed % n;
+        let i = Layout::Interleaved.index(sys, row, m, n);
+        prop_assert_eq!((i % m, i / m), (sys, row));
+        let c = Layout::Contiguous.index(sys, row, m, n);
+        prop_assert_eq!((c / n, c % n), (sys, row));
+    }
+
+    /// `to_layout` there-and-back is the bit-exact identity, and a
+    /// conversion preserves every `(sys, row)` cell.
+    #[test]
+    fn to_layout_round_trips(m in 1usize..48, n in 1usize..48, seed in any::<u64>()) {
+        let contig = random_batch::<f64>(m, n, seed);
+        prop_assert_eq!(contig.layout(), Layout::Contiguous);
+        let inter = contig.to_layout(Layout::Interleaved);
+        prop_assert_eq!(inter.layout(), Layout::Interleaved);
+        for sys in 0..m {
+            for row in 0..n {
+                prop_assert_eq!(contig.row(sys, row), inter.row(sys, row),
+                    "cell ({}, {}) drifted in conversion", sys, row);
+            }
+        }
+        let back = inter.to_layout(Layout::Contiguous);
+        prop_assert_eq!(&back, &contig, "round trip is not the identity");
+        // Same-layout conversion is a plain clone.
+        prop_assert_eq!(&contig.to_layout(Layout::Contiguous), &contig);
+        prop_assert_eq!(&inter.to_layout(Layout::Interleaved), &inter);
+    }
+}

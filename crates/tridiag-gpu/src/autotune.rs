@@ -12,7 +12,7 @@ use crate::buffers::GpuScalar;
 use crate::executor::PlanExecutor;
 use crate::plan::{ShardedPlan, SolvePlan};
 use crate::sharded::ShardedExecutor;
-use crate::solver::{GpuSolverConfig, MappingVariant};
+use crate::solver::{GpuSolverConfig, LayoutChoice, MappingVariant};
 use gpu_sim::{DeviceGroup, DeviceSpec, Result};
 use tridiag_core::generators::random_batch;
 use tridiag_core::transition::{max_k_for, TransitionPolicy};
@@ -39,10 +39,12 @@ fn candidate_plan(
     n: usize,
     k: u32,
     elem_bytes: usize,
+    layout: LayoutChoice,
 ) -> Result<SolvePlan> {
     let config = GpuSolverConfig {
         policy: TransitionPolicy::Fixed(k),
         mapping: MappingVariant::Auto,
+        layout,
         ..Default::default()
     };
     SolvePlan::build(spec, &config, m, n, elem_bytes)
@@ -56,7 +58,7 @@ pub fn modeled_time_for_k<S: GpuScalar>(
     k: u32,
     seed: u64,
 ) -> Result<f64> {
-    let plan = candidate_plan(spec, m, n, k, <S as gpu_sim::Elem>::BYTES)?;
+    let plan = candidate_plan(spec, m, n, k, <S as gpu_sim::Elem>::BYTES, LayoutChoice::Auto)?;
     let batch = random_batch::<S>(m, n, seed);
     let mut executor = PlanExecutor::new(spec.clone(), plan.config.exec);
     let (_, report) = executor.run(&plan, &batch)?;
@@ -73,12 +75,27 @@ pub fn tune<S: GpuScalar>(
     n: usize,
     k_max: u32,
 ) -> Result<Vec<TunePoint>> {
+    tune_with_layout::<S>(spec, m_values, n, k_max, LayoutChoice::Auto)
+}
+
+/// [`tune`] with the planner's layout choice pinned. Forcing
+/// `Interleaved` collapses the search (every `k` candidate is the pure
+/// p-Thomas plan, so `best_k` is always 0); forcing `Contiguous` ranks
+/// the uncoalesced strawman at `k = 0` against the hybrid pipelines.
+pub fn tune_with_layout<S: GpuScalar>(
+    spec: &DeviceSpec,
+    m_values: &[usize],
+    n: usize,
+    k_max: u32,
+    layout: LayoutChoice,
+) -> Result<Vec<TunePoint>> {
     let mut out = Vec::with_capacity(m_values.len());
     for &m in m_values {
         let cap = max_k_for(n).min(k_max);
         let candidates: Vec<(u32, SolvePlan)> = (0..=cap)
             .map(|k| {
-                candidate_plan(spec, m, n, k, <S as gpu_sim::Elem>::BYTES).map(|p| (k, p))
+                candidate_plan(spec, m, n, k, <S as gpu_sim::Elem>::BYTES, layout)
+                    .map(|p| (k, p))
             })
             .collect::<Result<_>>()?;
         let batch = random_batch::<S>(m, n, 42 + m as u64);
@@ -120,6 +137,18 @@ pub fn tune_sharded<S: GpuScalar + Send + Sync>(
     n: usize,
     k_max: u32,
 ) -> Result<Vec<TunePoint>> {
+    tune_sharded_with_layout::<S>(group, m_values, n, k_max, LayoutChoice::Auto)
+}
+
+/// [`tune_sharded`] with the planner's layout choice pinned into every
+/// shard (see [`tune_with_layout`] for the single-device semantics).
+pub fn tune_sharded_with_layout<S: GpuScalar + Send + Sync>(
+    group: &DeviceGroup,
+    m_values: &[usize],
+    n: usize,
+    k_max: u32,
+    layout: LayoutChoice,
+) -> Result<Vec<TunePoint>> {
     let mut out = Vec::with_capacity(m_values.len());
     for &m in m_values {
         let cap = max_k_for(n).min(k_max);
@@ -129,6 +158,7 @@ pub fn tune_sharded<S: GpuScalar + Send + Sync>(
                 let config = GpuSolverConfig {
                     policy: TransitionPolicy::Fixed(k),
                     mapping: MappingVariant::Auto,
+                    layout,
                     ..Default::default()
                 };
                 ShardedPlan::build(group, &config, m, n, bytes).map(|p| (k, p))

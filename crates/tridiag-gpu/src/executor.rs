@@ -189,11 +189,21 @@ impl PlanExecutor {
             match step {
                 Step::Convert { to } => host = Some(batch.to_layout(*to)),
                 Step::Upload { slot, source } => {
-                    let src = host.as_ref().ok_or_else(|| {
-                        SimError::InvalidPlan(
-                            "upload step before any layout conversion".into(),
-                        )
-                    })?;
+                    // Elided plans (host layout == device layout) have
+                    // no Convert step: the batch uploads as-is, but
+                    // only if it really is in the plan's device layout.
+                    let src = match host.as_ref() {
+                        Some(converted) => converted,
+                        None if batch.layout() == plan.layout => batch,
+                        None => {
+                            return Err(SimError::InvalidPlan(format!(
+                                "plan elides layout conversion but the batch is \
+                                 {:?}, not the device layout {:?}",
+                                batch.layout(),
+                                plan.layout
+                            )))
+                        }
+                    };
                     let (a, b, c, d) = src.arrays();
                     let arr = match source {
                         crate::plan::CoefArray::Lower => a,

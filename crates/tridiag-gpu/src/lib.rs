@@ -35,7 +35,8 @@ pub use plan::{
 };
 pub use sharded::ShardedExecutor;
 pub use solver::{
-    GpuSolveReport, GpuSolverConfig, GpuTridiagSolver, MappingVariant, ShardSummary,
+    CostModel, GpuSolveReport, GpuSolverConfig, GpuTridiagSolver, LayoutChoice, MappingVariant,
+    ShardSummary,
 };
 pub use verify::{
     verify_plan, verify_sharded_plan, DynamicPlanStats, FindingKind, PlanFinding, PlanPrediction,

@@ -23,11 +23,13 @@
 use crate::consts::{REGS_FUSED, REGS_PTHOMAS, REGS_TILED_PCR};
 use crate::kernels::p_thomas::AddrMap;
 use crate::kernels::tiled_pcr::{StreamSlot, TiledPcrKernel};
-use crate::solver::{GpuSolverConfig, MappingVariant};
+use crate::solver::{CostModel, GpuSolverConfig, LayoutChoice, MappingVariant};
 use gpu_sim::json::schema::Check;
 use gpu_sim::{DeviceGroup, DeviceSpec, Json, Result, SimError};
-use tridiag_core::transition::{choose_k, max_k_for, TransitionPolicy};
+use tridiag_core::transition::TransitionPolicy;
 use tridiag_core::Layout;
+
+pub mod cost;
 
 /// Index into [`SolvePlan::buffers`] — the plan-level name of a device
 /// buffer (the executor maps each slot to a concrete `BufId`).
@@ -258,6 +260,10 @@ pub struct SolvePlan {
     pub fused: bool,
     /// Device-side layout of the coefficient buffers.
     pub layout: Layout,
+    /// Layout the caller's batch arrives (and leaves) in. When it
+    /// equals [`SolvePlan::layout`] the `Convert`/`ConvertBack` steps
+    /// are elided — the batch is uploaded as-is.
+    pub host_layout: Layout,
     /// Buffers the plan creates, indexed by slot.
     pub buffers: Vec<BufferDecl>,
     /// The step sequence.
@@ -279,46 +285,6 @@ pub fn max_k_for_shared(spec: &DeviceSpec, c: usize, bytes: usize) -> u32 {
     k
 }
 
-/// Resolve [`MappingVariant::Auto`]: partition lone large systems
-/// across block groups so more SMs engage; otherwise one block per
-/// system. An explicit multi-system mapping whose shared-memory
-/// footprint does not fit falls back to block-per-system.
-fn resolve_mapping(
-    spec: &DeviceSpec,
-    requested: MappingVariant,
-    m: usize,
-    n: usize,
-    k: u32,
-    st: usize,
-    elem_bytes: usize,
-) -> MappingVariant {
-    match requested {
-        MappingVariant::Auto => {
-            let want_blocks = 2 * spec.num_sms as usize;
-            if m < want_blocks {
-                // Partition each system, but keep partitions at least
-                // 4 sub-tiles long so halo overhead stays negligible.
-                let g_max_useful = (n / (4 * st)).max(1);
-                let g = want_blocks.div_ceil(m).min(g_max_useful);
-                if g > 1 {
-                    return MappingVariant::BlockGroupPerSystem(g);
-                }
-            }
-            MappingVariant::BlockPerSystem
-        }
-        explicit => {
-            if let MappingVariant::MultiSystemPerBlock(q) = explicit {
-                // Validate the footprint fits shared memory.
-                let elems = TiledPcrKernel::shared_elems_per_slot(k, st) * q;
-                if elems * elem_bytes > spec.max_shared_per_block {
-                    return MappingVariant::BlockPerSystem;
-                }
-            }
-            explicit
-        }
-    }
-}
-
 impl SolvePlan {
     /// Plan a solve of `m` systems of `n` rows at `elem_bytes` scalar
     /// width on `spec` under `config`. Pure: no device state is touched.
@@ -330,6 +296,26 @@ impl SolvePlan {
     pub fn build(
         spec: &DeviceSpec,
         config: &GpuSolverConfig,
+        m: usize,
+        n: usize,
+        elem_bytes: usize,
+    ) -> Result<SolvePlan> {
+        Self::build_for_host(spec, config, Layout::Contiguous, m, n, elem_bytes)
+    }
+
+    /// [`SolvePlan::build`] for a batch that arrives in `host_layout`.
+    ///
+    /// The pipeline decisions are identical — `host_layout` is not a
+    /// preference, it is a fact about the caller's buffers — but when
+    /// it matches the decided device layout the `Convert` and
+    /// `ConvertBack` steps are elided: the coefficient arrays upload
+    /// as-is and the solution downloads straight into the caller's
+    /// layout. [`SolvePlan::build`] is the `Contiguous` special case
+    /// (what [`tridiag_core::SystemBatch::from_systems`] produces).
+    pub fn build_for_host(
+        spec: &DeviceSpec,
+        config: &GpuSolverConfig,
+        host_layout: Layout,
         m: usize,
         n: usize,
         elem_bytes: usize,
@@ -348,14 +334,16 @@ impl SolvePlan {
                 )))
             }
         };
-        let c = config.sub_tile_scale.max(1);
-        let mut k = choose_k(config.policy, m, n)
-            .min(max_k_for_shared(spec, c, elem_bytes))
-            .min(max_k_for(n));
-        // 2^k threads per group must fit a block.
-        while k > 0 && (1u32 << k) > spec.max_threads_per_block {
-            k -= 1;
-        }
+        // Every pipeline decision — layout, mapping, fusion, k — is
+        // made in one place, by the cost module.
+        let decision = cost::decide(spec, config, m, n, elem_bytes);
+        let k = decision.k;
+        // Elide conversions when the batch arrives already interleaved
+        // and the pipeline wants it interleaved. The hybrid pipeline's
+        // contiguous->contiguous Convert is a no-op but is *kept*: the
+        // legacy plan shapes are pinned byte-exactly by the golden
+        // snapshots, and the executor's no-op clone costs nothing.
+        let elide = host_layout == decision.layout && host_layout == Layout::Interleaved;
 
         let total = m * n;
         let mut buffers: Vec<BufferDecl> = Vec::new();
@@ -376,11 +364,13 @@ impl SolvePlan {
             slot
         };
 
-        let (layout, mapping, fused) = if k == 0 {
-            // ---- pure p-Thomas on the interleaved batch -------------
-            steps.push(Step::Convert {
-                to: Layout::Interleaved,
-            });
+        if k == 0 {
+            // ---- pure p-Thomas on the device-layout batch -----------
+            if !elide {
+                steps.push(Step::Convert {
+                    to: decision.layout,
+                });
+            }
             let a = create(&mut buffers, &mut steps, "a", Some(CoefArray::Lower));
             let b = create(&mut buffers, &mut steps, "b", Some(CoefArray::Diag));
             let cc = create(&mut buffers, &mut steps, "c", Some(CoefArray::Upper));
@@ -388,6 +378,12 @@ impl SolvePlan {
             let x = create(&mut buffers, &mut steps, "x", None);
             let cp = create(&mut buffers, &mut steps, "c_prime", None);
             let dp = create(&mut buffers, &mut steps, "d_prime", None);
+            let map = match decision.layout {
+                Layout::Interleaved => AddrMap::Interleaved { m, n },
+                // The uncoalesced strawman: one thread per system over
+                // system-major rows (kept for the layout ablation).
+                Layout::Contiguous => AddrMap::Contiguous { m, n },
+            };
             steps.push(Step::Launch(LaunchStep {
                 name: "p_thomas",
                 grid_blocks: m.div_ceil(config.pthomas_block as usize),
@@ -401,27 +397,30 @@ impl SolvePlan {
                     c_prime: cp,
                     d_prime: dp,
                     x,
-                    map: AddrMap::Interleaved { m, n },
+                    map,
                 },
             }));
             steps.push(Step::Download { slot: x });
-            steps.push(Step::ConvertBack {
-                from: Layout::Interleaved,
-            });
-            (Layout::Interleaved, MappingVariant::BlockPerSystem, false)
+            if !elide {
+                steps.push(Step::ConvertBack {
+                    from: decision.layout,
+                });
+            }
         } else {
-            steps.push(Step::Convert {
-                to: Layout::Contiguous,
-            });
+            if !elide {
+                steps.push(Step::Convert {
+                    to: Layout::Contiguous,
+                });
+            }
             let a = create(&mut buffers, &mut steps, "a", Some(CoefArray::Lower));
             let b = create(&mut buffers, &mut steps, "b", Some(CoefArray::Diag));
             let cc = create(&mut buffers, &mut steps, "c", Some(CoefArray::Upper));
             let d = create(&mut buffers, &mut steps, "d", Some(CoefArray::Rhs));
             let x = create(&mut buffers, &mut steps, "x", None);
+            let c = config.sub_tile_scale.max(1);
             let st = c << k;
-            let mapping = resolve_mapping(spec, config.mapping, m, n, k, st, elem_bytes);
-            let use_fused = config.fused && matches!(mapping, MappingVariant::BlockPerSystem);
-            if use_fused {
+            let mapping = decision.mapping;
+            if decision.fused {
                 let cp = create(&mut buffers, &mut steps, "c_prime", None);
                 let dp = create(&mut buffers, &mut steps, "d_prime", None);
                 steps.push(Step::Launch(LaunchStep {
@@ -503,11 +502,12 @@ impl SolvePlan {
                 }));
             }
             steps.push(Step::Download { slot: x });
-            steps.push(Step::ConvertBack {
-                from: Layout::Contiguous,
-            });
-            (Layout::Contiguous, mapping, use_fused)
-        };
+            if !elide {
+                steps.push(Step::ConvertBack {
+                    from: Layout::Contiguous,
+                });
+            }
+        }
 
         let plan = SolvePlan {
             device: spec.name,
@@ -517,9 +517,10 @@ impl SolvePlan {
             elem_bytes,
             precision,
             k,
-            mapping,
-            fused,
-            layout,
+            mapping: decision.mapping,
+            fused: decision.fused,
+            layout: decision.layout,
+            host_layout,
             buffers,
             steps,
         };
@@ -644,11 +645,20 @@ impl SolvePlan {
             "plan: m={} n={} {} on {}",
             self.m, self.n, self.precision, self.device
         );
-        let _ = writeln!(
+        // The legacy line stays byte-identical (pinned by the golden
+        // snapshots); non-default host layout / cost model append.
+        let _ = write!(
             s,
             "  k={} mapping={:?} fused={} layout={:?}",
             self.k, self.mapping, self.fused, self.layout
         );
+        if self.host_layout != Layout::Contiguous {
+            let _ = write!(s, " host={:?}", self.host_layout);
+        }
+        if self.config.cost != CostModel::Legacy {
+            let _ = write!(s, " cost={:?}", self.config.cost);
+        }
+        let _ = writeln!(s);
         let _ = writeln!(
             s,
             "  buffers: {} ({} elems, {} bytes device footprint)",
@@ -708,7 +718,7 @@ impl SolvePlan {
     }
 
     /// Serialize the plan as a JSON object (schema
-    /// `tridiag.solve_plan/v1`); [`validate_plan_json`] checks the
+    /// `tridiag.solve_plan/v2`); [`validate_plan_json`] checks the
     /// shape.
     pub fn to_json(&self) -> Json {
         let buffers = self
@@ -779,6 +789,14 @@ impl SolvePlan {
             ("mapping".into(), Json::str(format!("{:?}", self.mapping))),
             ("fused".into(), Json::Bool(self.fused)),
             ("layout".into(), Json::str(format!("{:?}", self.layout))),
+            (
+                "host_layout".into(),
+                Json::str(format!("{:?}", self.host_layout)),
+            ),
+            (
+                "cost_model".into(),
+                Json::str(format!("{:?}", self.config.cost)),
+            ),
             ("device_elems".into(), Json::num(self.device_elems() as f64)),
             ("device_bytes".into(), Json::num(self.device_bytes() as f64)),
             ("buffers".into(), Json::Arr(buffers)),
@@ -787,11 +805,17 @@ impl SolvePlan {
     }
 }
 
-/// Schema identifier emitted by [`SolvePlan::to_json`].
-pub const PLAN_SCHEMA: &str = "tridiag.solve_plan/v1";
+/// Schema identifier emitted by [`SolvePlan::to_json`]. `v2` added
+/// the `host_layout` and `cost_model` dimensions; `v1` documents are
+/// rejected outright (the schema string is matched exactly).
+pub const PLAN_SCHEMA: &str = "tridiag.solve_plan/v2";
+
+/// Cost-model names accepted by the plan validators (the `Debug`
+/// renderings of [`CostModel`]).
+const COST_MODELS: &[&str] = &["Legacy", "Transactions"];
 
 /// Validate a parsed plan document against the
-/// `tridiag.solve_plan/v1` schema. Returns every problem found (empty
+/// `tridiag.solve_plan/v2` schema. Returns every problem found (empty
 /// = valid). Used by the CLI `plan` smoke to catch schema drift.
 pub fn validate_plan_json(doc: &Json) -> Vec<String> {
     const LAYOUTS: &[&str] = &["Contiguous", "Interleaved"];
@@ -799,6 +823,8 @@ pub fn validate_plan_json(doc: &Json) -> Vec<String> {
     c.schema(PLAN_SCHEMA);
     c.req_strs(&["device", "precision", "mapping"]);
     c.str_enum("layout", LAYOUTS);
+    c.str_enum("host_layout", LAYOUTS);
+    c.str_enum("cost_model", COST_MODELS);
     c.req_uints(&["m", "n", "elem_bytes", "k", "device_elems", "device_bytes"]);
     c.req_bool("fused");
     let bufs = c.req_arr("buffers");
@@ -998,6 +1024,12 @@ impl ShardedPlan {
             policy: TransitionPolicy::Fixed(reference.k),
             mapping: reference.mapping,
             fused: reference.fused,
+            // Layout is pinned too (the cost model may choose
+            // differently at the shard's smaller m), and the cost
+            // model switched to Legacy so the pinned decisions replay
+            // verbatim instead of being re-scored.
+            cost: CostModel::Legacy,
+            layout: LayoutChoice::pin(reference.layout),
             ..*config
         };
         let shards = ranges
@@ -1084,7 +1116,7 @@ impl ShardedPlan {
         s
     }
 
-    /// Serialize as a JSON object (schema `tridiag.sharded_plan/v1`);
+    /// Serialize as a JSON object (schema `tridiag.sharded_plan/v2`);
     /// [`validate_sharded_plan_json`] checks the shape.
     pub fn to_json(&self) -> Json {
         let shards = self
@@ -1114,6 +1146,14 @@ impl ShardedPlan {
                 Json::str(format!("{:?}", self.reference.mapping)),
             ),
             ("fused".into(), Json::Bool(self.reference.fused)),
+            (
+                "layout".into(),
+                Json::str(format!("{:?}", self.reference.layout)),
+            ),
+            (
+                "cost_model".into(),
+                Json::str(format!("{:?}", self.reference.config.cost)),
+            ),
             ("device_bytes".into(), Json::num(self.device_bytes() as f64)),
             ("reference".into(), self.reference.to_json()),
             ("shards".into(), Json::Arr(shards)),
@@ -1121,11 +1161,13 @@ impl ShardedPlan {
     }
 }
 
-/// Schema identifier emitted by [`ShardedPlan::to_json`].
-pub const SHARDED_PLAN_SCHEMA: &str = "tridiag.sharded_plan/v1";
+/// Schema identifier emitted by [`ShardedPlan::to_json`]. `v2` added
+/// the pinned `layout` and `cost_model` dimensions; `v1` documents
+/// are rejected outright.
+pub const SHARDED_PLAN_SCHEMA: &str = "tridiag.sharded_plan/v2";
 
 /// Validate a parsed sharded-plan document against the
-/// `tridiag.sharded_plan/v1` schema: field shapes, the embedded
+/// `tridiag.sharded_plan/v2` schema: field shapes, the embedded
 /// reference and per-shard plans (via [`validate_plan_json`]), and the
 /// partition invariants (contiguous full coverage, balance within 1).
 /// Returns every problem found (empty = valid).
@@ -1133,6 +1175,8 @@ pub fn validate_sharded_plan_json(doc: &Json) -> Vec<String> {
     let mut c = Check::new(doc);
     c.schema(SHARDED_PLAN_SCHEMA);
     c.req_strs(&["precision", "mapping"]);
+    c.str_enum("layout", &["Contiguous", "Interleaved"]);
+    c.str_enum("cost_model", COST_MODELS);
     c.req_uints(&["m", "n", "elem_bytes", "devices", "k", "device_bytes"]);
     c.req_bool("fused");
     if let Some(reference) = c.req_obj("reference") {
@@ -1380,6 +1424,184 @@ mod tests {
             }
         }
         assert!(!validate_plan_json(&doc).is_empty());
+    }
+
+    #[test]
+    fn json_validator_rejects_v1_documents() {
+        // v1 documents (no host_layout/cost_model, old schema string)
+        // must fail strictly, not be absorbed.
+        let plan = gtx480_plan(64, 512, 8);
+        let mut doc = plan.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "host_layout" && k != "cost_model");
+            for (k, v) in fields.iter_mut() {
+                if k == "schema" {
+                    *v = Json::str("tridiag.solve_plan/v1");
+                }
+            }
+        }
+        let problems = validate_plan_json(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("schema")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("host_layout")),
+            "{problems:?}"
+        );
+
+        let group = DeviceGroup::homogeneous(DeviceSpec::gtx480(), 2).unwrap();
+        let sp = ShardedPlan::build(&group, &GpuSolverConfig::default(), 64, 512, 8).unwrap();
+        let mut doc = sp.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "layout" && k != "cost_model");
+            for (k, v) in fields.iter_mut() {
+                if k == "schema" {
+                    *v = Json::str("tridiag.sharded_plan/v1");
+                }
+            }
+        }
+        assert!(!validate_sharded_plan_json(&doc).is_empty());
+    }
+
+    #[test]
+    fn json_validator_rejects_out_of_enum_cost_model() {
+        let plan = gtx480_plan(64, 512, 8);
+        let mut doc = plan.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "cost_model" {
+                    *v = Json::str("Vibes");
+                }
+            }
+        }
+        let problems = validate_plan_json(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("cost_model")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn matching_host_layout_elides_conversions() {
+        // k = 0 geometry: device layout is interleaved, so an
+        // interleaved host batch uploads as-is.
+        let plan = SolvePlan::build_for_host(
+            &DeviceSpec::gtx480(),
+            &GpuSolverConfig::default(),
+            Layout::Interleaved,
+            2048,
+            128,
+            8,
+        )
+        .unwrap();
+        assert_eq!(plan.layout, Layout::Interleaved);
+        assert_eq!(plan.host_layout, Layout::Interleaved);
+        assert!(plan
+            .steps
+            .iter()
+            .all(|s| !matches!(s, Step::Convert { .. } | Step::ConvertBack { .. })));
+        plan.validate().unwrap();
+
+        // k > 0 geometry: device layout is contiguous, so the same
+        // host layout keeps its conversions.
+        let plan = SolvePlan::build_for_host(
+            &DeviceSpec::gtx480(),
+            &GpuSolverConfig::default(),
+            Layout::Interleaved,
+            64,
+            512,
+            8,
+        )
+        .unwrap();
+        assert_eq!(plan.layout, Layout::Contiguous);
+        assert!(plan.steps.iter().any(|s| matches!(s, Step::Convert { .. })));
+        assert!(plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::ConvertBack { .. })));
+    }
+
+    #[test]
+    fn contiguous_host_plans_keep_their_legacy_shape() {
+        // The hybrid pipeline's (no-op) contiguous Convert steps stay:
+        // legacy plan shapes are pinned by the golden snapshots.
+        let plan = gtx480_plan(64, 512, 8);
+        assert_eq!(plan.layout, Layout::Contiguous);
+        assert_eq!(plan.host_layout, Layout::Contiguous);
+        assert!(plan.steps.iter().any(|s| matches!(s, Step::Convert { .. })));
+        assert!(plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::ConvertBack { .. })));
+    }
+
+    #[test]
+    fn forced_interleaved_builds_the_pure_pthomas_plan() {
+        let plan = SolvePlan::build(
+            &DeviceSpec::gtx480(),
+            &GpuSolverConfig {
+                layout: LayoutChoice::Interleaved,
+                ..Default::default()
+            },
+            64,
+            512,
+            8,
+        )
+        .unwrap();
+        assert_eq!(plan.k, 0);
+        assert_eq!(plan.layout, Layout::Interleaved);
+        let names: Vec<_> = plan.launches().map(|l| l.name).collect();
+        assert_eq!(names, ["p_thomas"]);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn forced_contiguous_k0_uses_the_strawman_addressing() {
+        let plan = SolvePlan::build(
+            &DeviceSpec::gtx480(),
+            &GpuSolverConfig {
+                layout: LayoutChoice::Contiguous,
+                ..Default::default()
+            },
+            2048,
+            128,
+            8,
+        )
+        .unwrap();
+        assert_eq!(plan.k, 0);
+        assert_eq!(plan.layout, Layout::Contiguous);
+        let maps: Vec<_> = plan
+            .launches()
+            .filter_map(|l| match &l.op {
+                KernelOp::PThomas { map, .. } => Some(*map),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(maps, [AddrMap::Contiguous { m: 2048, n: 128 }]);
+        // Contiguous-host plans keep the (no-op) conversion steps.
+        assert!(plan.steps.iter().any(|s| matches!(s, Step::Convert { .. })));
+    }
+
+    #[test]
+    fn sharded_plan_pins_reference_layout() {
+        // Under the transaction model the full batch at m = 1024 picks
+        // interleaved p-Thomas; a 4-way shard (m = 256) on its own
+        // would pick the hybrid — pinning must keep every shard on the
+        // reference layout.
+        let group = DeviceGroup::homogeneous(DeviceSpec::gtx480(), 4).unwrap();
+        let cfg = GpuSolverConfig {
+            cost: CostModel::Transactions,
+            ..Default::default()
+        };
+        let sp = ShardedPlan::build(&group, &cfg, 1024, 512, 8).unwrap();
+        assert_eq!(sp.reference.layout, Layout::Interleaved);
+        let solo = SolvePlan::build(&DeviceSpec::gtx480(), &cfg, 256, 512, 8).unwrap();
+        assert_ne!(solo.layout, sp.reference.layout);
+        for sh in &sp.shards {
+            assert_eq!(sh.plan.layout, sp.reference.layout);
+            assert_eq!(sh.plan.k, sp.reference.k);
+        }
     }
 
     #[test]

@@ -45,6 +45,50 @@ pub enum MappingVariant {
     MultiSystemPerBlock(usize),
 }
 
+/// How the planner scores candidate `(layout, mapping, fused, k)`
+/// tuples (see [`crate::plan::cost`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// The pre-cost-model decision procedure: `k` from the transition
+    /// policy, layout implied by `k` (interleaved iff `k = 0`). Pinned
+    /// byte-exactly by the golden plan snapshots.
+    #[default]
+    Legacy,
+    /// Enumerate every candidate tuple and pick the argmin of the
+    /// closed-form 128-byte-transaction + serialization + transfer
+    /// estimate (deterministic tie-break: first candidate in
+    /// enumeration order wins).
+    Transactions,
+}
+
+/// Requested device-side memory layout for the coefficient buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LayoutChoice {
+    /// Let the cost model pick.
+    #[default]
+    Auto,
+    /// Force system-major buffers (the hybrid PCR + p-Thomas pipeline;
+    /// with `k = 0` this is the uncoalesced strawman p-Thomas kept for
+    /// the layout ablation bench).
+    Contiguous,
+    /// Force row-major-across-systems buffers: the pure coalesced
+    /// p-Thomas path (`k` is forced to 0 — tiled PCR addresses
+    /// contiguous systems).
+    Interleaved,
+}
+
+impl LayoutChoice {
+    /// The pin for an already-decided device layout (used by
+    /// [`crate::plan::ShardedPlan::build`] and the service's
+    /// per-geometry decision pinning).
+    pub fn pin(layout: tridiag_core::Layout) -> Self {
+        match layout {
+            tridiag_core::Layout::Contiguous => LayoutChoice::Contiguous,
+            tridiag_core::Layout::Interleaved => LayoutChoice::Interleaved,
+        }
+    }
+}
+
 /// Solver configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuSolverConfig {
@@ -57,6 +101,10 @@ pub struct GpuSolverConfig {
     pub fused: bool,
     /// Grid mapping for the tiled PCR stage.
     pub mapping: MappingVariant,
+    /// Cost model the planner prices candidate pipelines with.
+    pub cost: CostModel,
+    /// Device-side layout request (`Auto` lets the cost model pick).
+    pub layout: LayoutChoice,
     /// p-Thomas threads per block.
     pub pthomas_block: u32,
     /// Execution options — set `exec.sanitize` to run every kernel in
@@ -72,6 +120,8 @@ impl Default for GpuSolverConfig {
             sub_tile_scale: 1,
             fused: false,
             mapping: MappingVariant::Auto,
+            cost: CostModel::Legacy,
+            layout: LayoutChoice::Auto,
             pthomas_block: PTHOMAS_BLOCK,
             exec: ExecConfig::default(),
         }
@@ -432,12 +482,18 @@ impl GpuTridiagSolver {
 
     /// Solve every system in `batch` on the simulated device: build the
     /// plan, then run it through the executor. Returns the solutions in
-    /// the batch's layout plus the solve report.
+    /// the batch's layout plus the solve report. A batch that already
+    /// arrives in the chosen device layout plans with the
+    /// `Convert`/`ConvertBack` steps elided (see
+    /// [`SolvePlan::build_for_host`]).
     pub fn solve_batch<S: GpuScalar>(
         &self,
         batch: &SystemBatch<S>,
     ) -> Result<(Vec<S>, GpuSolveReport)> {
-        let plan = self.plan_geometry(
+        let plan = SolvePlan::build_for_host(
+            &self.spec,
+            &self.config,
+            batch.layout(),
             batch.num_systems(),
             batch.system_len(),
             <S as gpu_sim::Elem>::BYTES,

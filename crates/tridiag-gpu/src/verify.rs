@@ -19,7 +19,8 @@
 //!   ([`FindingKind::SlotOutOfRange`]);
 //! - **layout pairing** — exactly one `Convert` before the uploads and
 //!   one `ConvertBack` after the download, both matching the plan's
-//!   device layout ([`FindingKind::LayoutMismatch`]);
+//!   device layout ([`FindingKind::LayoutMismatch`]); plans whose host
+//!   layout equals the device layout legitimately elide both steps;
 //! - **aliasing** — no slot bound as both input and output of a single
 //!   launch, and no output bound twice
 //!   ([`FindingKind::AliasHazard`]);
@@ -548,7 +549,9 @@ pub fn verify_plan(spec: &DeviceSpec, plan: &SolvePlan) -> VerifyReport {
                 convert_at.get_or_insert(i);
             }
             Step::Upload { slot, source } => {
-                if convert_at.is_none() {
+                // An elided plan (host layout == device layout) uploads
+                // the caller's batch directly, with no Convert step.
+                if convert_at.is_none() && plan.host_layout != plan.layout {
                     push(
                         &mut findings,
                         FindingKind::LayoutMismatch,
@@ -770,21 +773,26 @@ pub fn verify_plan(spec: &DeviceSpec, plan: &SolvePlan) -> VerifyReport {
         }
     }
 
-    if convert_at.is_none() {
-        push(
-            &mut findings,
-            FindingKind::LayoutMismatch,
-            None,
-            "plan never converts the batch to the device layout".into(),
-        );
-    }
-    if convert_back_at.is_none() {
-        push(
-            &mut findings,
-            FindingKind::LayoutMismatch,
-            None,
-            "plan never converts the solution back to the caller's layout".into(),
-        );
+    // Conversion pairing is only required when the caller's layout
+    // differs from the device layout; elided plans legitimately have
+    // neither step (the download already is the caller's layout).
+    if plan.host_layout != plan.layout {
+        if convert_at.is_none() {
+            push(
+                &mut findings,
+                FindingKind::LayoutMismatch,
+                None,
+                "plan never converts the batch to the device layout".into(),
+            );
+        }
+        if convert_back_at.is_none() {
+            push(
+                &mut findings,
+                FindingKind::LayoutMismatch,
+                None,
+                "plan never converts the solution back to the caller's layout".into(),
+            );
+        }
     }
     for (s, st) in slots.iter().enumerate() {
         match st.created {
@@ -1035,6 +1043,18 @@ pub fn verify_sharded_plan(group: &DeviceGroup, plan: &ShardedPlan) -> ShardedVe
                         format!(
                             "shard on {} has fused = {} but the pinned reference fused is {}",
                             spec.name, sh.plan.fused, plan.reference.fused
+                        ),
+                    );
+                }
+                if sh.plan.layout != plan.reference.layout {
+                    push(
+                        &mut findings,
+                        FindingKind::ShardConsistency,
+                        Some(i),
+                        format!(
+                            "shard on {} uses layout {:?} but the pinned reference \
+                             layout is {:?}",
+                            spec.name, sh.plan.layout, plan.reference.layout
                         ),
                     );
                 }

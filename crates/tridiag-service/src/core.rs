@@ -28,9 +28,9 @@ use std::sync::Arc;
 use gpu_sim::group::copy_us;
 use gpu_sim::{DeviceGroup, ExecConfig, Result, SimError};
 use tridiag_core::transition::TransitionPolicy;
-use tridiag_core::SystemBatch;
+use tridiag_core::{Layout, SystemBatch};
 use tridiag_gpu::buffers::GpuScalar;
-use tridiag_gpu::solver::{GpuSolverConfig, MappingVariant};
+use tridiag_gpu::solver::{CostModel, GpuSolverConfig, LayoutChoice, MappingVariant};
 use tridiag_gpu::{ShardedExecutor, ShardedPlan, SolvePlan};
 
 use crate::cache::{CacheStats, PlanCache};
@@ -79,6 +79,7 @@ struct Pin {
     k: u32,
     mapping: MappingVariant,
     fused: bool,
+    layout: Layout,
 }
 
 /// The deterministic engine: device group, plan cache, pinned
@@ -172,6 +173,7 @@ impl ServiceCore {
                     k: reference.k,
                     mapping: reference.mapping,
                     fused: reference.fused,
+                    layout: reference.layout,
                 };
                 self.pins.insert((n, elem_bytes), pin);
                 pin
@@ -181,6 +183,11 @@ impl ServiceCore {
             policy: TransitionPolicy::Fixed(pin.k),
             mapping: pin.mapping,
             fused: pin.fused,
+            // The layout decided at pin_m replays verbatim at every
+            // batch size (bit-neutrality of coalescing), so the cost
+            // model must not re-score at the coalesced geometry.
+            cost: CostModel::Legacy,
+            layout: LayoutChoice::pin(pin.layout),
             ..base
         })
     }

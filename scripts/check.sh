@@ -69,11 +69,31 @@ grep -q "sanitizer   : clean" <<<"$out"
 grep -q "lint        : clean" <<<"$out"
 
 echo "== CLI plan smoke (dry-run planning, schema-validated JSON, exit 2 on drift) =="
-cargo run --release -q -p tridiag-cli -- plan --sweep > /dev/null
+out="$(cargo run --release -q -p tridiag-cli -- plan --sweep)"
+grep -q -- "--layout contiguous" <<<"$out"
+grep -q -- "--layout interleaved" <<<"$out"
 out="$(cargo run --release -q -p tridiag-cli -- solve --m 16 --n 1024 --dry-run)"
 grep -q "dry run     : no kernels launched" <<<"$out"
 out="$(cargo run --release -q -p tridiag-cli -- plan --m 64 --n 512 --json)"
-grep -q "tridiag.solve_plan/v1" <<<"$out"
+grep -q "tridiag.solve_plan/v2" <<<"$out"
+
+echo "== CLI layout smoke (forced layouts plan, solve and certify) =="
+out="$(cargo run --release -q -p tridiag-cli -- plan --m 64 --n 512 --layout interleaved)"
+grep -q "layout=Interleaved" <<<"$out"
+out="$(cargo run --release -q -p tridiag-cli -- solve --m 64 --n 512 --layout interleaved --verify)"
+grep -q "verify      : clean" <<<"$out"
+out="$(cargo run --release -q -p tridiag-cli -- solve --m 64 --n 512 --layout contiguous --check)"
+grep -q "sanitizer   : clean" <<<"$out"
+
+echo "== layout acceptance gate (interleaved hits the coalesced floor exactly) =="
+cargo test --release -q -p tridiag-gpu --test layout_cost
+
+echo "== interleaved differential (GPU vs cpu-ref lane reference) =="
+cargo test --release -q -p tridiag-gpu --test interleaved_differential
+
+echo "== layout + legacy-plan properties (bijection, round-trip, golden purity) =="
+cargo test -q -p tridiag-core --test layout_properties
+cargo test --release -q -p tridiag-gpu --test legacy_plan_props
 
 echo "== plan verifier: negative suite (every diagnostic class must fire) =="
 cargo test -q -p tridiag-gpu --test verify_negative
@@ -103,7 +123,7 @@ echo "== CLI multi-device smoke (sharded solve + sharded plan schema) =="
 out="$(cargo run --release -q -p tridiag-cli -- solve --m 8 --n 256 --devices 2)"
 grep -q "devices     : 2" <<<"$out"
 out="$(cargo run --release -q -p tridiag-cli -- plan --m 64 --n 512 --devices 2 --json)"
-grep -q "tridiag.sharded_plan/v1" <<<"$out"
+grep -q "tridiag.sharded_plan/v2" <<<"$out"
 
 echo "== CLI serve smoke (8 concurrent requests, bit-checked vs solo, exit 2 on mismatch) =="
 out="$(cargo run --release -q -p tridiag-cli -- serve --requests 8 --clients 4)"
