@@ -1,0 +1,109 @@
+//! Distributed single-system scaling table: the modeled wall-clock of
+//! one huge `N`-row solve split across homogeneous GTX480 groups of
+//! 1, 2, 4 and 8 devices (`solve --split-n D`).
+//!
+//! Check to make: the split solutions agree with the single-device
+//! solve (worst |Δx| column stays at round-off), the wall-clock drops
+//! as `D` grows — in particular `D = 4` must beat `D = 2` at large `N`
+//! — and the wall-clock stays below the serialized per-device sum (the
+//! chunk pipeline really overlaps). The split does *not* conserve work
+//! the way batch sharding does: each chunk solves three right-hand
+//! sides (y, u, w), so the summed device time grows ~3x; the win is
+//! capacity plus wall-clock, not total flops (DESIGN.md §15).
+//!
+//! Run: `cargo run --release -p bench --bin distributed_scaling
+//!       [-- --fast] [-- --history FILE]`
+
+use bench::table::TextTable;
+use gpu_sim::{DeviceGroup, DeviceSpec};
+use tridiag_core::generators::random_batch;
+use tridiag_gpu::solver::GpuTridiagSolver;
+
+fn main() {
+    let mut fast = false;
+    let mut history: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fast" => fast = true,
+            "--history" => history = args.next(),
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+
+    let sizes: &[usize] = if fast { &[1 << 14] } else { &[1 << 15, 1 << 17] };
+    let device_counts: &[usize] = if fast { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    println!("== distributed single-system solve: modeled wall-clock vs device count (GTX480) ==");
+    let solver = GpuTridiagSolver::gtx480();
+    let mut t = TextTable::new([
+        "N",
+        "D",
+        "wall [us]",
+        "speedup",
+        "serialized [us]",
+        "reduced n",
+        "worst |dx|",
+        "residual",
+    ]);
+    let mut headline: Vec<(String, f64)> = Vec::new();
+    for &n in sizes {
+        let batch = random_batch::<f64>(1, n, 42);
+        let (reference, base_report) = solver.solve_batch(&batch).expect("single-device solve");
+        let mut base_us = 0.0f64;
+        let mut wall_by_d: Vec<(usize, f64)> = Vec::new();
+        for &d in device_counts {
+            let group = DeviceGroup::homogeneous(DeviceSpec::gtx480(), d).expect("group");
+            let (x, report) = solver
+                .solve_batch_split::<f64>(&group, &batch)
+                .expect("distributed solve");
+            if d == 1 {
+                base_us = report.total_us;
+                assert_eq!(
+                    report.total_us, base_report.total_us,
+                    "D = 1 must be the identity path"
+                );
+            }
+            let worst = reference
+                .iter()
+                .zip(&x)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            let resid = batch.max_relative_residual(&x).expect("residual");
+            let (serialized, reduced_n) = report
+                .distributed
+                .as_ref()
+                .map_or((report.total_us, 0), |s| (s.serialized_us, s.reduced_n));
+            t.row([
+                n.to_string(),
+                d.to_string(),
+                format!("{:.1}", report.total_us),
+                format!("{:.2}x", base_us / report.total_us),
+                format!("{serialized:.1}"),
+                reduced_n.to_string(),
+                format!("{worst:.2e}"),
+                format!("{resid:.2e}"),
+            ]);
+            headline.push((format!("n{n}_d{d}_wall_us"), report.total_us));
+            wall_by_d.push((d, report.total_us));
+        }
+        // The scaling claim this table exists for: more devices must
+        // keep winning once the split is paid for.
+        let wall = |d: usize| wall_by_d.iter().find(|(dd, _)| *dd == d).map(|(_, w)| *w);
+        if let (Some(w2), Some(w4)) = (wall(2), wall(4)) {
+            assert!(
+                w4 < w2,
+                "n={n}: D=4 wall-clock {w4:.1} us must beat D=2 {w2:.1} us"
+            );
+        }
+    }
+    print!("{}", t.render());
+    println!();
+    println!(
+        "wall-clock falls with D (capacity + latency win); serialized sum grows ~3x \
+         because every chunk solves three right-hand sides (y, u, w)"
+    );
+    if let Some(path) = history.as_deref() {
+        bench::history::record(path, "distributed", headline);
+    }
+}

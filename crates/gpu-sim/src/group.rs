@@ -187,6 +187,16 @@ impl DeviceStream {
         self.cursor
     }
 
+    /// Block the stream until modeled time `us`: the next recorded
+    /// event starts no earlier than `us`. Models a cross-stream
+    /// dependency ("cudaStreamWaitEvent") — e.g. a device waiting for
+    /// interface values computed on another device. No event is
+    /// recorded; the wait shows up as a gap between events. A wait in
+    /// the past is a no-op (streams never move backwards).
+    pub fn wait_until(&mut self, us: f64) {
+        self.cursor = self.cursor.max(us);
+    }
+
     /// Total modeled kernel time on this stream (launch events only),
     /// excluding copies.
     pub fn launch_us(&self) -> f64 {
@@ -332,6 +342,21 @@ mod tests {
         // 8 MB at 8 GB/s = 1 ms.
         let us = copy_us(8_000_000);
         assert!((us - (1000.0 + COPY_OVERHEAD_US)).abs() < 1e-9, "{us}");
+    }
+
+    #[test]
+    fn wait_until_delays_the_next_event_but_never_rewinds() {
+        let mut s = DeviceStream::default();
+        s.record(StreamOp::Launch, "k", 10.0, 0);
+        s.wait_until(25.0);
+        assert_eq!(s.completion_us(), 25.0);
+        let ev = s.record(StreamOp::CopyD2H, "d2h", 5.0, 64).clone();
+        assert_eq!(ev.start_us, 25.0);
+        // Waits in the past are no-ops.
+        s.wait_until(3.0);
+        assert_eq!(s.completion_us(), 30.0);
+        // No event is recorded for the wait itself.
+        assert_eq!(s.events.len(), 2);
     }
 
     #[test]

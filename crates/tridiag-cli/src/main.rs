@@ -6,6 +6,8 @@
 //!               [--precision f64|f32] [--device gtx480|gtx280|c2050]
 //!               [--seed 42] [--verbose] [--sanitize] [--lint] [--check]
 //!               [--trace trace.json] [--json] [--dry-run]
+//! tridiag solve --split-n 4 --n 1000000   # one huge system row-split
+//!                                         # across 4 devices
 //! tridiag plan --m 256 --n 1024 [--json] # print the solve plan, no execution
 //! tridiag plan --sweep                   # dry-run + schema-check sweep plans
 //! tridiag verify --m 256 --n 1024        # statically certify the plan
@@ -72,6 +74,115 @@ fn device_group(a: &Args, base: &DeviceSpec) -> Result<Option<DeviceGroup>, Stri
         .map_err(|e| format!("--devices {value}: {e}"))
 }
 
+/// `--split-n`: split ONE system's rows across a device group.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SplitN {
+    /// Always split across exactly this many devices.
+    Count(usize),
+    /// Try the single-device plan first; split only when the planner
+    /// rejects the system as too large for one device.
+    Auto,
+}
+
+/// Parse `--split-n`: either a device count (`--split-n 4`) or `auto`.
+/// Returns `None` when the flag is absent (batch paths unchanged).
+fn split_n_opt(a: &Args) -> Result<Option<SplitN>, String> {
+    let Some(value) = a.get("split-n") else {
+        return Ok(None);
+    };
+    if value == "auto" {
+        return Ok(Some(SplitN::Auto));
+    }
+    match value.parse::<usize>() {
+        Ok(d) if d > 0 => Ok(Some(SplitN::Count(d))),
+        _ => Err(format!(
+            "--split-n {value}: expected a device count or \"auto\""
+        )),
+    }
+}
+
+/// Resolve `--split-n` against one geometry: the device group to
+/// row-split across, or `None` when the system should stay on one
+/// device (`auto` and the single-device plan fits). `--devices`
+/// supplies the group when present (its size must match an explicit
+/// count); otherwise the group is homogeneous copies of `--device` —
+/// `auto` doubles the count from 2 until the distributed plan fits.
+fn resolve_split(
+    solver: &GpuTridiagSolver,
+    device: &DeviceSpec,
+    group: Option<&DeviceGroup>,
+    split: SplitN,
+    n: usize,
+    elem_bytes: usize,
+) -> Result<Option<DeviceGroup>, Failure> {
+    match split {
+        SplitN::Count(d) => match group {
+            Some(g) if g.len() == d => Ok(Some(g.clone())),
+            Some(g) => Err(Failure::Error(format!(
+                "--split-n {d} does not match the {}-device --devices group",
+                g.len()
+            ))),
+            None => DeviceGroup::homogeneous(device.clone(), d)
+                .map(Some)
+                .map_err(|e| Failure::Error(format!("--split-n {d}: {e}"))),
+        },
+        SplitN::Auto => match solver.plan_geometry(1, n, elem_bytes) {
+            Ok(_) => Ok(None),
+            Err(gpu_sim::SimError::InvalidPlan(msg))
+                if msg.contains("split across devices with a distributed plan") =>
+            {
+                if let Some(g) = group {
+                    return Ok(Some(g.clone()));
+                }
+                let mut d = 2usize;
+                while d <= 64 {
+                    let g = DeviceGroup::homogeneous(device.clone(), d)
+                        .map_err(|e| Failure::Error(e.to_string()))?;
+                    if solver.plan_geometry_split(&g, n, elem_bytes).is_ok() {
+                        return Ok(Some(g));
+                    }
+                    d *= 2;
+                }
+                Err(Failure::Error(format!(
+                    "--split-n auto: no homogeneous group up to 64 devices fits n = {n}"
+                )))
+            }
+            Err(e) => Err(Failure::Error(e.to_string())),
+        },
+    }
+}
+
+/// Resolve an explicit `--split-n` count for `plan`/`verify`: the
+/// `--devices` group when given (its size must match), else that many
+/// homogeneous copies of `--device`. `auto` is rejected here — it is a
+/// solve-time fallback, not a plannable geometry.
+fn split_count_group(
+    a: &Args,
+    device: &DeviceSpec,
+    split: SplitN,
+    m: usize,
+) -> Result<DeviceGroup, Failure> {
+    let SplitN::Count(d) = split else {
+        return Err(Failure::Error(
+            "--split-n auto is a solve-time fallback; pass an explicit device count".into(),
+        ));
+    };
+    if m != 1 {
+        return Err(Failure::Error(format!(
+            "--split-n plans one system's row split (m = 1); got --m {m}"
+        )));
+    }
+    match device_group(a, device)? {
+        Some(g) if g.len() == d => Ok(g),
+        Some(g) => Err(Failure::Error(format!(
+            "--split-n {d} does not match the {}-device --devices group",
+            g.len()
+        ))),
+        None => DeviceGroup::homogeneous(device.clone(), d)
+            .map_err(|e| Failure::Error(format!("--split-n {d}: {e}"))),
+    }
+}
+
 /// Parse `--layout`: the planner's memory-layout choice. `auto`
 /// (default) lets the cost model decide; `contiguous`/`interleaved`
 /// pin the device layout regardless of what the model would pick.
@@ -88,13 +199,13 @@ fn layout_choice(a: &Args) -> Result<LayoutChoice, String> {
 
 fn usage() -> &'static str {
     "usage:\n  tridiag solve   --m M --n N [--engine gpu|cpu|cpu-mt|davidson|zhang] \
-     [--precision f64|f32] [--device gtx480|gtx280|c2050] [--devices G] [--seed S] \
-     [--layout auto|contiguous|interleaved] \
+     [--precision f64|f32] [--device gtx480|gtx280|c2050] [--devices G] \
+     [--split-n D|auto] [--seed S] [--layout auto|contiguous|interleaved] \
      [--verbose] [--sanitize] [--lint] [--check] [--trace FILE] [--json] [--dry-run]\n  \
      tridiag plan    --m M --n N [--precision f64|f32] [--device D] [--devices G] \
-     [--layout L] [--json] [--verify] | --sweep [--device D]\n  \
+     [--split-n D] [--layout L] [--json] [--verify] | --sweep [--device D]\n  \
      tridiag verify  --m M --n N [--precision f64|f32] [--device D] [--devices G] \
-     [--layout L] [--json] | --sweep [--device D] | --negative [--device D]\n  \
+     [--split-n D] [--layout L] [--json] | --sweep [--device D] | --negative [--device D]\n  \
      tridiag profile --m M --n N [--precision f64|f32] [--device D] [--seed S] \
      [--out FILE] | --zoo [--out FILE]\n  \
      tridiag compare --m M --n N [--seed S]\n  \
@@ -133,7 +244,16 @@ fn usage() -> &'static str {
      \u{20}           four copies of --device) or a comma list of names\n  \
      \u{20}           (--devices gtx480,gtx280); systems split contiguously \u{b1}1,\n  \
      \u{20}           one worker thread per device, modeled wall-clock = max over\n  \
-     \u{20}           devices; homogeneous groups are bit-identical to one device\n\n\
+     \u{20}           devices; homogeneous groups are bit-identical to one device\n  \
+     --split-n D split ONE system's N rows across D devices (requires m = 1):\n  \
+     \u{20}           per-device partial elimination, a 2D-unknown reduced\n  \
+     \u{20}           interface solve on the primary, then distributed back\n  \
+     \u{20}           substitution; lets a single system too large for one\n  \
+     \u{20}           device's memory solve across the group; D = 1 is the\n  \
+     \u{20}           bit-identical single-device path; with --devices G the\n  \
+     \u{20}           group supplies the devices (sizes must agree); solve\n  \
+     \u{20}           --split-n auto splits only when the single-device planner\n  \
+     \u{20}           rejects N as too large\n\n\
      layout (gpu engine only):\n  \
      --layout L  memory-layout choice for the planner: auto (default) lets the\n  \
      \u{20}           transaction cost model pick, contiguous/interleaved pin the\n  \
@@ -184,7 +304,8 @@ impl From<String> for Failure {
 }
 
 fn cmd_solve(a: &Args) -> Result<(), Failure> {
-    let m: usize = a.get_or("m", 64)?;
+    let split = split_n_opt(a)?;
+    let m: usize = a.get_or("m", if split.is_some() { 1 } else { 64 })?;
     let n: usize = a.get_or("n", 1024)?;
     let seed: u64 = a.get_or("seed", 42u64)?;
     let engine = a.get("engine").unwrap_or("gpu");
@@ -203,6 +324,18 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
         return Err(Failure::Error(format!(
             "--devices only applies to the gpu engine (got {engine:?})"
         )));
+    }
+    if split.is_some() {
+        if engine != "gpu" {
+            return Err(Failure::Error(format!(
+                "--split-n only applies to the gpu engine (got {engine:?})"
+            )));
+        }
+        if m != 1 {
+            return Err(Failure::Error(format!(
+                "--split-n splits one system's rows across devices (m = 1); got --m {m}"
+            )));
+        }
     }
     if layout != LayoutChoice::Auto && engine != "gpu" {
         return Err(Failure::Error(format!(
@@ -233,6 +366,7 @@ fn cmd_solve(a: &Args) -> Result<(), Failure> {
         engine,
         device,
         group,
+        split,
         verbose: a.flag("verbose"),
         sanitize,
         lint,
@@ -254,6 +388,7 @@ struct SolveOpts<'a> {
     engine: &'a str,
     device: DeviceSpec,
     group: Option<DeviceGroup>,
+    split: Option<SplitN>,
     verbose: bool,
     sanitize: bool,
     lint: bool,
@@ -274,6 +409,7 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
         engine,
         ref device,
         ref group,
+        split,
         verbose,
         sanitize,
         lint,
@@ -291,6 +427,40 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
             ..Default::default()
         };
         let solver = GpuTridiagSolver::new(device.clone(), config);
+        if let Some(split) = split {
+            let resolved = resolve_split(
+                &solver,
+                device,
+                group.as_ref(),
+                split,
+                n,
+                <S as gpu_sim::Elem>::BYTES,
+            )?;
+            if let Some(sgroup) = resolved {
+                let plan = solver
+                    .plan_geometry_split(&sgroup, n, <S as gpu_sim::Elem>::BYTES)
+                    .map_err(|e| e.to_string())?;
+                if json {
+                    println!("{}", plan.to_json());
+                } else {
+                    print!("{}", plan.describe());
+                    println!("dry run     : no kernels launched");
+                }
+                return Ok(());
+            }
+            // `auto` resolved to the ordinary single-device plan.
+            let plan = solver
+                .plan_geometry(m, n, <S as gpu_sim::Elem>::BYTES)
+                .map_err(|e| e.to_string())?;
+            if json {
+                println!("{}", plan.to_json());
+            } else {
+                println!("split       : n = {n} fits on one device; no split needed");
+                print!("{}", plan.describe());
+                println!("dry run     : no kernels launched");
+            }
+            return Ok(());
+        }
         if let Some(group) = group {
             let plan = solver
                 .plan_geometry_group(group, m, n, <S as gpu_sim::Elem>::BYTES)
@@ -327,6 +497,7 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
     let mut sanitizer_line: Option<Result<String, String>> = None;
     let mut lint_line: Option<Result<String, String>> = None;
     let mut gpu_report = None;
+    let mut split_group: Option<DeviceGroup> = None;
     let (x, modeled_us): (Vec<S>, Option<f64>) = match engine {
         "gpu" => {
             let config = GpuSolverConfig {
@@ -340,12 +511,27 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
                 ..Default::default()
             };
             let solver = GpuTridiagSolver::new(device.clone(), config);
-            let (x, report) = match group {
-                Some(group) => solver
+            let resolved_split = match split {
+                Some(split) => resolve_split(
+                    &solver,
+                    device,
+                    group.as_ref(),
+                    split,
+                    n,
+                    <S as gpu_sim::Elem>::BYTES,
+                )?,
+                None => None,
+            };
+            let (x, report) = match (&resolved_split, group) {
+                (Some(sgroup), _) => solver
+                    .solve_batch_split(sgroup, &batch)
+                    .map_err(|e| e.to_string())?,
+                (None, Some(group)) if split.is_none() => solver
                     .solve_batch_group(group, &batch)
                     .map_err(|e| e.to_string())?,
-                None => solver.solve_batch(&batch).map_err(|e| e.to_string())?,
+                _ => solver.solve_batch(&batch).map_err(|e| e.to_string())?,
             };
+            split_group = resolved_split;
             if verbose && !json {
                 print!("{report}");
             }
@@ -420,11 +606,26 @@ fn solve_typed<S: tridiag_gpu::GpuScalar>(
     } else {
         println!("engine      : {engine}");
         println!("batch       : M = {m}, N = {n} ({})", S::NAME);
-        if let Some(group) = group {
+        if let Some(sgroup) = &split_group {
+            println!(
+                "devices     : {} ({}, one system row-split)",
+                sgroup.len(),
+                sgroup.label()
+            );
+        } else if let Some(group) = group {
             println!("devices     : {} ({})", group.len(), group.label());
+        } else if split.is_some() {
+            println!("split       : n = {n} fits on one device; no split needed");
+        }
+        if let Some(ds) = gpu_report.as_ref().and_then(|r| r.distributed.as_ref()) {
+            println!(
+                "distributed : reduced {} unknowns (k = {}) on the primary; \
+                 gather {} B, scatter {} B, back-sub {} flops",
+                ds.reduced_n, ds.reduced_k, ds.gather_bytes, ds.scatter_bytes, ds.backsub_flops
+            );
         }
         if let Some(us) = modeled_us {
-            if group.is_some() {
+            if group.is_some() || split_group.is_some() {
                 println!("modeled time: {us:.1} us (kernel wall-clock, max over devices)");
             } else {
                 println!("modeled time: {us:.1} us (simulated device)");
@@ -520,7 +721,8 @@ fn cmd_plan(a: &Args) -> Result<(), Failure> {
     if a.flag("sweep") {
         return plan_sweep(&device);
     }
-    let m: usize = a.get_or("m", 64)?;
+    let split = split_n_opt(a)?;
+    let m: usize = a.get_or("m", if split.is_some() { 1 } else { 64 })?;
     let n: usize = a.get_or("n", 1024)?;
     let elem_bytes = if a.get("precision").unwrap_or("f64") == "f32" { 4 } else { 8 };
     let config = GpuSolverConfig {
@@ -528,6 +730,30 @@ fn cmd_plan(a: &Args) -> Result<(), Failure> {
         ..Default::default()
     };
     let solver = GpuTridiagSolver::new(device.clone(), config);
+    if let Some(split) = split {
+        let group = split_count_group(a, &device, split, m)?;
+        let plan = solver
+            .plan_geometry_split(&group, n, elem_bytes)
+            .map_err(|e| e.to_string())?;
+        if a.flag("json") {
+            println!("{}", plan.to_json());
+        } else {
+            print!("{}", plan.describe());
+        }
+        if a.flag("verify") {
+            let report = tridiag_gpu::verify_distributed_plan(&group, &plan);
+            if !a.flag("json") {
+                println!("{report}");
+            }
+            if !report.is_clean() {
+                return Err(Failure::Findings(format!(
+                    "plan verification:\n  - {}",
+                    report.messages().join("\n  - ")
+                )));
+            }
+        }
+        return Ok(());
+    }
     if let Some(group) = device_group(a, &device)? {
         let plan = solver
             .plan_geometry_group(&group, m, n, elem_bytes)
@@ -690,6 +916,42 @@ fn plan_sweep(device: &DeviceSpec) -> Result<(), Failure> {
             );
         }
     }
+    // Distributed single-system plans: one N row-split across D ∈
+    // {1, 2, 4} devices, each serialized plan re-parsed and checked
+    // against the tridiag.distributed_plan/v1 schema (D = 1 is the
+    // identity path).
+    const SPLIT_N: &[usize] = &[512, 16384];
+    for &devices in &[1usize, 2, 4] {
+        let group = DeviceGroup::homogeneous(device.clone(), devices)
+            .map_err(|e| e.to_string())?;
+        for &n in SPLIT_N {
+            let plan = solver
+                .plan_geometry_split(&group, n, 8)
+                .map_err(|e| e.to_string())?;
+            let text = plan.to_json().to_string();
+            match gpu_sim::json::parse(&text) {
+                Ok(doc) => {
+                    for p in tridiag_gpu::validate_distributed_plan_json(&doc) {
+                        problems.push(format!("split n={n} f64 D={devices}: {p}"));
+                    }
+                }
+                Err(e) => problems.push(format!(
+                    "split n={n} f64 D={devices}: JSON reparse failed: {e}"
+                )),
+            }
+            planned += 1;
+            println!(
+                "n={n:<6} f64 split x{devices}: chunks=[{}] reduced_n={} device_bytes={}",
+                plan.chunks
+                    .iter()
+                    .map(|c| c.row_count.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                plan.reduced.as_ref().map_or(0, |r| r.n),
+                plan.device_bytes(),
+            );
+        }
+    }
     println!("{planned} plans built and schema-validated, no kernels launched");
     if !problems.is_empty() {
         return Err(Failure::Findings(format!(
@@ -717,7 +979,8 @@ fn cmd_verify(a: &Args) -> Result<(), Failure> {
     if a.flag("sweep") {
         return verify_sweep(&device);
     }
-    let m: usize = a.get_or("m", 64)?;
+    let split = split_n_opt(a)?;
+    let m: usize = a.get_or("m", if split.is_some() { 1 } else { 64 })?;
     let n: usize = a.get_or("n", 1024)?;
     let elem_bytes = if a.get("precision").unwrap_or("f64") == "f32" { 4 } else { 8 };
     let config = GpuSolverConfig {
@@ -725,6 +988,25 @@ fn cmd_verify(a: &Args) -> Result<(), Failure> {
         ..Default::default()
     };
     let solver = GpuTridiagSolver::new(device.clone(), config);
+    if let Some(split) = split {
+        let group = split_count_group(a, &device, split, m)?;
+        let plan = solver
+            .plan_geometry_split(&group, n, elem_bytes)
+            .map_err(|e| e.to_string())?;
+        let report = tridiag_gpu::verify_distributed_plan(&group, &plan);
+        if a.flag("json") {
+            println!("{}", report.to_json());
+        } else {
+            println!("{report}");
+        }
+        if !report.is_clean() {
+            return Err(Failure::Findings(format!(
+                "plan verification:\n  - {}",
+                report.messages().join("\n  - ")
+            )));
+        }
+        return Ok(());
+    }
     if let Some(group) = device_group(a, &device)? {
         let plan = solver
             .plan_geometry_group(&group, m, n, elem_bytes)
@@ -1086,6 +1368,52 @@ fn verify_negative(device: &DeviceSpec) -> Result<(), Failure> {
     {
         Some(f) => findings.push(format!("shard k drifting off the pin: caught: {f}")),
         None => missing.push("shard k drifting off the pin: expected shard-consistency".into()),
+    }
+
+    // Distributed corruptions: one per new diagnostic class, each
+    // demanded to fire with chunk attribution where one applies.
+    let dbase = solver
+        .plan_geometry_split(&group, 512, 8)
+        .map_err(|e| e.to_string())?;
+    let mut p = dbase.clone();
+    p.chunks[0].interior = None;
+    let report = tridiag_gpu::verify_distributed_plan(&group, &p);
+    match report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::InterfaceExchange && f.chunk == Some(0))
+    {
+        Some(f) => findings.push(format!("interface used before defined: caught: {f}")),
+        None => missing.push(
+            "interface used before defined: expected chunk-attributed interface-exchange".into(),
+        ),
+    }
+    let mut p = dbase.clone();
+    p.chunks[1].row_start += 1;
+    let report = tridiag_gpu::verify_distributed_plan(&group, &p);
+    match report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::ChunkPartition && f.chunk == Some(1))
+    {
+        Some(f) => findings.push(format!("gapped chunk partition: caught: {f}")),
+        None => missing
+            .push("gapped chunk partition: expected chunk-attributed chunk-partition".into()),
+    }
+    let mut p = dbase.clone();
+    p.reduced = Some(
+        solver
+            .plan_geometry(1, 2 * group.len() - 1, 8)
+            .map_err(|e| e.to_string())?,
+    );
+    let report = tridiag_gpu::verify_distributed_plan(&group, &p);
+    match report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::ReducedSystem)
+    {
+        Some(f) => findings.push(format!("reduced system of the wrong size: caught: {f}")),
+        None => missing.push("reduced system of the wrong size: expected reduced-system".into()),
     }
 
     if !missing.is_empty() {

@@ -1,0 +1,1323 @@
+//! Distributed single-system solve: one system of length `n` split
+//! across a [`DeviceGroup`] by rows.
+//!
+//! Sharding ([`crate::sharded`]) partitions *systems*; it cannot help
+//! when a **single** system outgrows one device's memory. This module
+//! implements the standard substructuring decomposition for that case:
+//!
+//! 1. **Partition** the `n` rows into `D` contiguous chunks (±1
+//!    balance, the [`crate::plan::partition_systems`] idiom), each at
+//!    least 2 rows so it owns an interface pair.
+//! 2. **Partial elimination** per device: a chunk's first and last rows
+//!    are its *interface* unknowns; the `L - 2` interior rows form an
+//!    independent tridiagonal system once the couplings to the
+//!    interface pair are moved to the right-hand side. Each device
+//!    solves that interior system for three right-hand sides — the
+//!    original interior RHS `y`, the unit load from the left interface
+//!    `u`, and the unit load from the right interface `w` — by running
+//!    **one** `m = 1` [`SolvePlan`] three times through a private
+//!    [`PlanExecutor`]. The peak resident footprint per device is then
+//!    that of an `n/D`-row plan, which is what lets a system that
+//!    overflows one device fit on `D`.
+//! 3. **Gather** the modified interface rows (two per chunk, four
+//!    coefficients each) to the primary device over the PCIe cost
+//!    model ([`StreamOp::CopyD2H`]).
+//! 4. **Reduced solve**: the `2D` interface unknowns form a genuinely
+//!    tridiagonal system (each interface row couples only to its
+//!    partner in the same chunk and to the adjacent row of the
+//!    neighbouring chunk); the primary device solves it with the
+//!    ordinary kernel zoo.
+//! 5. **Scatter** each chunk's interface pair back
+//!    ([`StreamOp::CopyH2D`], PCIe-serialized — one bus), then finish
+//!    with per-device **back substitution**
+//!    `x_interior = y - x_first * u - x_last * w`. The scatter copies
+//!    are serialized across the bus in device order, so device 0's
+//!    back-substitution overlaps device `D-1`'s interface wait — the
+//!    pipelining is visible in the merged timeline and trace.
+//!
+//! Numerics: the interior eliminations reorder the arithmetic of the
+//! single-device pipeline, so for `D >= 2` the result matches the
+//! single-device solution to a condition-derived tolerance rather than
+//! bit-for-bit (see DESIGN.md §15); `D == 1` short-circuits to the
+//! identity path and *is* bit-identical. The 3-RHS formulation costs
+//! roughly 3x the interior flops of a plain Thomas sweep — the price
+//! of capacity, not a speedup at small `D`.
+
+use crate::buffers::GpuScalar;
+use crate::executor::PlanExecutor;
+use crate::plan::{SolvePlan, Step};
+use crate::solver::{DistributedSummary, GpuSolveReport, GpuSolverConfig, ShardSummary};
+use gpu_sim::group::copy_us;
+use gpu_sim::json::schema::Check;
+use gpu_sim::trace::Trace;
+use gpu_sim::{
+    DeviceGroup, ExecConfig, GroupTimeline, Json, Result, SimError, StreamOp,
+};
+use tridiag_core::{SystemBatch, TridiagonalSystem};
+
+/// Split `n` rows of one system across `d` devices into contiguous
+/// `(row_start, row_count)` chunks, sizes balanced within 1, earlier
+/// chunks taking the remainder — the [`crate::plan::partition_systems`]
+/// idiom applied to rows. Every chunk needs at least 2 rows (its
+/// interface pair), so this requires `n >= 2 * d`.
+pub fn partition_rows(n: usize, d: usize) -> Result<Vec<(usize, usize)>> {
+    if d == 0 {
+        return Err(SimError::InvalidPlan("device group is empty".into()));
+    }
+    if n == 0 {
+        return Err(SimError::InvalidPlan(
+            "cannot split an empty system (n = 0)".into(),
+        ));
+    }
+    if n < 2 * d {
+        return Err(SimError::InvalidPlan(format!(
+            "cannot split {n} row(s) across {d} device(s): each chunk needs at \
+             least 2 rows for its interface pair (n >= {})",
+            2 * d
+        )));
+    }
+    let base = n / d;
+    let rem = n % d;
+    let mut chunks = Vec::with_capacity(d);
+    let mut start = 0usize;
+    for i in 0..d {
+        let count = base + usize::from(i < rem);
+        chunks.push((start, count));
+        start += count;
+    }
+    debug_assert_eq!(start, n);
+    Ok(chunks)
+}
+
+/// One device's share of a distributed solve: which rows it owns and
+/// the interior-elimination [`SolvePlan`] (built against *its* spec)
+/// for its `row_count - 2` interior rows. A 2-row chunk is all
+/// interface — it has no interior system and `interior` is `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkPlan {
+    /// Index into the [`DeviceGroup`] this chunk runs on.
+    pub device_index: usize,
+    /// Device name (the spec the interior plan was built for).
+    pub device: &'static str,
+    /// First row (in the caller's system) this chunk owns.
+    pub row_start: usize,
+    /// Number of rows this chunk owns (>= 2).
+    pub row_count: usize,
+    /// `m = 1, n = row_count - 2` plan for the interior elimination,
+    /// run three times (RHS `y`, `u`, `w`). `None` iff `row_count == 2`.
+    pub interior: Option<SolvePlan>,
+}
+
+impl ChunkPlan {
+    /// Interior row count (`row_count - 2`).
+    pub fn interior_len(&self) -> usize {
+        self.row_count - 2
+    }
+}
+
+/// A single system of `n` rows split across a [`DeviceGroup`]: one
+/// [`ChunkPlan`] per device plus the `2D`-row reduced interface plan on
+/// the primary device. A single-device group short-circuits to the
+/// identity: `identity` holds the ordinary `m = 1` plan and both
+/// `chunks` and `reduced` are empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedPlan {
+    /// Rows in the full system.
+    pub n: usize,
+    /// Scalar width in bytes (4 or 8).
+    pub elem_bytes: usize,
+    /// Precision label (`"f32"` / `"f64"`).
+    pub precision: &'static str,
+    /// `D == 1` short-circuit: the plain single-device plan.
+    /// `Some` iff the group has one device.
+    pub identity: Option<SolvePlan>,
+    /// Per-device chunk plans, in device order. Empty iff `D == 1`.
+    pub chunks: Vec<ChunkPlan>,
+    /// `m = 1, n = 2 * chunks.len()` plan for the reduced interface
+    /// system on the primary device. `Some` iff `D > 1`.
+    pub reduced: Option<SolvePlan>,
+}
+
+impl DistributedPlan {
+    /// Plan a distributed solve of one `n`-row system across `group`.
+    /// Pure, like [`SolvePlan::build`]. A single-device group yields
+    /// the identity path.
+    ///
+    /// Fails with [`SimError::InvalidPlan`] on an empty or too-small
+    /// geometry (`n < 2D`), an unsupported scalar width, or any
+    /// per-chunk plan failure (e.g. an interior footprint beyond its
+    /// device's global memory).
+    pub fn build(
+        group: &DeviceGroup,
+        config: &GpuSolverConfig,
+        n: usize,
+        elem_bytes: usize,
+    ) -> Result<DistributedPlan> {
+        let precision = match elem_bytes {
+            4 => "f32",
+            8 => "f64",
+            other => {
+                return Err(SimError::InvalidPlan(format!(
+                    "unsupported scalar width: {other} bytes (expected 4 or 8)"
+                )))
+            }
+        };
+        if group.len() == 1 {
+            let plan = SolvePlan::build(group.primary(), config, 1, n, elem_bytes)?;
+            return Ok(DistributedPlan {
+                n,
+                elem_bytes,
+                precision,
+                identity: Some(plan),
+                chunks: Vec::new(),
+                reduced: None,
+            });
+        }
+        let d = group.len();
+        let ranges = partition_rows(n, d)?;
+        let chunks = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(device_index, (row_start, row_count))| {
+                let spec = &group.devices()[device_index];
+                let interior = if row_count == 2 {
+                    None
+                } else {
+                    Some(
+                        SolvePlan::build(spec, config, 1, row_count - 2, elem_bytes).map_err(
+                            |e| match e {
+                                SimError::InvalidPlan(msg) => SimError::InvalidPlan(format!(
+                                    "chunk {device_index} (rows [{row_start}, {})): {msg}",
+                                    row_start + row_count
+                                )),
+                                other => other,
+                            },
+                        )?,
+                    )
+                };
+                Ok(ChunkPlan {
+                    device_index,
+                    device: spec.name,
+                    row_start,
+                    row_count,
+                    interior,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let reduced = SolvePlan::build(group.primary(), config, 1, 2 * d, elem_bytes)
+            .map_err(|e| match e {
+                SimError::InvalidPlan(msg) => {
+                    SimError::InvalidPlan(format!("reduced interface system: {msg}"))
+                }
+                other => other,
+            })?;
+        Ok(DistributedPlan {
+            n,
+            elem_bytes,
+            precision,
+            identity: None,
+            chunks,
+            reduced: Some(reduced),
+        })
+    }
+
+    /// Number of devices (= chunks; 1 on the identity path).
+    pub fn num_devices(&self) -> usize {
+        if self.identity.is_some() {
+            1
+        } else {
+            self.chunks.len()
+        }
+    }
+
+    /// Total device bytes summed over every chunk's interior plan plus
+    /// the reduced plan (or the identity plan).
+    pub fn device_bytes(&self) -> usize {
+        if let Some(p) = &self.identity {
+            return p.device_bytes();
+        }
+        self.chunks
+            .iter()
+            .filter_map(|c| c.interior.as_ref())
+            .map(SolvePlan::device_bytes)
+            .sum::<usize>()
+            + self.reduced.as_ref().map_or(0, SolvePlan::device_bytes)
+    }
+
+    /// Multi-line human description: the row partition, each chunk's
+    /// device/interior geometry/footprint, and the reduced interface
+    /// system.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "distributed plan: n={} {} across {} device(s)",
+            self.n,
+            self.precision,
+            self.num_devices()
+        );
+        if let Some(p) = &self.identity {
+            let _ = writeln!(
+                s,
+                "  identity: single-device path on {} k={} kernels={} device_bytes={}",
+                p.device,
+                p.k,
+                p.launches().map(|l| l.name).collect::<Vec<_>>().join(" -> "),
+                p.device_bytes()
+            );
+            return s;
+        }
+        for c in &self.chunks {
+            match &c.interior {
+                Some(p) => {
+                    let _ = writeln!(
+                        s,
+                        "  chunk {}: {} rows [{}, {}) interior n={} k={} kernels={} \
+                         device_bytes={} (x3 RHS: y, u, w)",
+                        c.device_index,
+                        c.device,
+                        c.row_start,
+                        c.row_start + c.row_count,
+                        c.interior_len(),
+                        p.k,
+                        p.launches().map(|l| l.name).collect::<Vec<_>>().join(" -> "),
+                        p.device_bytes()
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        s,
+                        "  chunk {}: {} rows [{}, {}) interface-only (2 rows, no \
+                         interior elimination)",
+                        c.device_index,
+                        c.device,
+                        c.row_start,
+                        c.row_start + c.row_count
+                    );
+                }
+            }
+        }
+        if let Some(r) = &self.reduced {
+            let _ = writeln!(
+                s,
+                "  reduced: n={} on {} k={} kernels={} device_bytes={}",
+                r.n,
+                r.device,
+                r.k,
+                r.launches().map(|l| l.name).collect::<Vec<_>>().join(" -> "),
+                r.device_bytes()
+            );
+        }
+        s
+    }
+
+    /// Serialize as a JSON object (schema `tridiag.distributed_plan/v1`);
+    /// [`validate_distributed_plan_json`] checks the shape.
+    pub fn to_json(&self) -> Json {
+        let chunks = self
+            .chunks
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("device".into(), Json::str(c.device)),
+                    ("device_index".into(), Json::num(c.device_index as f64)),
+                    ("row_start".into(), Json::num(c.row_start as f64)),
+                    ("row_count".into(), Json::num(c.row_count as f64)),
+                    (
+                        "interior".into(),
+                        c.interior.as_ref().map_or(Json::Null, SolvePlan::to_json),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::str(DISTRIBUTED_PLAN_SCHEMA)),
+            ("n".into(), Json::num(self.n as f64)),
+            ("elem_bytes".into(), Json::num(self.elem_bytes as f64)),
+            ("precision".into(), Json::str(self.precision)),
+            ("devices".into(), Json::num(self.num_devices() as f64)),
+            ("device_bytes".into(), Json::num(self.device_bytes() as f64)),
+            (
+                "identity".into(),
+                self.identity.as_ref().map_or(Json::Null, SolvePlan::to_json),
+            ),
+            ("chunks".into(), Json::Arr(chunks)),
+            (
+                "reduced".into(),
+                self.reduced.as_ref().map_or(Json::Null, SolvePlan::to_json),
+            ),
+        ])
+    }
+}
+
+/// Schema identifier emitted by [`DistributedPlan::to_json`].
+pub const DISTRIBUTED_PLAN_SCHEMA: &str = "tridiag.distributed_plan/v1";
+
+/// Validate a parsed distributed-plan document against the
+/// `tridiag.distributed_plan/v1` schema: field shapes, the embedded
+/// identity/interior/reduced plans (via
+/// [`crate::plan::validate_plan_json`]), and the partition invariants
+/// (contiguous full row coverage, every chunk >= 2 rows, balance
+/// within 1, `interior` present exactly when the chunk has interior
+/// rows, reduced size `2D`). Returns every problem found (empty =
+/// valid).
+pub fn validate_distributed_plan_json(doc: &Json) -> Vec<String> {
+    use crate::plan::validate_plan_json;
+    let mut c = Check::new(doc);
+    c.schema(DISTRIBUTED_PLAN_SCHEMA);
+    c.req_str("precision");
+    c.req_uints(&["n", "elem_bytes", "devices", "device_bytes"]);
+    let n = doc.get("n").and_then(Json::as_num).unwrap_or(0.0) as usize;
+    let declared = doc.get("devices").and_then(Json::as_num).unwrap_or(0.0) as usize;
+    let identity = doc.get("identity").filter(|j| !matches!(j, Json::Null));
+    let reduced = doc.get("reduced").filter(|j| !matches!(j, Json::Null));
+    let chunks = doc.get("chunks").and_then(Json::as_arr).unwrap_or(&[]);
+    if let Some(ident) = identity {
+        // Identity path: D == 1, no chunks, no reduced system.
+        c.absorb_with("identity: ", validate_plan_json(ident));
+        c.ensure(declared == 1, "identity plan present but \"devices\" != 1");
+        c.ensure(chunks.is_empty(), "identity plan present but chunks are listed");
+        c.ensure(
+            reduced.is_none(),
+            "identity plan present but a reduced plan is listed",
+        );
+        return c.finish();
+    }
+    c.ensure(
+        chunks.len() == declared,
+        format!(
+            "\"devices\" is {declared} but {} chunks are listed",
+            chunks.len()
+        ),
+    );
+    let mut cursor = 0usize;
+    let mut min_count = usize::MAX;
+    let mut max_count = 0usize;
+    for (i, ch) in chunks.iter().enumerate() {
+        let mut chc = c.child(ch, format!("chunks[{i}] "));
+        chc.req_str("device");
+        let num = |key: &str| ch.get(key).and_then(Json::as_num);
+        match (num("device_index"), num("row_start"), num("row_count")) {
+            (Some(di), Some(start), Some(count))
+                if di.fract() == 0.0 && start.fract() == 0.0 && count.fract() == 0.0 =>
+            {
+                chc.ensure(di as usize == i, format!("has device_index {di}"));
+                chc.ensure(
+                    start as usize == cursor,
+                    format!(
+                        "starts at {start}, expected {cursor} \
+                         (chunks must tile the system contiguously)"
+                    ),
+                );
+                chc.ensure(
+                    count >= 2.0,
+                    format!("owns {count} row(s): a chunk needs its 2-row interface pair"),
+                );
+                cursor = start as usize + count as usize;
+                min_count = min_count.min(count as usize);
+                max_count = max_count.max(count as usize);
+                let interior = ch.get("interior").filter(|j| !matches!(j, Json::Null));
+                match (interior, count as usize) {
+                    (None, cnt) if cnt > 2 => chc.problem(format!(
+                        "has {cnt} rows but no interior plan (interface \
+                         coefficients would be used before being defined)"
+                    )),
+                    (Some(_), 2) => {
+                        chc.problem("is interface-only (2 rows) but lists an interior plan")
+                    }
+                    (Some(plan), cnt) => {
+                        chc.absorb_with("interior: ", validate_plan_json(plan));
+                        let pnum = |key: &str| plan.get(key).and_then(Json::as_num);
+                        if let Some(pn) = pnum("n") {
+                            chc.ensure(
+                                pn as usize == cnt - 2,
+                                format!(
+                                    "interior plan solves n = {pn} but the chunk \
+                                     has {} interior row(s)",
+                                    cnt - 2
+                                ),
+                            );
+                        }
+                        if let Some(pm) = pnum("m") {
+                            chc.ensure(pm == 1.0, format!("interior plan has m = {pm}, not 1"));
+                        }
+                    }
+                    (None, _) => {}
+                }
+            }
+            _ => chc.problem("missing integer device_index/row_start/row_count"),
+        }
+        c.absorb(chc);
+    }
+    if chunks.is_empty() {
+        c.problem("no identity plan and no chunks");
+    } else {
+        c.ensure(
+            cursor == n,
+            format!("chunks cover [0, {cursor}) but the system has n = {n} rows"),
+        );
+        c.ensure(
+            max_count == 0 || max_count - min_count <= 1,
+            format!("chunk sizes unbalanced: min {min_count}, max {max_count} (allowed skew 1)"),
+        );
+    }
+    match reduced {
+        Some(plan) => {
+            c.absorb_with("reduced: ", validate_plan_json(plan));
+            let pnum = |key: &str| plan.get(key).and_then(Json::as_num);
+            if let Some(rn) = pnum("n") {
+                c.ensure(
+                    rn as usize == 2 * chunks.len(),
+                    format!(
+                        "reduced plan solves n = {rn} but {} chunks need {} \
+                         interface unknowns",
+                        chunks.len(),
+                        2 * chunks.len()
+                    ),
+                );
+            }
+            if let Some(rm) = pnum("m") {
+                c.ensure(rm == 1.0, format!("reduced plan has m = {rm}, not 1"));
+            }
+        }
+        None => c.problem("missing reduced interface plan"),
+    }
+    c.finish()
+}
+
+/// What one chunk's worker thread hands back: the three interior
+/// solutions, the modified interface rows, and the per-run artifacts.
+struct ChunkRun<S> {
+    /// Interior solution for the original RHS (empty when `L == 2`).
+    y: Vec<S>,
+    /// Interior solution for the left-interface unit load.
+    u: Vec<S>,
+    /// Interior solution for the right-interface unit load.
+    w: Vec<S>,
+    /// Modified first interface row `(a, b, c, d)` in reduced-system
+    /// coefficients.
+    row_first: (S, S, S, S),
+    /// Modified last interface row.
+    row_last: (S, S, S, S),
+    /// One report per interior run (`y`, `u`, `w`), empty when `L == 2`.
+    reports: Vec<GpuSolveReport>,
+    flops: u64,
+    global_transactions: u64,
+    global_bytes: u64,
+}
+
+/// Drives a [`DistributedPlan`] across a [`DeviceGroup`], one thread
+/// per chunk for the interior eliminations, the reduced interface
+/// solve on the primary device, and merges the results into one
+/// [`GpuSolveReport`].
+#[derive(Debug, Clone)]
+pub struct DistributedExecutor {
+    group: DeviceGroup,
+    exec: ExecConfig,
+}
+
+impl DistributedExecutor {
+    /// An executor for `group` with execution options `exec` (applied
+    /// to every chunk's kernels and the reduced solve).
+    pub fn new(group: DeviceGroup, exec: ExecConfig) -> Self {
+        Self { group, exec }
+    }
+
+    /// The device group this executor drives.
+    pub fn group(&self) -> &DeviceGroup {
+        &self.group
+    }
+
+    /// Execute `plan` over `batch` (which must hold exactly one system
+    /// of `plan.n` rows). Returns the solution plus the merged report.
+    ///
+    /// Fails with [`SimError::InvalidPlan`] when the batch does not
+    /// match the plan's geometry/width, the plan was built for a
+    /// different device count, or static verification
+    /// ([`crate::verify::verify_distributed_plan`]) finds a problem;
+    /// any chunk failure (including a worker panic, reported as
+    /// [`SimError::KernelFault`] with chunk attribution) aborts the
+    /// whole solve.
+    pub fn run<S: GpuScalar + Send + Sync>(
+        &self,
+        plan: &DistributedPlan,
+        batch: &SystemBatch<S>,
+    ) -> Result<(Vec<S>, GpuSolveReport)> {
+        if batch.num_systems() != 1 {
+            return Err(SimError::InvalidPlan(format!(
+                "distributed solve takes exactly one system, got m = {}",
+                batch.num_systems()
+            )));
+        }
+        if batch.system_len() != plan.n {
+            return Err(SimError::InvalidPlan(format!(
+                "batch has {} rows but the distributed plan was built for n = {}",
+                batch.system_len(),
+                plan.n
+            )));
+        }
+        if <S as gpu_sim::Elem>::BYTES != plan.elem_bytes {
+            return Err(SimError::InvalidPlan(format!(
+                "batch scalar is {} bytes but the distributed plan was built for {}",
+                <S as gpu_sim::Elem>::BYTES,
+                plan.elem_bytes
+            )));
+        }
+        let expected_devices = plan.num_devices();
+        if expected_devices != self.group.len() {
+            return Err(SimError::InvalidPlan(format!(
+                "distributed plan has {} chunk(s) but the group has {} device(s)",
+                expected_devices,
+                self.group.len()
+            )));
+        }
+        // Cross-device static verification gates execution: partition
+        // coverage, interface dataflow, reduced-system geometry, and
+        // every chunk's own certificate against its device.
+        let dist_verify = crate::verify::verify_distributed_plan(&self.group, plan);
+        if !dist_verify.is_clean() {
+            return Err(SimError::InvalidPlan(format!(
+                "distributed plan failed static verification: {}",
+                dist_verify.messages().join("; ")
+            )));
+        }
+        if let Some(identity) = &plan.identity {
+            // D == 1 is the identity: this is exactly the single-device
+            // path, byte for byte.
+            let mut ex = PlanExecutor::new(self.group.primary().clone(), self.exec);
+            return ex.run(identity, batch);
+        }
+        let reduced_plan = plan
+            .reduced
+            .as_ref()
+            .expect("verified distributed plan has a reduced plan");
+
+        // One worker thread per chunk: build the interior system, solve
+        // it for the three right-hand sides, fold the solutions into
+        // the chunk's two interface rows.
+        let exec = self.exec;
+        let group = &self.group;
+        let joined: Vec<Result<ChunkRun<S>>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .chunks
+                .iter()
+                .map(|ch| {
+                    let spec = group.devices()[ch.device_index].clone();
+                    scope.spawn(move |_| -> Result<ChunkRun<S>> {
+                        chunk_eliminate(spec, exec, ch, batch)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(SimError::KernelFault("chunk worker thread panicked".into()))
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|_| {
+            vec![Err(SimError::KernelFault(
+                "chunk worker thread panicked".into(),
+            ))]
+        });
+
+        // First fault by device index wins (deterministic); the other
+        // chunks' partial results are dropped here with `joined`.
+        let mut runs: Vec<ChunkRun<S>> = Vec::with_capacity(joined.len());
+        for (d, r) in joined.into_iter().enumerate() {
+            match r {
+                Ok(run) => runs.push(run),
+                Err(SimError::KernelFault(msg)) => {
+                    return Err(SimError::KernelFault(format!("chunk {d}: {msg}")))
+                }
+                Err(other) => return Err(other),
+            }
+        }
+
+        // Assemble the reduced interface system on the host (it is
+        // gathered to the primary device below, on the modeled
+        // timeline) and solve it with the ordinary pipeline. Ordering:
+        // (x_first_0, x_last_0, x_first_1, ...) — each interface row
+        // couples only to its in-chunk partner and to the adjacent row
+        // of the neighbouring chunk, so the system is tridiagonal.
+        let rd_n = 2 * plan.chunks.len();
+        let mut ra = vec![S::ZERO; rd_n];
+        let mut rb = vec![S::ZERO; rd_n];
+        let mut rc = vec![S::ZERO; rd_n];
+        let mut rdv = vec![S::ZERO; rd_n];
+        for (j, run) in runs.iter().enumerate() {
+            let (fa, fb, fc, fd) = run.row_first;
+            let (la, lb, lc, ld) = run.row_last;
+            ra[2 * j] = fa;
+            rb[2 * j] = fb;
+            rc[2 * j] = fc;
+            rdv[2 * j] = fd;
+            ra[2 * j + 1] = la;
+            rb[2 * j + 1] = lb;
+            rc[2 * j + 1] = lc;
+            rdv[2 * j + 1] = ld;
+        }
+        let reduced_sys = TridiagonalSystem::new(ra, rb, rc, rdv)
+            .map_err(|e| SimError::InvalidPlan(format!("assembling reduced system: {e}")))?;
+        let reduced_batch = SystemBatch::from_systems(vec![reduced_sys])
+            .map_err(|e| SimError::InvalidPlan(format!("building reduced batch: {e}")))?;
+        let mut red_ex = PlanExecutor::new(self.group.primary().clone(), self.exec);
+        let (xr, red_report) = red_ex
+            .run(reduced_plan, &reduced_batch)
+            .map_err(|e| match e {
+                SimError::KernelFault(msg) => {
+                    SimError::KernelFault(format!("reduced interface solve: {msg}"))
+                }
+                other => other,
+            })?;
+        let reduced_flops: u64 = red_ex.stats.iter().map(|s| s.total.flops).sum();
+        let reduced_transactions: u64 = red_ex
+            .stats
+            .iter()
+            .map(|s| s.total.global_transactions())
+            .sum();
+        let reduced_bytes: u64 = red_ex.stats.iter().map(|s| s.total.global_bytes()).sum();
+
+        // Distributed back substitution:
+        //   x[first] = xr[2j], x[last] = xr[2j+1],
+        //   x[interior t] = y[t] - u[t] * x[first] - w[t] * x[last].
+        let mut out = vec![S::ZERO; batch.total_len()];
+        let mut backsub_flops = 0u64;
+        for (ch, run) in plan.chunks.iter().zip(&runs) {
+            let j = ch.device_index;
+            let xs = xr[2 * j];
+            let xe = xr[2 * j + 1];
+            out[batch.index(0, ch.row_start)] = xs;
+            out[batch.index(0, ch.row_start + ch.row_count - 1)] = xe;
+            for t in 0..ch.interior_len() {
+                out[batch.index(0, ch.row_start + 1 + t)] =
+                    run.y[t] - run.u[t] * xs - run.w[t] * xe;
+            }
+            backsub_flops += 4 * ch.interior_len() as u64;
+        }
+
+        // ---- modeled timeline -----------------------------------------
+        // Replay each chunk's three interior runs onto its device's
+        // in-order stream, then the interface gather (D2H), the reduced
+        // solve on the primary, and the PCIe-serialized scatter (H2D)
+        // followed by the back-substitution launch — the scatter
+        // serialization is what makes device 0's back-substitution
+        // overlap device D-1's interface wait.
+        let eb = plan.elem_bytes;
+        let gather_chunk_bytes = 8 * eb; // 2 interface rows x 4 coefficients
+        let scatter_chunk_bytes = 2 * eb; // 2 interface values
+        let rhs_tags = ["y", "u", "w"];
+        let mut timeline = GroupTimeline::new(&self.group);
+        for (ch, run) in plan.chunks.iter().zip(&runs) {
+            let stream = timeline.stream_mut(ch.device_index);
+            if let Some(ip) = &ch.interior {
+                for (tag, report) in rhs_tags.iter().zip(&run.reports) {
+                    let mut kernel_idx = 0usize;
+                    for step in &ip.steps {
+                        match step {
+                            Step::Upload { slot, source } => {
+                                let bytes = ip.buffers[*slot].elems * eb;
+                                stream.record(
+                                    StreamOp::CopyH2D,
+                                    format!("h2d:{}#{tag}", source.label()),
+                                    copy_us(bytes),
+                                    bytes,
+                                );
+                            }
+                            Step::Launch(ls) => {
+                                let kr = report.kernels.get(kernel_idx).ok_or_else(|| {
+                                    SimError::InvalidPlan(
+                                        "chunk report is missing a kernel launch".into(),
+                                    )
+                                })?;
+                                stream.record(StreamOp::Launch, ls.name, kr.timing.total_us, 0);
+                                kernel_idx += 1;
+                            }
+                            Step::Download { slot } => {
+                                let bytes = ip.buffers[*slot].elems * eb;
+                                stream.record(
+                                    StreamOp::CopyD2H,
+                                    format!("d2h:{}#{tag}", ip.buffers[*slot].name),
+                                    copy_us(bytes),
+                                    bytes,
+                                );
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            stream.record(
+                StreamOp::CopyD2H,
+                "gather:interface",
+                copy_us(gather_chunk_bytes),
+                gather_chunk_bytes,
+            );
+        }
+        // The reduced solve starts on the primary once every chunk's
+        // interface rows have arrived.
+        let gather_done = timeline
+            .streams()
+            .iter()
+            .map(|s| s.completion_us())
+            .fold(0.0f64, f64::max);
+        {
+            let s0 = timeline.stream_mut(0);
+            s0.wait_until(gather_done);
+            let mut kernel_idx = 0usize;
+            for step in &reduced_plan.steps {
+                match step {
+                    Step::Upload { slot, source } => {
+                        let bytes = reduced_plan.buffers[*slot].elems * eb;
+                        s0.record(
+                            StreamOp::CopyH2D,
+                            format!("h2d:{}#reduced", source.label()),
+                            copy_us(bytes),
+                            bytes,
+                        );
+                    }
+                    Step::Launch(ls) => {
+                        let kr = red_report.kernels.get(kernel_idx).ok_or_else(|| {
+                            SimError::InvalidPlan(
+                                "reduced report is missing a kernel launch".into(),
+                            )
+                        })?;
+                        s0.record(StreamOp::Launch, ls.name, kr.timing.total_us, 0);
+                        kernel_idx += 1;
+                    }
+                    Step::Download { slot } => {
+                        let bytes = reduced_plan.buffers[*slot].elems * eb;
+                        s0.record(
+                            StreamOp::CopyD2H,
+                            format!("d2h:{}#reduced", reduced_plan.buffers[*slot].name),
+                            copy_us(bytes),
+                            bytes,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let reduced_done = timeline.streams()[0].completion_us();
+        // Scatter the interface pairs back, serialized over one PCIe
+        // bus in device order; each device then back-substitutes its
+        // interior as soon as *its* pair lands.
+        let mut host_cursor = reduced_done;
+        for ch in &plan.chunks {
+            let st = timeline.stream_mut(ch.device_index);
+            st.wait_until(host_cursor);
+            st.record(
+                StreamOp::CopyH2D,
+                "scatter:interface",
+                copy_us(scatter_chunk_bytes),
+                scatter_chunk_bytes,
+            );
+            host_cursor = st.completion_us();
+        }
+        let mut backsub_us = vec![0.0f64; plan.chunks.len()];
+        for ch in &plan.chunks {
+            if ch.interior_len() == 0 {
+                continue;
+            }
+            let spec = &self.group.devices()[ch.device_index];
+            // Streaming pass over y/u/w + the write of x: bandwidth-
+            // bound at 4 elements per interior row, plus launch cost.
+            let bytes = 4 * ch.interior_len() * eb;
+            let dur = spec.launch_overhead_us + bytes as f64 / (spec.dram_bandwidth_gbps * 1e3);
+            backsub_us[ch.device_index] = dur;
+            timeline
+                .stream_mut(ch.device_index)
+                .record(StreamOp::Launch, "back_substitute", dur, 0);
+        }
+        let wall_clock = timeline.wall_clock_us();
+        let kernel_wall = timeline.kernel_wall_clock_us();
+        let serialized = timeline.serialized_us();
+
+        // ---- merged Chrome trace --------------------------------------
+        let mut trace = Trace::new(format!(
+            "tridiag distributed solve on {}",
+            self.group.label()
+        ));
+        trace.span(
+            "distributed_solve",
+            "solver",
+            0,
+            0.0,
+            wall_clock,
+            vec![
+                ("n".into(), Json::num(plan.n as f64)),
+                ("precision".into(), Json::str(plan.precision)),
+                ("devices".into(), Json::num(plan.chunks.len() as f64)),
+                ("kernel_wall_us".into(), Json::num(kernel_wall)),
+                ("serialized_us".into(), Json::num(serialized)),
+            ],
+        );
+        trace.instant(
+            "partition",
+            "solver",
+            0,
+            0.0,
+            vec![
+                ("devices".into(), Json::num(plan.chunks.len() as f64)),
+                (
+                    "chunks".into(),
+                    Json::str(
+                        plan.chunks
+                            .iter()
+                            .map(|c| format!("{}:{}", c.device_index, c.row_count))
+                            .collect::<Vec<_>>()
+                            .join("+"),
+                    ),
+                ),
+            ],
+        );
+        trace.instant(
+            "reduced_system",
+            "solver",
+            0,
+            0.0,
+            vec![
+                ("n".into(), Json::num(reduced_plan.n as f64)),
+                ("device".into(), Json::str(reduced_plan.device)),
+                ("k".into(), Json::num(reduced_plan.k)),
+            ],
+        );
+        for (ch, run) in plan.chunks.iter().zip(&runs) {
+            let tid = ch.device_index as u32;
+            let stream = &timeline.streams()[ch.device_index];
+            // Device d's launch sequence on its stream: the three
+            // interior runs' kernels in order, then (device 0 only) the
+            // reduced kernels, then the back_substitute launch, which
+            // has no KernelReport and is emitted by name.
+            let mut kernels: Vec<_> = run
+                .reports
+                .iter()
+                .flat_map(|r| r.kernels.iter())
+                .collect();
+            if ch.device_index == 0 {
+                kernels.extend(red_report.kernels.iter());
+            }
+            let mut kernels = kernels.into_iter();
+            for ev in &stream.events {
+                match ev.op {
+                    StreamOp::CopyH2D | StreamOp::CopyD2H => {
+                        trace.span(
+                            ev.name.clone(),
+                            "copy",
+                            tid,
+                            ev.start_us,
+                            ev.dur_us,
+                            vec![("bytes".into(), Json::num(ev.bytes as f64))],
+                        );
+                    }
+                    StreamOp::Launch if ev.name == "back_substitute" => {
+                        trace.span(
+                            "kernel:back_substitute",
+                            "kernel",
+                            tid,
+                            ev.start_us,
+                            ev.dur_us,
+                            vec![(
+                                "interior_rows".into(),
+                                Json::num(ch.interior_len() as f64),
+                            )],
+                        );
+                    }
+                    StreamOp::Launch => {
+                        let kr = kernels.next().expect("one report per launch event");
+                        let t = &kr.timing;
+                        trace.span(
+                            format!("kernel:{}", t.name),
+                            "kernel",
+                            tid,
+                            ev.start_us,
+                            t.total_us,
+                            vec![
+                                ("blocks".into(), Json::num(kr.blocks as f64)),
+                                ("bound".into(), Json::str(format!("{:?}", t.bound))),
+                                ("occupancy".into(), Json::num(t.occupancy_fraction)),
+                                ("waves".into(), Json::num(t.waves)),
+                            ],
+                        );
+                        trace.span(
+                            "launch_overhead",
+                            "kernel",
+                            tid,
+                            ev.start_us,
+                            t.launch_us,
+                            Vec::new(),
+                        );
+                        let mut at = ev.start_us + t.launch_us;
+                        for ph in &t.phases {
+                            trace.span(
+                                format!("phase:{}", ph.label),
+                                "phase",
+                                tid,
+                                at,
+                                ph.us,
+                                vec![
+                                    ("bound".into(), Json::str(format!("{:?}", ph.bound))),
+                                    ("flops".into(), Json::num(ph.stats.flops as f64)),
+                                    (
+                                        "global_bytes".into(),
+                                        Json::num(ph.stats.global_bytes() as f64),
+                                    ),
+                                    (
+                                        "transactions".into(),
+                                        Json::num(ph.stats.global_transactions() as f64),
+                                    ),
+                                ],
+                            );
+                            at += ph.us;
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- merged report --------------------------------------------
+        let mut kernels = Vec::new();
+        let mut violations = Vec::new();
+        let mut lints = Vec::new();
+        let mut lint_mismatches = Vec::new();
+        let mut phase_sum_mismatches = Vec::new();
+        let mut verify_mismatches = Vec::new();
+        let mut summaries = Vec::with_capacity(runs.len());
+        for (ch, run) in plan.chunks.iter().zip(&runs) {
+            let d = ch.device_index;
+            let kernel_us: f64 = run.reports.iter().map(|r| r.total_us).sum::<f64>()
+                + backsub_us[d];
+            summaries.push(ShardSummary {
+                device: ch.device,
+                device_index: d,
+                sys_start: ch.row_start,
+                sys_count: ch.row_count,
+                k: ch.interior.as_ref().map_or(0, |p| p.k),
+                kernel_us,
+                completion_us: timeline.streams()[d].completion_us(),
+                flops: run.flops + 4 * ch.interior_len() as u64,
+                global_transactions: run.global_transactions,
+                global_bytes: run.global_bytes,
+            });
+            for r in &run.reports {
+                kernels.extend(r.kernels.iter().cloned());
+                violations.extend(r.violations.iter().cloned());
+                lints.extend(r.lints.iter().cloned());
+                lint_mismatches.extend(r.lint_mismatches.iter().map(|s| format!("dev{d}: {s}")));
+                phase_sum_mismatches
+                    .extend(r.phase_sum_mismatches.iter().map(|s| format!("dev{d}: {s}")));
+                verify_mismatches
+                    .extend(r.verify_mismatches.iter().map(|s| format!("dev{d}: {s}")));
+            }
+        }
+        kernels.extend(red_report.kernels.iter().cloned());
+        violations.extend(red_report.violations.iter().cloned());
+        lints.extend(red_report.lints.iter().cloned());
+        lint_mismatches.extend(
+            red_report
+                .lint_mismatches
+                .iter()
+                .map(|s| format!("reduced: {s}")),
+        );
+        phase_sum_mismatches.extend(
+            red_report
+                .phase_sum_mismatches
+                .iter()
+                .map(|s| format!("reduced: {s}")),
+        );
+        verify_mismatches.extend(
+            red_report
+                .verify_mismatches
+                .iter()
+                .map(|s| format!("reduced: {s}")),
+        );
+        let report = GpuSolveReport {
+            k: reduced_plan.k,
+            mapping: reduced_plan.mapping,
+            fused: reduced_plan.fused,
+            kernels,
+            total_us: kernel_wall,
+            precision: reduced_plan.precision,
+            violations,
+            lints,
+            lint_mismatches,
+            phase_sum_mismatches,
+            // The merged report carries the reduced plan (the one the
+            // primary device actually ran); per-chunk certificates are
+            // re-checked by verify_distributed_plan above.
+            verify: crate::verify::verify_plan(self.group.primary(), reduced_plan),
+            verify_mismatches,
+            trace,
+            plan: reduced_plan.clone(),
+            shards: summaries,
+            distributed: Some(DistributedSummary {
+                devices: plan.chunks.len(),
+                reduced_n: rd_n,
+                reduced_k: reduced_plan.k,
+                reduced_flops,
+                reduced_transactions,
+                reduced_bytes,
+                backsub_flops,
+                gather_bytes: (plan.chunks.len() * gather_chunk_bytes) as u64,
+                scatter_bytes: (plan.chunks.len() * scatter_chunk_bytes) as u64,
+                wall_clock_us: wall_clock,
+                serialized_us: serialized,
+            }),
+        };
+        Ok((out, report))
+    }
+}
+
+/// One chunk's partial elimination, run on its own thread: solve the
+/// interior system for the three right-hand sides and fold the
+/// solutions into the chunk's two interface rows.
+fn chunk_eliminate<S: GpuScalar>(
+    spec: gpu_sim::DeviceSpec,
+    exec: ExecConfig,
+    ch: &ChunkPlan,
+    batch: &SystemBatch<S>,
+) -> Result<ChunkRun<S>> {
+    let s = ch.row_start;
+    let e = ch.row_start + ch.row_count - 1;
+    let (a_s, b_s, c_s, d_s) = batch.row(0, s);
+    let (a_e, b_e, c_e, d_e) = batch.row(0, e);
+    let li = ch.interior_len();
+    if li == 0 {
+        // All-interface chunk: the two rows pass through unchanged —
+        // x_first and x_last are adjacent in the reduced ordering, so
+        // c_s couples x_first to x_last and a_e couples back.
+        return Ok(ChunkRun {
+            y: Vec::new(),
+            u: Vec::new(),
+            w: Vec::new(),
+            row_first: (a_s, b_s, c_s, d_s),
+            row_last: (a_e, b_e, c_e, d_e),
+            reports: Vec::new(),
+            flops: 0,
+            global_transactions: 0,
+            global_bytes: 0,
+        });
+    }
+    let ip = ch
+        .interior
+        .as_ref()
+        .expect("chunk with interior rows has an interior plan");
+    // Interior rows s+1 ..= e-1. The couplings to the interface pair
+    // (a_{s+1} on the first interior row, c_{e-1} on the last) move to
+    // the right-hand side as the unit-load RHS u and w;
+    // TridiagonalSystem::new zeroes lower[0] and upper[n-1], which is
+    // exactly that decoupling.
+    let mut lower = Vec::with_capacity(li);
+    let mut diag = Vec::with_capacity(li);
+    let mut upper = Vec::with_capacity(li);
+    let mut rhs_y = Vec::with_capacity(li);
+    for t in 0..li {
+        let (a, b, c, d) = batch.row(0, s + 1 + t);
+        lower.push(a);
+        diag.push(b);
+        upper.push(c);
+        rhs_y.push(d);
+    }
+    let a_first = lower[0];
+    let c_last = upper[li - 1];
+    let mut rhs_u = vec![S::ZERO; li];
+    rhs_u[0] = a_first;
+    let mut rhs_w = vec![S::ZERO; li];
+    rhs_w[li - 1] = c_last;
+
+    let mut ex = PlanExecutor::new(spec, exec);
+    let mut solve_one = |rhs: Vec<S>| -> Result<(Vec<S>, GpuSolveReport)> {
+        let sys = TridiagonalSystem::new(lower.clone(), diag.clone(), upper.clone(), rhs)
+            .map_err(|e| SimError::InvalidPlan(format!("building interior system: {e}")))?;
+        let sub = SystemBatch::from_systems(vec![sys])
+            .map_err(|e| SimError::InvalidPlan(format!("building interior batch: {e}")))?;
+        ex.run(ip, &sub)
+    };
+    let (y, r_y) = solve_one(rhs_y)?;
+    let (u, r_u) = solve_one(rhs_u)?;
+    let (w, r_w) = solve_one(rhs_w)?;
+
+    // Fold the interior solutions into the interface rows:
+    //   x_{s+1} = y[0]    - u[0]    x_s - w[0]    x_e
+    //   x_{e-1} = y[li-1] - u[li-1] x_s - w[li-1] x_e
+    // substituted into rows s and e of the original system.
+    let row_first = (
+        a_s,
+        b_s - c_s * u[0],
+        -(c_s * w[0]),
+        d_s - c_s * y[0],
+    );
+    let row_last = (
+        -(a_e * u[li - 1]),
+        b_e - a_e * w[li - 1],
+        c_e,
+        d_e - a_e * y[li - 1],
+    );
+    Ok(ChunkRun {
+        y,
+        u,
+        w,
+        row_first,
+        row_last,
+        reports: vec![r_y, r_u, r_w],
+        flops: ex.stats.iter().map(|st| st.total.flops).sum(),
+        global_transactions: ex
+            .stats
+            .iter()
+            .map(|st| st.total.global_transactions())
+            .sum(),
+        global_bytes: ex.stats.iter().map(|st| st.total.global_bytes()).sum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::GpuTridiagSolver;
+    use gpu_sim::DeviceSpec;
+    use tridiag_core::generators::random_batch;
+
+    fn group_of(d: usize) -> DeviceGroup {
+        DeviceGroup::homogeneous(DeviceSpec::gtx480(), d).unwrap()
+    }
+
+    #[test]
+    fn partition_rows_covers_and_balances() {
+        let parts = partition_rows(10, 3).unwrap();
+        assert_eq!(parts, vec![(0, 4), (4, 3), (7, 3)]);
+        let total: usize = parts.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 10);
+        assert!(partition_rows(5, 3).is_err(), "n < 2D must be rejected");
+        assert!(partition_rows(0, 2).is_err());
+        assert!(partition_rows(8, 0).is_err());
+    }
+
+    #[test]
+    fn single_device_group_is_the_identity_path() {
+        let batch = random_batch::<f64>(1, 64, 7);
+        let solver = GpuTridiagSolver::gtx480();
+        let (x1, r1) = solver.solve_batch(&batch).unwrap();
+        let group = DeviceGroup::single(DeviceSpec::gtx480());
+        let plan =
+            DistributedPlan::build(&group, &GpuSolverConfig::default(), 64, 8).unwrap();
+        assert!(plan.identity.is_some());
+        assert!(plan.chunks.is_empty() && plan.reduced.is_none());
+        let (x2, r2) = DistributedExecutor::new(group, ExecConfig::default())
+            .run(&plan, &batch)
+            .unwrap();
+        assert_eq!(x1, x2, "D == 1 must be bit-identical");
+        assert_eq!(r1, r2, "D == 1 must be byte-identical, report and all");
+    }
+
+    #[test]
+    fn distributed_solve_matches_single_device_within_tolerance() {
+        let batch = random_batch::<f64>(1, 256, 11);
+        let solver = GpuTridiagSolver::gtx480();
+        let (x1, _) = solver.solve_batch(&batch).unwrap();
+        for d in [2usize, 4] {
+            let group = group_of(d);
+            let plan =
+                DistributedPlan::build(&group, &GpuSolverConfig::default(), 256, 8).unwrap();
+            let (x2, r2) = DistributedExecutor::new(group, ExecConfig::default())
+                .run(&plan, &batch)
+                .unwrap();
+            let worst = x1
+                .iter()
+                .zip(&x2)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                worst < 1e-9,
+                "D = {d}: max abs deviation {worst} vs single device"
+            );
+            let dist = r2.distributed.as_ref().expect("distributed summary");
+            assert_eq!(dist.devices, d);
+            assert_eq!(dist.reduced_n, 2 * d);
+            assert!(batch.max_relative_residual(&x2).unwrap() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_row_chunks_are_interface_only() {
+        // n = 2D: every chunk is all interface, no interior plans.
+        let group = group_of(4);
+        let plan = DistributedPlan::build(&group, &GpuSolverConfig::default(), 8, 8).unwrap();
+        assert!(plan.chunks.iter().all(|c| c.interior.is_none()));
+        let batch = random_batch::<f64>(1, 8, 13);
+        let solver = GpuTridiagSolver::gtx480();
+        let (x1, _) = solver.solve_batch(&batch).unwrap();
+        let (x2, _) = DistributedExecutor::new(group, ExecConfig::default())
+            .run(&plan, &batch)
+            .unwrap();
+        let worst = x1
+            .iter()
+            .zip(&x2)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 1e-9, "max abs deviation {worst}");
+    }
+
+    #[test]
+    fn geometry_mismatch_is_a_typed_error() {
+        let group = group_of(2);
+        let plan =
+            DistributedPlan::build(&group, &GpuSolverConfig::default(), 64, 8).unwrap();
+        let wrong = random_batch::<f64>(1, 32, 17);
+        let err = DistributedExecutor::new(group.clone(), ExecConfig::default())
+            .run(&plan, &wrong)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlan(_)), "{err:?}");
+        let multi = random_batch::<f64>(2, 64, 17);
+        let err = DistributedExecutor::new(group, ExecConfig::default())
+            .run(&plan, &multi)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlan(_)), "{err:?}");
+        // Plan built for 2 devices, executor driving 4.
+        let plan2 = DistributedPlan::build(
+            &group_of(2),
+            &GpuSolverConfig::default(),
+            64,
+            8,
+        )
+        .unwrap();
+        let err = DistributedExecutor::new(group_of(4), ExecConfig::default())
+            .run(&plan2, &random_batch::<f64>(1, 64, 17))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlan(_)), "{err:?}");
+    }
+
+    #[test]
+    fn plan_json_round_trips_through_the_validator() {
+        for d in [1usize, 2, 4] {
+            let group = group_of(d);
+            let plan =
+                DistributedPlan::build(&group, &GpuSolverConfig::default(), 128, 8).unwrap();
+            let doc = gpu_sim::json::parse(&plan.to_json().to_string()).unwrap();
+            let problems = validate_distributed_plan_json(&doc);
+            assert!(problems.is_empty(), "D = {d}: {problems:?}");
+        }
+    }
+
+    #[test]
+    fn scatter_is_pcie_serialized_and_backsub_overlaps() {
+        let group = group_of(4);
+        let plan =
+            DistributedPlan::build(&group, &GpuSolverConfig::default(), 1 << 12, 8).unwrap();
+        let batch = random_batch::<f64>(1, 1 << 12, 19);
+        let (_, r) = DistributedExecutor::new(group, ExecConfig::default())
+            .run(&plan, &batch)
+            .unwrap();
+        // Device 0 finishes its back-substitution before the last
+        // device: its scatter lands first on the serialized bus, so
+        // its back-sub overlaps the others' interface waits.
+        let first = r.shards.first().unwrap().completion_us;
+        let last = r.shards.last().unwrap().completion_us;
+        assert!(
+            first < last,
+            "pipelined back-substitution: dev0 done at {first}, dev3 at {last}"
+        );
+    }
+}

@@ -340,6 +340,7 @@ impl PlanExecutor {
             trace,
             plan: plan.clone(),
             shards: Vec::new(),
+            distributed: None,
         };
         Ok((out, report))
     }

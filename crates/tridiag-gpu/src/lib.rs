@@ -16,6 +16,7 @@ pub mod autotune;
 pub mod buffers;
 pub mod consts;
 pub mod davidson;
+pub mod distributed;
 pub mod executor;
 pub mod hash;
 pub mod kernels;
@@ -27,6 +28,10 @@ pub mod zhang;
 pub mod zoo;
 
 pub use buffers::{download_solution, upload, DeviceBatch, GpuScalar};
+pub use distributed::{
+    partition_rows, validate_distributed_plan_json, ChunkPlan, DistributedExecutor,
+    DistributedPlan,
+};
 pub use executor::PlanExecutor;
 pub use hash::solution_hash;
 pub use plan::{
@@ -35,10 +40,11 @@ pub use plan::{
 };
 pub use sharded::ShardedExecutor;
 pub use solver::{
-    CostModel, GpuSolveReport, GpuSolverConfig, GpuTridiagSolver, LayoutChoice, MappingVariant,
-    ShardSummary,
+    CostModel, DistributedSummary, GpuSolveReport, GpuSolverConfig, GpuTridiagSolver,
+    LayoutChoice, MappingVariant, ShardSummary,
 };
 pub use verify::{
-    verify_plan, verify_sharded_plan, DynamicPlanStats, FindingKind, PlanFinding, PlanPrediction,
-    ShardedVerifyReport, SlotLiveness, VerifyReport,
+    verify_distributed_plan, verify_plan, verify_sharded_plan, DistributedVerifyReport,
+    DynamicPlanStats, FindingKind, PlanFinding, PlanPrediction, ShardedVerifyReport,
+    SlotLiveness, VerifyReport,
 };

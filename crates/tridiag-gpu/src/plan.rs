@@ -531,9 +531,18 @@ impl SolvePlan {
         // before later scratch is allocated don't count twice).
         let (peak, _) = crate::verify::peak_resident_bytes(&plan);
         if peak > spec.global_mem_bytes {
+            // A single system that outgrows one device is exactly what
+            // the distributed path exists for — name it in the error so
+            // the caller learns the way out, not just the wall.
+            let hint = if m == 1 {
+                "; a single system this large can be split across devices \
+                 with a distributed plan (solve --split-n)"
+            } else {
+                ""
+            };
             return Err(SimError::InvalidPlan(format!(
                 "peak resident device memory {peak} bytes exceeds {} global memory \
-                 ({} bytes) for m = {m}, n = {n} at {precision}",
+                 ({} bytes) for m = {m}, n = {n} at {precision}{hint}",
                 spec.name, spec.global_mem_bytes
             )));
         }
@@ -1369,7 +1378,35 @@ mod tests {
         .unwrap_err();
         match err {
             SimError::InvalidPlan(msg) => {
-                assert!(msg.contains("global memory"), "{msg}")
+                assert!(msg.contains("global memory"), "{msg}");
+                // Batched OOM has no distributed escape hatch: splitting
+                // rows only helps a *single* system.
+                assert!(!msg.contains("--split-n"), "{msg}");
+            }
+            other => panic!("expected InvalidPlan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_single_system_names_the_distributed_option() {
+        // One system whose footprint exceeds one device is exactly the
+        // distributed path's job — the error must say so.
+        let err = SolvePlan::build(
+            &DeviceSpec::gtx480(),
+            &GpuSolverConfig::default(),
+            1,
+            1 << 26,
+            8,
+        )
+        .unwrap_err();
+        match err {
+            SimError::InvalidPlan(msg) => {
+                assert!(msg.contains("global memory"), "{msg}");
+                assert!(
+                    msg.contains("split across devices with a distributed plan")
+                        && msg.contains("solve --split-n"),
+                    "the OOM error must name the distributed option: {msg}"
+                );
             }
             other => panic!("expected InvalidPlan, got {other:?}"),
         }

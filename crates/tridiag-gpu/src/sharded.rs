@@ -444,6 +444,7 @@ impl ShardedExecutor {
             trace,
             plan: plan.reference.clone(),
             shards: summaries,
+            distributed: None,
         };
         Ok((out, report))
     }

@@ -173,6 +173,39 @@ pub struct ShardSummary {
     pub global_bytes: u64,
 }
 
+/// Cross-device accounting for a distributed single-system solve (see
+/// [`crate::distributed`]): the reduced interface system, the
+/// back-substitution, and the PCIe interface exchanges — everything the
+/// per-chunk [`ShardSummary`] entries do *not* cover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedSummary {
+    /// Number of devices (= chunks).
+    pub devices: usize,
+    /// Rows in the reduced interface system (`2 * devices`).
+    pub reduced_n: usize,
+    /// PCR step count the reduced plan used.
+    pub reduced_k: u32,
+    /// Exact FLOPs executed by the reduced solve's kernels.
+    pub reduced_flops: u64,
+    /// Exact global-memory transactions of the reduced solve.
+    pub reduced_transactions: u64,
+    /// Exact global-memory bytes moved by the reduced solve's kernels.
+    pub reduced_bytes: u64,
+    /// Host-side back-substitution FLOPs (4 per interior row).
+    pub backsub_flops: u64,
+    /// Bytes gathered to the primary over PCIe (2 interface rows x 4
+    /// coefficients per chunk).
+    pub gather_bytes: u64,
+    /// Bytes scattered back over PCIe (2 interface values per chunk).
+    pub scatter_bytes: u64,
+    /// Modeled wall-clock (µs) including copies — the max over device
+    /// streams.
+    pub wall_clock_us: f64,
+    /// Sum of every device stream's completion time (µs) — what a
+    /// one-device-at-a-time execution would cost.
+    pub serialized_us: f64,
+}
+
 /// Everything a solve did and cost.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuSolveReport {
@@ -228,6 +261,12 @@ pub struct GpuSolveReport {
     /// `kernel_us` — devices run concurrently — and `kernels` holds
     /// every shard's launches in shard order.
     pub shards: Vec<ShardSummary>,
+    /// Cross-device accounting when the solve split one system across
+    /// a group (see [`crate::distributed::DistributedExecutor`]);
+    /// `None` for single-device and sharded solves. When set, `shards`
+    /// holds the per-chunk summaries (`sys_start`/`sys_count` are
+    /// *rows*, not systems).
+    pub distributed: Option<DistributedSummary>,
 }
 
 impl GpuSolveReport {
@@ -439,6 +478,27 @@ impl GpuSolveReport {
             ("verify_mismatches".into(), strings(&self.verify_mismatches)),
             ("plan".into(), self.plan.to_json()),
             ("shards".into(), Json::Arr(shards)),
+            (
+                "distributed".into(),
+                self.distributed.as_ref().map_or(Json::Null, |d| {
+                    Json::Obj(vec![
+                        ("devices".into(), Json::num(d.devices as f64)),
+                        ("reduced_n".into(), Json::num(d.reduced_n as f64)),
+                        ("reduced_k".into(), Json::num(d.reduced_k)),
+                        ("reduced_flops".into(), Json::num(d.reduced_flops as f64)),
+                        (
+                            "reduced_transactions".into(),
+                            Json::num(d.reduced_transactions as f64),
+                        ),
+                        ("reduced_bytes".into(), Json::num(d.reduced_bytes as f64)),
+                        ("backsub_flops".into(), Json::num(d.backsub_flops as f64)),
+                        ("gather_bytes".into(), Json::num(d.gather_bytes as f64)),
+                        ("scatter_bytes".into(), Json::num(d.scatter_bytes as f64)),
+                        ("wall_clock_us".into(), Json::num(d.wall_clock_us)),
+                        ("serialized_us".into(), Json::num(d.serialized_us)),
+                    ])
+                }),
+            ),
             ("trace".into(), trace),
         ])
     }
@@ -534,6 +594,40 @@ impl GpuTridiagSolver {
             <S as gpu_sim::Elem>::BYTES,
         )?;
         crate::sharded::ShardedExecutor::new(group.clone(), self.config.exec).run(&plan, batch)
+    }
+
+    /// Plan (but do not execute) a distributed solve of one `n`-row
+    /// system split across `group` — the dry-run entry point behind
+    /// `plan --split-n` and `solve --split-n --dry-run`. The group's
+    /// devices are authoritative; the solver's own spec is ignored.
+    pub fn plan_geometry_split(
+        &self,
+        group: &gpu_sim::DeviceGroup,
+        n: usize,
+        elem_bytes: usize,
+    ) -> Result<crate::distributed::DistributedPlan> {
+        crate::distributed::DistributedPlan::build(group, &self.config, n, elem_bytes)
+    }
+
+    /// Solve one system split by rows across `group`: per-device
+    /// partial elimination, the reduced interface solve on the primary,
+    /// distributed back substitution (see
+    /// [`crate::distributed::DistributedExecutor`]). `batch` must hold
+    /// exactly one system. A single-device group *is* the single-device
+    /// path, bit for bit; `D >= 2` matches it to a condition-derived
+    /// tolerance (DESIGN.md §15).
+    pub fn solve_batch_split<S: GpuScalar + Send + Sync>(
+        &self,
+        group: &gpu_sim::DeviceGroup,
+        batch: &SystemBatch<S>,
+    ) -> Result<(Vec<S>, GpuSolveReport)> {
+        let plan = self.plan_geometry_split(
+            group,
+            batch.system_len(),
+            <S as gpu_sim::Elem>::BYTES,
+        )?;
+        crate::distributed::DistributedExecutor::new(group.clone(), self.config.exec)
+            .run(&plan, batch)
     }
 }
 

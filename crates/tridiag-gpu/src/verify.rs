@@ -41,6 +41,7 @@
 //! partition coverage, balance, pinned `k`/mapping/fused consistency
 //! on same-model devices).
 
+use crate::distributed::DistributedPlan;
 use crate::plan::{ShardedPlan, Slot, SolvePlan, Step};
 use gpu_sim::{DeviceGroup, DeviceSpec, Json};
 use std::fmt;
@@ -75,6 +76,20 @@ pub enum FindingKind {
     /// A shard contradicts the pinned reference decisions or the group
     /// geometry.
     ShardConsistency,
+    /// Distributed chunks do not tile the system's rows contiguously,
+    /// disjointly, and balanced, or a chunk is too small to own its two
+    /// interface rows.
+    ChunkPartition,
+    /// A distributed chunk contradicts the group geometry or its
+    /// interior plan's geometry does not match the chunk.
+    ChunkConsistency,
+    /// The interface exchange is broken: a chunk's interface
+    /// coefficients would be used before any interior elimination
+    /// defines them, or an interior plan exists with no interior rows.
+    InterfaceExchange,
+    /// The reduced interface system is missing or its size does not
+    /// match `2·D` interface unknowns.
+    ReducedSystem,
 }
 
 impl FindingKind {
@@ -91,6 +106,10 @@ impl FindingKind {
             FindingKind::SlotOutOfRange => "slot-out-of-range",
             FindingKind::ShardPartition => "shard-partition",
             FindingKind::ShardConsistency => "shard-consistency",
+            FindingKind::ChunkPartition => "chunk-partition",
+            FindingKind::ChunkConsistency => "chunk-consistency",
+            FindingKind::InterfaceExchange => "interface-exchange",
+            FindingKind::ReducedSystem => "reduced-system",
         }
     }
 }
@@ -112,17 +131,25 @@ pub struct PlanFinding {
     /// Shard index, when the finding belongs to one shard of a
     /// [`ShardedPlan`].
     pub shard: Option<usize>,
+    /// Chunk index, when the finding belongs to one chunk of a
+    /// [`crate::distributed::DistributedPlan`].
+    pub chunk: Option<usize>,
     /// Human-readable detail.
     pub message: String,
 }
 
 impl fmt::Display for PlanFinding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match (self.shard, self.step) {
-            (Some(sh), Some(st)) => {
-                write!(f, "shard {sh}, step {st}: {}: {}", self.kind, self.message)
+        let scope = match (self.shard, self.chunk) {
+            (Some(sh), _) => Some(format!("shard {sh}")),
+            (None, Some(ch)) => Some(format!("chunk {ch}")),
+            (None, None) => None,
+        };
+        match (scope, self.step) {
+            (Some(sc), Some(st)) => {
+                write!(f, "{sc}, step {st}: {}: {}", self.kind, self.message)
             }
-            (Some(sh), None) => write!(f, "shard {sh}: {}: {}", self.kind, self.message),
+            (Some(sc), None) => write!(f, "{sc}: {}: {}", self.kind, self.message),
             (None, Some(st)) => write!(f, "step {st}: {}: {}", self.kind, self.message),
             (None, None) => write!(f, "{}: {}", self.kind, self.message),
         }
@@ -330,6 +357,7 @@ fn finding_json(f: &PlanFinding) -> Json {
         ("kind".into(), Json::str(f.kind.label())),
         ("step".into(), opt_num(f.step)),
         ("shard".into(), opt_num(f.shard)),
+        ("chunk".into(), opt_num(f.chunk)),
         ("message".into(), Json::str(f.message.clone())),
     ])
 }
@@ -513,6 +541,7 @@ pub fn verify_plan(spec: &DeviceSpec, plan: &SolvePlan) -> VerifyReport {
             kind,
             step,
             shard: None,
+            chunk: None,
             message,
         });
     };
@@ -864,6 +893,7 @@ pub fn verify_sharded_plan(group: &DeviceGroup, plan: &ShardedPlan) -> ShardedVe
             kind,
             step: None,
             shard,
+            chunk: None,
             message,
         });
     };
@@ -1095,6 +1125,438 @@ pub fn verify_sharded_plan(group: &DeviceGroup, plan: &ShardedPlan) -> ShardedVe
     }
 
     ShardedVerifyReport { findings, shards }
+}
+
+/// Result of verifying a [`DistributedPlan`]: the cross-device findings
+/// plus one [`VerifyReport`] per chunk's interior plan (`None` for a
+/// 2-row interface-only chunk), the reduced interface plan's report,
+/// and — on the `D == 1` path — the identity plan's report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributedVerifyReport {
+    /// Cross-device findings (partition, consistency, interface
+    /// dataflow, reduced-system geometry), chunk-attributed where
+    /// possible.
+    pub findings: Vec<PlanFinding>,
+    /// Per-chunk interior verification, in device order.
+    pub chunks: Vec<Option<VerifyReport>>,
+    /// Reduced interface plan verification (`D > 1` only).
+    pub reduced: Option<VerifyReport>,
+    /// Identity plan verification (`D == 1` only).
+    pub identity: Option<VerifyReport>,
+}
+
+impl DistributedVerifyReport {
+    /// `true` when there are no cross-device findings and every
+    /// embedded plan report is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+            && self
+                .chunks
+                .iter()
+                .flatten()
+                .all(VerifyReport::is_clean)
+            && self.reduced.as_ref().is_none_or(VerifyReport::is_clean)
+            && self.identity.as_ref().is_none_or(VerifyReport::is_clean)
+    }
+
+    /// Every finding as a display string, chunk-prefixed.
+    pub fn messages(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.findings.iter().map(|f| f.to_string()).collect();
+        for (i, ch) in self.chunks.iter().enumerate() {
+            if let Some(r) = ch {
+                out.extend(r.findings.iter().map(|f| format!("chunk {i}: {f}")));
+            }
+        }
+        if let Some(r) = &self.reduced {
+            out.extend(r.findings.iter().map(|f| format!("reduced: {f}")));
+        }
+        if let Some(r) = &self.identity {
+            out.extend(r.findings.iter().map(|f| format!("identity: {f}")));
+        }
+        out
+    }
+
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let opt = |r: &Option<VerifyReport>| r.as_ref().map_or(Json::Null, VerifyReport::to_json);
+        Json::Obj(vec![
+            ("clean".into(), Json::Bool(self.is_clean())),
+            (
+                "findings".into(),
+                Json::Arr(self.findings.iter().map(finding_json).collect()),
+            ),
+            (
+                "chunks".into(),
+                Json::Arr(self.chunks.iter().map(opt).collect()),
+            ),
+            ("reduced".into(), opt(&self.reduced)),
+            ("identity".into(), opt(&self.identity)),
+        ])
+    }
+}
+
+impl fmt::Display for DistributedVerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            if let Some(id) = &self.identity {
+                return write!(f, "verify distributed: clean (identity path)\n  {id}");
+            }
+            write!(
+                f,
+                "verify distributed: clean across {} chunk(s)",
+                self.chunks.len()
+            )?;
+            for ch in self.chunks.iter().flatten() {
+                write!(f, "\n  {ch}")?;
+            }
+            if let Some(r) = &self.reduced {
+                write!(f, "\n  reduced: {r}")?;
+            }
+            Ok(())
+        } else {
+            let msgs = self.messages();
+            write!(f, "verify distributed: {} finding(s)", msgs.len())?;
+            for m in &msgs {
+                write!(f, "\n  {m}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Statically verify a [`DistributedPlan`] against its [`DeviceGroup`]:
+/// every chunk's interior plan against its own device, the reduced
+/// interface plan against the primary, plus the cross-device
+/// invariants — chunks tile `[0, n)` contiguously, disjointly, balanced
+/// (skew ≤ 1), each at least 2 rows; the interface dataflow is sound
+/// (a chunk with interior rows *must* carry an interior elimination
+/// plan, else its interface coefficients are used before being
+/// defined); the reduced system has exactly `2D` unknowns on the
+/// primary device. On the `D == 1` path the identity plan is verified
+/// and the chunk/reduced invariants are vacuous.
+pub fn verify_distributed_plan(
+    group: &DeviceGroup,
+    plan: &DistributedPlan,
+) -> DistributedVerifyReport {
+    let mut findings: Vec<PlanFinding> = Vec::new();
+    let push = |findings: &mut Vec<PlanFinding>,
+                    kind: FindingKind,
+                    chunk: Option<usize>,
+                    message: String| {
+        findings.push(PlanFinding {
+            kind,
+            step: None,
+            shard: None,
+            chunk,
+            message,
+        });
+    };
+
+    if let Some(identity) = &plan.identity {
+        // D == 1 short-circuit: the identity plan must be the plain
+        // single-device solve of the whole system, and the distributed
+        // machinery must be absent.
+        if !plan.chunks.is_empty() {
+            push(
+                &mut findings,
+                FindingKind::ChunkConsistency,
+                None,
+                format!(
+                    "identity plan present but {} chunk(s) are listed",
+                    plan.chunks.len()
+                ),
+            );
+        }
+        if plan.reduced.is_some() {
+            push(
+                &mut findings,
+                FindingKind::ChunkConsistency,
+                None,
+                "identity plan present but a reduced interface plan is listed".into(),
+            );
+        }
+        if identity.m != 1 || identity.n != plan.n {
+            push(
+                &mut findings,
+                FindingKind::ChunkConsistency,
+                None,
+                format!(
+                    "identity plan solves {}x{} but the system is 1x{}",
+                    identity.m, identity.n, plan.n
+                ),
+            );
+        }
+        if identity.elem_bytes != plan.elem_bytes {
+            push(
+                &mut findings,
+                FindingKind::ChunkConsistency,
+                None,
+                format!(
+                    "identity plan is {} bytes/elem but the system is {}",
+                    identity.elem_bytes, plan.elem_bytes
+                ),
+            );
+        }
+        return DistributedVerifyReport {
+            findings,
+            chunks: Vec::new(),
+            reduced: None,
+            identity: Some(verify_plan(group.primary(), identity)),
+        };
+    }
+
+    if plan.chunks.is_empty() {
+        push(
+            &mut findings,
+            FindingKind::ChunkPartition,
+            None,
+            "distributed plan has no chunks and no identity plan".into(),
+        );
+    }
+    if plan.chunks.len() != group.len() {
+        push(
+            &mut findings,
+            FindingKind::ChunkConsistency,
+            None,
+            format!(
+                "plan has {} chunk(s) but the group has {} device(s)",
+                plan.chunks.len(),
+                group.len()
+            ),
+        );
+    }
+
+    let mut cursor = 0usize;
+    let mut min_count = usize::MAX;
+    let mut max_count = 0usize;
+    let mut chunks = Vec::with_capacity(plan.chunks.len());
+    for (i, ch) in plan.chunks.iter().enumerate() {
+        if ch.device_index != i {
+            push(
+                &mut findings,
+                FindingKind::ChunkConsistency,
+                Some(i),
+                format!(
+                    "device_index is {} (chunks must be in device order)",
+                    ch.device_index
+                ),
+            );
+        }
+        if ch.row_start != cursor {
+            push(
+                &mut findings,
+                FindingKind::ChunkPartition,
+                Some(i),
+                format!(
+                    "starts at row {} but {} rows are covered so far \
+                     (chunks must tile the system contiguously and disjointly)",
+                    ch.row_start, cursor
+                ),
+            );
+        }
+        if ch.row_count < 2 {
+            push(
+                &mut findings,
+                FindingKind::ChunkPartition,
+                Some(i),
+                format!(
+                    "owns {} row(s): a chunk needs its 2-row interface pair",
+                    ch.row_count
+                ),
+            );
+        }
+        cursor = ch.row_start + ch.row_count;
+        min_count = min_count.min(ch.row_count);
+        max_count = max_count.max(ch.row_count);
+
+        // Interface dataflow: the reduced system reads the chunk's
+        // modified interface coefficients, which only exist after the
+        // interior elimination ran. A chunk with interior rows but no
+        // interior plan would feed *unmodified* coefficients to the
+        // reduced solve — use before def, across devices.
+        match (&ch.interior, ch.row_count) {
+            (None, rc) if rc > 2 => push(
+                &mut findings,
+                FindingKind::InterfaceExchange,
+                Some(i),
+                format!(
+                    "chunk has {rc} rows but no interior elimination plan: its \
+                     interface coefficients are used before being defined"
+                ),
+            ),
+            (Some(_), 2) => push(
+                &mut findings,
+                FindingKind::InterfaceExchange,
+                Some(i),
+                "chunk is interface-only (2 rows) but carries an interior plan".into(),
+            ),
+            _ => {}
+        }
+
+        let spec = group
+            .devices()
+            .get(ch.device_index)
+            .unwrap_or_else(|| group.primary());
+        if group.devices().get(ch.device_index).is_none() {
+            push(
+                &mut findings,
+                FindingKind::ChunkConsistency,
+                Some(i),
+                format!(
+                    "device_index {} is out of range for a {}-device group",
+                    ch.device_index,
+                    group.len()
+                ),
+            );
+        }
+        let chunk_report = match &ch.interior {
+            Some(ip) => {
+                if ip.m != 1 {
+                    push(
+                        &mut findings,
+                        FindingKind::ChunkConsistency,
+                        Some(i),
+                        format!("interior plan solves m = {}, not 1", ip.m),
+                    );
+                }
+                if ch.row_count >= 2 && ip.n != ch.row_count - 2 {
+                    push(
+                        &mut findings,
+                        FindingKind::ChunkConsistency,
+                        Some(i),
+                        format!(
+                            "interior plan has n = {} but the chunk has {} interior row(s)",
+                            ip.n,
+                            ch.row_count - 2
+                        ),
+                    );
+                }
+                if ip.elem_bytes != plan.elem_bytes {
+                    push(
+                        &mut findings,
+                        FindingKind::ChunkConsistency,
+                        Some(i),
+                        format!(
+                            "interior plan is {} bytes/elem but the system is {}",
+                            ip.elem_bytes, plan.elem_bytes
+                        ),
+                    );
+                }
+                if ip.device != spec.name {
+                    push(
+                        &mut findings,
+                        FindingKind::ChunkConsistency,
+                        Some(i),
+                        format!(
+                            "interior plan was built for {} but device {} is {}",
+                            ip.device, ch.device_index, spec.name
+                        ),
+                    );
+                }
+                // Per-chunk static verification against the chunk's own
+                // device (covers per-device peak memory among
+                // everything else).
+                let mut report = verify_plan(spec, ip);
+                for f in &mut report.findings {
+                    f.chunk = Some(i);
+                }
+                Some(report)
+            }
+            None => None,
+        };
+        chunks.push(chunk_report);
+    }
+
+    if !plan.chunks.is_empty() {
+        if cursor != plan.n {
+            push(
+                &mut findings,
+                FindingKind::ChunkPartition,
+                None,
+                format!(
+                    "chunks cover [0, {cursor}) but the system has n = {} rows",
+                    plan.n
+                ),
+            );
+        }
+        if max_count > 0 && min_count != usize::MAX && max_count - min_count > 1 {
+            push(
+                &mut findings,
+                FindingKind::ChunkPartition,
+                None,
+                format!(
+                    "chunk sizes unbalanced: min {min_count}, max {max_count} (allowed skew 1)"
+                ),
+            );
+        }
+    }
+
+    let reduced = match &plan.reduced {
+        Some(rp) => {
+            if rp.m != 1 {
+                push(
+                    &mut findings,
+                    FindingKind::ReducedSystem,
+                    None,
+                    format!("reduced plan solves m = {}, not 1", rp.m),
+                );
+            }
+            if rp.n != 2 * plan.chunks.len() {
+                push(
+                    &mut findings,
+                    FindingKind::ReducedSystem,
+                    None,
+                    format!(
+                        "reduced plan solves n = {} but {} chunk(s) need {} \
+                         interface unknowns",
+                        rp.n,
+                        plan.chunks.len(),
+                        2 * plan.chunks.len()
+                    ),
+                );
+            }
+            if rp.elem_bytes != plan.elem_bytes {
+                push(
+                    &mut findings,
+                    FindingKind::ReducedSystem,
+                    None,
+                    format!(
+                        "reduced plan is {} bytes/elem but the system is {}",
+                        rp.elem_bytes, plan.elem_bytes
+                    ),
+                );
+            }
+            if rp.device != group.primary().name {
+                push(
+                    &mut findings,
+                    FindingKind::ChunkConsistency,
+                    None,
+                    format!(
+                        "reduced plan was built for {} but the group's primary is {}",
+                        rp.device,
+                        group.primary().name
+                    ),
+                );
+            }
+            Some(verify_plan(group.primary(), rp))
+        }
+        None => {
+            push(
+                &mut findings,
+                FindingKind::ReducedSystem,
+                None,
+                "distributed plan has no reduced interface plan (and no identity plan)".into(),
+            );
+            None
+        }
+    };
+
+    DistributedVerifyReport {
+        findings,
+        chunks,
+        reduced,
+        identity: None,
+    }
 }
 
 #[cfg(test)]

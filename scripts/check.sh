@@ -48,6 +48,12 @@ cargo test -q -p tridiag-gpu --test sharded_trace
 echo "== sharded differential harness (shard(D) . merge == single device, bit-for-bit) =="
 cargo test --release -q -p tridiag-gpu --test sharded_differential
 
+echo "== distributed partition properties (row coverage, interface bijection, mixed groups) =="
+cargo test -q -p tridiag-gpu --test distributed_partition_props
+
+echo "== distributed differential harness (split(D) . reduce . back-sub vs single device) =="
+cargo test --release -q -p tridiag-gpu --test distributed_differential
+
 echo "== service differential harness (coalesced == solo, bit-for-bit, 60 mixes) =="
 cargo test --release -q -p tridiag-service --test service_differential
 
@@ -124,6 +130,16 @@ out="$(cargo run --release -q -p tridiag-cli -- solve --m 8 --n 256 --devices 2)
 grep -q "devices     : 2" <<<"$out"
 out="$(cargo run --release -q -p tridiag-cli -- plan --m 64 --n 512 --devices 2 --json)"
 grep -q "tridiag.sharded_plan/v2" <<<"$out"
+
+echo "== CLI distributed smoke (one system row-split, certified + solved) =="
+out="$(cargo run --release -q -p tridiag-cli -- solve --split-n 4 --n 4096 --verify)"
+grep -q "one system row-split" <<<"$out"
+grep -q "distributed : reduced 8 unknowns" <<<"$out"
+grep -q "verify      : clean" <<<"$out"
+out="$(cargo run --release -q -p tridiag-cli -- plan --split-n 2 --n 16384 --json)"
+grep -q "tridiag.distributed_plan/v1" <<<"$out"
+out="$(cargo run --release -q -p tridiag-cli -- verify --split-n 2 --n 16384)"
+grep -q "clean" <<<"$out"
 
 echo "== CLI serve smoke (8 concurrent requests, bit-checked vs solo, exit 2 on mismatch) =="
 out="$(cargo run --release -q -p tridiag-cli -- serve --requests 8 --clients 4)"
